@@ -1,0 +1,76 @@
+package gtw
+
+import (
+	"testing"
+)
+
+// The facade must expose a working end-to-end path: build the testbed,
+// run a transfer, reserve resources, run an experiment driver.
+func TestFacadeQuickstartPath(t *testing.T) {
+	tb := NewTestbed(Config{})
+	res, err := tb.TCPTransfer(HostT3E600, HostSP2, 16<<20, TCPConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThroughputBps < 200e6 || res.ThroughputBps > 280e6 {
+		t.Errorf("facade transfer = %.1f Mbit/s", res.ThroughputBps/1e6)
+	}
+	if err := tb.Reserve("session", HostT3E600, HostOnyx2); err != nil {
+		t.Fatal(err)
+	}
+	tb.Release("session")
+}
+
+func TestFacadeTables(t *testing.T) {
+	paper := PaperTable1()
+	model := ModelTable1()
+	if len(paper) != 9 || len(model) != 9 {
+		t.Fatalf("table lengths %d/%d", len(paper), len(model))
+	}
+	if paper[8].Speedup != 110.5 {
+		t.Errorf("paper table corrupted: %v", paper[8])
+	}
+	if model[8].Speedup < 105 || model[8].Speedup > 116 {
+		t.Errorf("model speedup at 256 PEs = %.1f", model[8].Speedup)
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	res, err := RunFMRIScenario(FMRIScenario{PEs: 256, TR: 3.0, Frames: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxGUIDelay >= 5 {
+		t.Errorf("scenario delay %.2f s", res.MaxGUIDelay)
+	}
+	fw, err := FutureWorkAnalysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fw.BWiNSaturation < 1998 || fw.BWiNSaturation > 2001 {
+		t.Errorf("saturation %.2f", fw.BWiNSaturation)
+	}
+	agg, err := BackboneAggregate(OC12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.AggregateMbps <= 0 {
+		t.Error("no aggregate throughput")
+	}
+	if OC3.LineRate() >= OC12.LineRate() || OC12.LineRate() >= OC48.LineRate() {
+		t.Error("carrier ordering broken")
+	}
+}
+
+func TestFacadeExtensions(t *testing.T) {
+	tb := NewTestbed(Config{Extensions: true})
+	if _, err := tb.Host(HostUniBonn); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Host(HostDLR); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Host(HostUniKoeln); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,355 @@
+// Benchmarks regenerating every table and figure of the paper. Each
+// benchmark reports the reproduced quantities as custom metrics so
+// `go test -bench=. -benchmem` doubles as the experiment harness
+// (cmd/gtwbench prints the same data as tables).
+package gtw
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/fire"
+	"repro/internal/machine"
+	"repro/internal/meg"
+	"repro/internal/mpi"
+	"repro/internal/mri"
+	"repro/internal/volume"
+)
+
+// BenchmarkTable1FIREScaling regenerates Table 1: FIRE module times on
+// the modeled T3E-600 for 1..256 PEs. The per-PE sub-benchmarks report
+// the modeled total seconds and speedup next to the paper's value.
+func BenchmarkTable1FIREScaling(b *testing.B) {
+	model := fire.DefaultT3E600()
+	for _, paper := range fire.PaperTable1 {
+		paper := paper
+		b.Run(fmt.Sprintf("PEs=%d", paper.PEs), func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				total = model.TotalTime(paper.PEs, 64, 64, 16)
+			}
+			t1 := model.TotalTime(1, 64, 64, 16)
+			b.ReportMetric(total, "model-total-s")
+			b.ReportMetric(paper.Total, "paper-total-s")
+			b.ReportMetric(t1/total, "model-speedup")
+			b.ReportMetric(paper.Speedup, "paper-speedup")
+		})
+	}
+}
+
+// BenchmarkFIREModulesReal runs the real analysis algorithms (not the
+// cost model) on a reduced volume, giving the per-module compute
+// character on the host machine.
+func BenchmarkFIREModulesReal(b *testing.B) {
+	ph := mri.NewPhantom(32, 32, 8, nil)
+	vol := ph.Anatomy
+	moved := vol.Shift(0.7, -0.4, 0.2)
+	b.Run("median-filter", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fire.MedianFilter3D(vol, 1)
+		}
+	})
+	b.Run("motion-correct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := fire.EstimateShift(vol, moved, fire.MotionOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// Correlation over a 24-scan series.
+	act := mri.Activation{CX: 16, CY: 16, CZ: 4, Radius: 3, Amplitude: 0.05, HRF: mri.DefaultHRF}
+	sc := mri.NewScanner(mri.NewPhantom(32, 32, 8, []mri.Activation{act}),
+		mri.ScanConfig{NX: 32, NY: 32, NZ: 8, TR: 2, NScans: 24, NoiseStd: 1, Seed: 1})
+	var series []*volume.Volume
+	for {
+		v := sc.Next()
+		if v == nil {
+			break
+		}
+		series = append(series, v)
+	}
+	ref := sc.Reference(0)
+	b.Run("correlate-24-scans", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := fire.CorrelateSeries(series, ref); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFigure1Throughput regenerates the section-2 path
+// measurements (Figure 1's quantitative content).
+func BenchmarkFigure1Throughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := Figure1Throughput()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].Mbps, "hippi-local-Mbps")
+		b.ReportMetric(rows[1].Mbps, "wan-t3e-sp2-Mbps")
+		b.ReportMetric(rows[2].Mbps, "ws-64K-Mbps")
+	}
+}
+
+// BenchmarkFigure2EndToEnd regenerates the fMRI latency budget.
+func BenchmarkFigure2EndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := Figure2EndToEnd(256, 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.TotalDelay, "total-delay-s")
+		b.ReportMetric(r.Unpipelined, "period-s")
+		b.ReportMetric(r.SafeTR, "safe-TR-s")
+	}
+}
+
+// BenchmarkFigure3Overlay regenerates the GUI overlay experiment.
+func BenchmarkFigure3Overlay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := Figure3Overlay()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.ActivatedVoxels), "activated-voxels")
+		b.ReportMetric(r.PeakCorrelation, "peak-r")
+	}
+}
+
+// BenchmarkFigure4Workbench regenerates the visualization rates.
+func BenchmarkFigure4Workbench(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := Figure4Workbench()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[0].FPS, "oc12-clip-fps")
+		b.ReportMetric(r.StreamFPS, "measured-stream-fps")
+	}
+}
+
+// BenchmarkSection3Applications regenerates the application
+// requirements table.
+func BenchmarkSection3Applications(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := Section3Applications()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ok := 0
+		for _, r := range rows {
+			if r.OK {
+				ok++
+			}
+		}
+		b.ReportMetric(float64(ok), "apps-satisfied")
+	}
+}
+
+// BenchmarkMPIMicro measures the metacomputing MPI's ping-pong
+// behaviour intra-host vs inter-host (the two-level cost structure of
+// section 3), using a WAN shaper set to the measured testbed numbers.
+func BenchmarkMPIMicro(b *testing.B) {
+	shaper := mpi.LinkShaper{Latency: 550 * time.Microsecond, Bps: 260e6}
+	for _, tc := range []struct {
+		name  string
+		hosts []string
+		bytes int
+	}{
+		{"intra-latency-0B", []string{"t3e", "t3e"}, 0},
+		{"inter-latency-0B", []string{"t3e", "sp2"}, 0},
+		{"intra-bandwidth-1MB", []string{"t3e", "t3e"}, 1 << 20},
+		{"inter-bandwidth-1MB", []string{"t3e", "sp2"}, 1 << 20},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			payload := make([]byte, tc.bytes)
+			b.SetBytes(int64(tc.bytes))
+			b.ResetTimer()
+			err := mpi.RunHosts(tc.hosts, shaper, nil, func(c *mpi.Comm) error {
+				for i := 0; i < b.N; i++ {
+					if c.Rank() == 0 {
+						if err := c.Send(1, 1, payload); err != nil {
+							return err
+						}
+						if _, err := c.Recv(1, 2); err != nil {
+							return err
+						}
+					} else {
+						if _, err := c.Recv(0, 1); err != nil {
+							return err
+						}
+						if err := c.Send(0, 2, nil); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineAblation quantifies the pipelining improvement the
+// paper identifies as unexploited (X1): unpipelined vs pipelined
+// steady-state period at two partition sizes.
+func BenchmarkPipelineAblation(b *testing.B) {
+	model := fire.DefaultT3E600()
+	for _, pes := range []int{64, 256} {
+		pes := pes
+		st := fire.PaperStageTimes(model, pes)
+		b.Run(fmt.Sprintf("PEs=%d", pes), func(b *testing.B) {
+			var up, pp fire.SessionResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				up, err = fire.SimulateSession(st, st.UnpipelinedPeriod()+0.05, 40, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pp, err = fire.SimulateSession(st, st.PipelinedPeriod()+0.05, 40, true)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(up.AchievedPeriod, "unpipelined-period-s")
+			b.ReportMetric(pp.AchievedPeriod, "pipelined-period-s")
+			b.ReportMetric(up.AchievedPeriod/pp.AchievedPeriod, "speedup")
+		})
+	}
+}
+
+// BenchmarkRVORefinement is the X2 ablation: the planned coarse-raster
+// + iterative-refinement RVO against the full raster, comparing work
+// (grid evaluations) and result quality.
+func BenchmarkRVORefinement(b *testing.B) {
+	truth := mri.HRF{Delay: 8.5, Dispersion: 1.4}
+	act := mri.Activation{CX: 6, CY: 6, CZ: 3, Radius: 2.5, Amplitude: 0.08, HRF: truth}
+	ph := mri.NewPhantom(12, 12, 6, []mri.Activation{act})
+	stim := mri.BlockStimulus(40, 8)
+	sc := mri.NewScanner(ph, mri.ScanConfig{NX: 12, NY: 12, NZ: 6, TR: 2, NScans: 40,
+		Stimulus: stim, NoiseStd: 0.5, Seed: 17})
+	var series []*volume.Volume
+	for {
+		v := sc.Next()
+		if v == nil {
+			break
+		}
+		series = append(series, v)
+	}
+	for _, mode := range []struct {
+		name string
+		opts fire.RVOOptions
+	}{
+		{"full-raster", fire.DefaultRVOGrid()},
+		{"coarse+refine", fire.CoarseRVOGrid()},
+	} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			var res *fire.RVOResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = fire.RVO(series, stim, 2.0, mode.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Evaluated), "grid-evals")
+			b.ReportMetric(float64(res.Corr.At(6, 6, 3)), "center-r")
+		})
+	}
+}
+
+// BenchmarkFMRIScenarioDES runs the fully derived five-computer fMRI
+// dataflow (scanner -> RT-server -> T3E -> client -> Onyx2 ->
+// workbench) as a discrete-event simulation over the testbed,
+// reporting the end-to-end delay that the F2 budget only asserts.
+func BenchmarkFMRIScenarioDES(b *testing.B) {
+	for _, pes := range []int{64, 256} {
+		pes := pes
+		b.Run(fmt.Sprintf("PEs=%d", pes), func(b *testing.B) {
+			var res FMRIScenarioResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = RunFMRIScenario(FMRIScenario{PEs: pes, TR: 4.0, Frames: 10})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.MeanGUIDelay, "gui-delay-s")
+			b.ReportMetric(res.MeanVRDelay, "vr-delay-s")
+			b.ReportMetric(res.WireSeconds, "wire-s")
+		})
+	}
+}
+
+// BenchmarkBackboneUpgrade regenerates the upgrade-motivation
+// experiments (U1/U2): aggregate flows and mixed video+bulk traffic on
+// both backbone generations.
+func BenchmarkBackboneUpgrade(b *testing.B) {
+	for _, wan := range []OC{OC12, OC48} {
+		wan := wan
+		b.Run(fmt.Sprintf("aggregate-%v", wan), func(b *testing.B) {
+			var row AggregateRow
+			for i := 0; i < b.N; i++ {
+				var err error
+				row, err = BackboneAggregate(wan, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(row.AggregateMbps, "aggregate-Mbps")
+		})
+		b.Run(fmt.Sprintf("mixed-%v", wan), func(b *testing.B) {
+			var m MixedTrafficResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				m, err = MixedTraffic(wan)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(m.Video.OnTime), "video-frames-on-time")
+			b.ReportMetric(m.BulkMbps, "bulk-Mbps")
+		})
+	}
+}
+
+// BenchmarkFutureWork regenerates the forward-looking analyses: B-WiN
+// saturation (section 1) and multi-echo feasibility (section 4).
+func BenchmarkFutureWork(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := FutureWorkAnalysis()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.BWiNSaturation, "bwin-saturation-year")
+		b.ReportMetric(r.Acquisitions[1].T3EFullSeconds, "multiecho-512PE-s")
+	}
+}
+
+// BenchmarkMEGDistribution quantifies the pmusic superlinear-speedup
+// claim: MPP-only vs MPP+vector metacomputing.
+func BenchmarkMEGDistribution(b *testing.B) {
+	m := meg.DistributedModel{
+		MPP:        machine.CrayT3E600(),
+		Vector:     machine.CrayT90(),
+		WANLatency: 550 * time.Microsecond,
+		WANBps:     260e6,
+		Sensors:    148, Signals: 5, GridPoints: 50000, Iterations: 10,
+	}
+	for _, pes := range []int{16, 64, 256} {
+		pes := pes
+		b.Run(fmt.Sprintf("PEs=%d", pes), func(b *testing.B) {
+			var sp float64
+			for i := 0; i < b.N; i++ {
+				sp = m.SuperlinearSpeedup(pes)
+			}
+			b.ReportMetric(sp, "distributed-speedup")
+		})
+	}
+}

@@ -1,0 +1,148 @@
+// Command gtwbench regenerates every table and figure of the paper as
+// text, printing the paper's value next to the reproduced one. It is
+// the human-readable twin of the root-package benchmarks.
+//
+// Usage:
+//
+//	gtwbench [-experiment all|table1|f1|f2|f3|f4|a1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/atm"
+	"repro/internal/core"
+	"repro/internal/fire"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gtwbench: ")
+	exp := flag.String("experiment", "all", "which experiment to run (all, table1, f1, f2, f3, f4, a1, u1, b1)")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println()
+	}
+
+	run("table1", func() error {
+		model := fire.DefaultT3E600()
+		rows := model.ModelTable1()
+		fmt.Println("T1: FIRE processing times on the Cray T3E-600, 64x64x16 image")
+		fmt.Println("      (model vs. paper; times in seconds)")
+		fmt.Println("  PEs   filter        motion        RVO            total          speedup")
+		for i, r := range rows {
+			p := fire.PaperTable1[i]
+			fmt.Printf("  %3d   %5.3f/%5.2f   %5.3f/%5.2f   %7.2f/%7.2f  %7.2f/%7.2f  %6.1f/%6.1f\n",
+				r.PEs, r.Filter, p.Filter, r.Motion, p.Motion, r.RVO, p.RVO, r.Total, p.Total,
+				r.Speedup, p.Speedup)
+		}
+		return nil
+	})
+
+	run("f1", func() error {
+		rows, err := core.Figure1Throughput()
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.FormatFigure1(rows))
+		return nil
+	})
+
+	run("f2", func() error {
+		r, err := core.Figure2EndToEnd(256, 30)
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.FormatFigure2(r))
+		return nil
+	})
+
+	run("f3", func() error {
+		r, err := core.Figure3Overlay()
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.FormatFigure3(r))
+		return nil
+	})
+
+	run("f4", func() error {
+		r, err := core.Figure4Workbench()
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.FormatFigure4(r))
+		return nil
+	})
+
+	run("a1", func() error {
+		rows, err := core.Section3Applications()
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.FormatSection3(rows))
+		return nil
+	})
+
+	run("u1", func() error {
+		var aggs []core.AggregateRow
+		for _, wan := range []atm.OC{atm.OC12, atm.OC48} {
+			row, err := core.BackboneAggregate(wan, 4)
+			if err != nil {
+				return err
+			}
+			aggs = append(aggs, row)
+		}
+		var mixes []core.MixedTrafficResult
+		for _, wan := range []atm.OC{atm.OC12, atm.OC48} {
+			m, err := core.MixedTraffic(wan)
+			if err != nil {
+				return err
+			}
+			mixes = append(mixes, m)
+		}
+		fmt.Print(core.FormatUpgrade(aggs, mixes))
+		return nil
+	})
+
+	run("b1", func() error {
+		r, err := core.FutureWorkAnalysis()
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.FormatFutureWork(r))
+		return nil
+	})
+
+	run("d1", func() error {
+		fmt.Println("D1: fully derived fMRI dataflow (DES over the testbed)")
+		for _, pes := range []int{64, 256} {
+			r, err := core.RunFMRIScenario(core.FMRIScenario{PEs: pes, TR: 4.0, Frames: 10})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %3d PEs: GUI delay %.2f s mean / %.2f s max, VR path %.2f s, wire %.0f ms/frame\n",
+				pes, r.MeanGUIDelay, r.MaxGUIDelay, r.MeanVRDelay, r.WireSeconds*1000)
+		}
+		return nil
+	})
+
+	if *exp != "all" {
+		switch *exp {
+		case "table1", "f1", "f2", "f3", "f4", "a1", "u1", "b1", "d1":
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+	}
+}

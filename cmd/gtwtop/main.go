@@ -1,0 +1,63 @@
+// Command gtwtop prints and validates the testbed topology: hosts,
+// machine models, path MTUs and round-trip times — a textual rendering
+// of Figure 1.
+//
+// Usage:
+//
+//	gtwtop [-extensions] [-oc12]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/atm"
+	"repro/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gtwtop: ")
+	ext := flag.Bool("extensions", false, "include the section-5 extension sites")
+	oc12 := flag.Bool("oc12", false, "use the 1997/98 OC-12 backbone instead of OC-48")
+	flag.Parse()
+
+	cfg := core.Config{Extensions: *ext}
+	if *oc12 {
+		cfg.WAN = atm.OC12
+	}
+	tb := core.New(cfg)
+
+	fmt.Printf("Gigabit Testbed West — backbone %v (payload %.0f Mbit/s)\n",
+		tb.Cfg.WAN, tb.Cfg.WAN.PayloadRate()/1e6)
+	fmt.Println("\nhosts:")
+	for _, name := range tb.HostNames() {
+		if spec, ok := tb.Machine(name); ok {
+			fmt.Printf("  %-16s %-12s %4d PEs, %5.0f Mflop/s/PE sustained\n",
+				name, spec.Kind, spec.PEs, spec.SustainedFlops/1e6)
+		} else {
+			fmt.Printf("  %-16s (network element / workstation)\n", name)
+		}
+	}
+
+	fmt.Println("\npath checks:")
+	pairs := [][2]string{
+		{core.HostT3E600, core.HostT3E1200},
+		{core.HostT3E600, core.HostSP2},
+		{core.HostWSJuelich, core.HostWSGMD},
+		{core.HostOnyx2, core.HostWSJuelich},
+	}
+	for _, p := range pairs {
+		mtu, err := tb.PathMTU(p[0], p[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		rtt, err := tb.RTT(p[0], p[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-14s -> %-14s  MTU %5d  RTT %8.3f ms\n",
+			p[0], p[1], mtu, rtt.Seconds()*1000)
+	}
+}

@@ -1,0 +1,39 @@
+// Quickstart: build the Gigabit Testbed West, measure the two headline
+// throughputs of section 2, and co-allocate the fMRI session's hosts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gtw "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	tb := gtw.NewTestbed(gtw.Config{})
+
+	// Section 2: ">430 Mbit/s within the local Cray complex".
+	local, err := tb.TCPTransfer(gtw.HostT3E600, gtw.HostT3E1200, 64<<20, gtw.TCPConfig{WindowBytes: 4 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("local Cray complex (HiPPI, 64K MTU): %.1f Mbit/s (paper: >430)\n",
+		local.ThroughputBps/1e6)
+
+	// Section 2: ">260 Mbit/s between the Cray T3E and the IBM SP2".
+	wan, err := tb.TCPTransfer(gtw.HostT3E600, gtw.HostSP2, 64<<20, gtw.TCPConfig{WindowBytes: 4 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("WAN T3E -> SP2:                      %.1f Mbit/s (paper: >260)\n",
+		wan.ThroughputBps/1e6)
+
+	// Section 6: simultaneous resource allocation for a distributed
+	// session.
+	if err := tb.Reserve("fmri-demo", gtw.HostT3E600, gtw.HostOnyx2, gtw.HostWSJuelich); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("co-allocated T3E + Onyx2 + workstation for session fmri-demo")
+	tb.Release("fmri-demo")
+}

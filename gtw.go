@@ -1,0 +1,174 @@
+// Package gtw is the public API of this reproduction of
+// "Distributed Applications in a German Gigabit WAN" (Eickermann et
+// al., HPDC 1999): a simulation of the Gigabit Testbed West — the
+// 2.4 Gbit/s ATM/SDH wide-area testbed between Research Centre Jülich
+// and GMD Sankt Augustin — together with working reimplementations of
+// the distributed applications that ran on it.
+//
+// The package re-exports the testbed model (topology, TCP transfers,
+// co-allocation), the experiment drivers that regenerate the paper's
+// tables and figures, and the FIRE realtime-fMRI analysis chain. The
+// subsystems live in internal/ packages:
+//
+//	internal/sim         discrete-event simulation kernel
+//	internal/netsim      packet-level network simulator
+//	internal/atm         ATM/AAL5/SDH framing arithmetic
+//	internal/hippi       HiPPI channels and HiPPI-ATM gateways
+//	internal/tcpsim      TCP throughput model
+//	internal/mpi         metacomputing MPI (MPI-2 subset)
+//	internal/mpitrace    VAMPIR-style tracing
+//	internal/machine     supercomputer performance models
+//	internal/fire        FIRE fMRI analysis (filters, motion, RVO, ...)
+//	internal/mri         synthetic MRI scanner
+//	internal/meg         pmusic / MUSIC dipole analysis
+//	internal/groundwater TRACE/PARTRACE coupling
+//	internal/climate     coupled ocean/atmosphere + flux coupler
+//	internal/video       D1 studio video over ATM
+//	internal/viz         2-D overlay, 3-D merge, workbench streaming
+//	internal/core        the testbed topology and experiment drivers
+//
+// Quickstart:
+//
+//	tb := gtw.NewTestbed(gtw.Config{})
+//	res, err := tb.TCPTransfer(gtw.HostT3E600, gtw.HostSP2, 64<<20, gtw.TCPConfig{})
+//	fmt.Println(res) // ~260 Mbit/s, as measured in 1999
+package gtw
+
+import (
+	"repro/internal/atm"
+	"repro/internal/core"
+	"repro/internal/fire"
+	"repro/internal/tcpsim"
+)
+
+// Config selects the testbed generation (OC-12 vs OC-48 backbone,
+// extension sites).
+type Config = core.Config
+
+// Testbed is the simulated Gigabit Testbed West.
+type Testbed = core.Testbed
+
+// TCPConfig tunes simulated TCP transfers.
+type TCPConfig = tcpsim.Config
+
+// TCPResult reports a transfer outcome.
+type TCPResult = tcpsim.Result
+
+// NewTestbed builds the Figure-1 topology.
+func NewTestbed(cfg Config) *Testbed { return core.New(cfg) }
+
+// Host names of the standard topology.
+const (
+	HostT3E600     = core.HostT3E600
+	HostT3E1200    = core.HostT3E1200
+	HostT90        = core.HostT90
+	HostSP2        = core.HostSP2
+	HostOnyx2      = core.HostOnyx2
+	HostWSJuelich  = core.HostWSJuelich
+	HostWSGMD      = core.HostWSGMD
+	HostGatewayFZJ = core.HostGatewayFZJ
+	HostGatewayGMD = core.HostGatewayGMD
+	HostDLR        = core.HostDLR
+	HostUniKoeln   = core.HostUniKoeln
+	HostUniBonn    = core.HostUniBonn
+)
+
+// Experiment drivers: each regenerates one table or figure of the
+// paper. See EXPERIMENTS.md for the paper-vs-measured record.
+
+// Table1Row is one row of the paper's Table 1.
+type Table1Row = fire.Table1Row
+
+// PaperTable1 returns Table 1 exactly as printed in the paper.
+func PaperTable1() []Table1Row { return fire.PaperTable1 }
+
+// ModelTable1 evaluates the calibrated T3E-600 model at the paper's PE
+// counts.
+func ModelTable1() []Table1Row { return fire.DefaultT3E600().ModelTable1() }
+
+// Figure1Row is one testbed path measurement.
+type Figure1Row = core.Figure1Row
+
+// Figure1Throughput measures the section-2 throughput observations.
+func Figure1Throughput() ([]Figure1Row, error) { return core.Figure1Throughput() }
+
+// Figure2Result is the section-4 latency budget.
+type Figure2Result = core.Figure2Result
+
+// Figure2EndToEnd evaluates the realtime-fMRI latency budget.
+func Figure2EndToEnd(pes, frames int) (Figure2Result, error) {
+	return core.Figure2EndToEnd(pes, frames)
+}
+
+// Figure3Result is the FIRE GUI reproduction.
+type Figure3Result = core.Figure3Result
+
+// Figure3Overlay runs the 2-D overlay experiment.
+func Figure3Overlay() (Figure3Result, error) { return core.Figure3Overlay() }
+
+// Figure4Result is the 3-D visualization / workbench experiment.
+type Figure4Result = core.Figure4Result
+
+// Figure4Workbench runs the visualization experiment.
+func Figure4Workbench() (Figure4Result, error) { return core.Figure4Workbench() }
+
+// AppRow is one section-3 application requirement check.
+type AppRow = core.AppRow
+
+// Section3Applications verifies each application's WAN requirements.
+func Section3Applications() ([]AppRow, error) { return core.Section3Applications() }
+
+// FMRIScenario configures the full discrete-event fMRI dataflow over
+// the testbed (scanner, RT-server, T3E, RT-client, Onyx 2, workbench).
+type FMRIScenario = core.FMRIScenario
+
+// FMRIScenarioResult reports the derived end-to-end timing.
+type FMRIScenarioResult = core.FMRIScenarioResult
+
+// RunFMRIScenario executes the five-computer fMRI scenario.
+func RunFMRIScenario(sc FMRIScenario) (FMRIScenarioResult, error) {
+	return core.RunFMRIScenario(sc)
+}
+
+// AggregateRow is one backbone saturation measurement.
+type AggregateRow = core.AggregateRow
+
+// BackboneAggregate fills the backbone with concurrent flows — the
+// OC-12 -> OC-48 upgrade rationale.
+func BackboneAggregate(wan OC, flows int) (AggregateRow, error) {
+	return core.BackboneAggregate(wan, flows)
+}
+
+// MixedTrafficResult compares video + bulk TCP sharing the backbone.
+type MixedTrafficResult = core.MixedTrafficResult
+
+// MixedTraffic runs the mixed-workload experiment.
+func MixedTraffic(wan OC) (MixedTrafficResult, error) { return core.MixedTraffic(wan) }
+
+// FutureWorkResult holds the forward-looking analyses (B-WiN growth,
+// multi-echo imaging).
+type FutureWorkResult = core.FutureWorkResult
+
+// FutureWorkAnalysis evaluates the paper's forward-looking claims.
+func FutureWorkAnalysis() (FutureWorkResult, error) { return core.FutureWorkAnalysis() }
+
+// OC selects a SONET/SDH carrier level for experiment parameters.
+type OC = atm.OC
+
+// Carrier levels.
+const (
+	OC3  = atm.OC3
+	OC12 = atm.OC12
+	OC48 = atm.OC48
+)
+
+// Formatting helpers for the experiment results.
+var (
+	FormatFigure1    = core.FormatFigure1
+	FormatFigure2    = core.FormatFigure2
+	FormatFigure3    = core.FormatFigure3
+	FormatFigure4    = core.FormatFigure4
+	FormatSection3   = core.FormatSection3
+	FormatUpgrade    = core.FormatUpgrade
+	FormatFutureWork = core.FormatFutureWork
+)

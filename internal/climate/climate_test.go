@@ -1,0 +1,257 @@
+package climate
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+func TestGridGeometry(t *testing.T) {
+	g := Grid{NLat: 4, NLon: 8}
+	if g.Cells() != 32 || g.FieldBytes() != 256 {
+		t.Error("cells/bytes")
+	}
+	if g.Lat(0) >= 0 || g.Lat(3) <= 0 {
+		t.Error("latitude orientation")
+	}
+	if math.Abs(g.Lat(0)+g.Lat(3)) > 1e-12 {
+		t.Error("latitudes not symmetric")
+	}
+	if g.Lon(0) <= 0 || g.Lon(7) >= 360 {
+		t.Error("longitude range")
+	}
+}
+
+func TestRegridConstantExact(t *testing.T) {
+	src := Grid{NLat: 32, NLon: 64}
+	dst := Grid{NLat: 10, NLon: 20}
+	f := make([]float64, src.Cells())
+	for i := range f {
+		f[i] = 7.25
+	}
+	out, err := Regrid(src, f, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if math.Abs(v-7.25) > 1e-12 {
+			t.Fatalf("constant not preserved at %d: %v", i, v)
+		}
+	}
+}
+
+func TestRegridSmoothFieldRoundTrip(t *testing.T) {
+	src := Grid{NLat: 64, NLon: 128}
+	dst := Grid{NLat: 32, NLon: 64}
+	f := make([]float64, src.Cells())
+	for j := 0; j < src.NLat; j++ {
+		for i := 0; i < src.NLon; i++ {
+			f[src.Idx(j, i)] = math.Sin(src.Lat(j)*math.Pi/180) +
+				0.3*math.Cos(2*src.Lon(i)*math.Pi/180)
+		}
+	}
+	down, err := Regrid(src, f, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Regrid(dst, down, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Smooth fields survive a down-up round trip within a few percent.
+	var rms, norm float64
+	for i := range f {
+		d := back[i] - f[i]
+		rms += d * d
+		norm += f[i] * f[i]
+	}
+	if rms/norm > 0.01 {
+		t.Errorf("round-trip error %.3f%%", 100*rms/norm)
+	}
+	// Area mean approximately conserved.
+	if d := math.Abs(AreaMean(src, f) - AreaMean(dst, down)); d > 0.01 {
+		t.Errorf("area mean drifted by %v", d)
+	}
+}
+
+func TestRegridValidation(t *testing.T) {
+	if _, err := Regrid(Grid{4, 4}, make([]float64, 3), Grid{2, 2}); err == nil {
+		t.Error("bad field length accepted")
+	}
+}
+
+func TestOceanEquilibriumStable(t *testing.T) {
+	g := Grid{NLat: 24, NLon: 48}
+	o := NewOcean(g)
+	before := append([]float64(nil), o.SST...)
+	zero := make([]float64, g.Cells())
+	for s := 0; s < 50; s++ {
+		if err := o.Step(3600, zero); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// At climatology with no flux the state drifts only by the slow
+	// diffusive smoothing of the profile — bounded and small.
+	var worst float64
+	for i := range before {
+		if d := math.Abs(o.SST[i] - before[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1.5 {
+		t.Errorf("equilibrium drifted by %.2f K over 50 h", worst)
+	}
+}
+
+func TestOceanWarmsUnderFlux(t *testing.T) {
+	// Compare against a zero-flux control so diffusion/relaxation
+	// drift cancels: the heated ocean must end warmer by about
+	// flux*time/HeatCapacity.
+	g := Grid{NLat: 16, NLon: 32}
+	heated, control := NewOcean(g), NewOcean(g)
+	flux := make([]float64, g.Cells())
+	for i := range flux {
+		flux[i] = 500 // W/m^2 heating
+	}
+	zero := make([]float64, g.Cells())
+	for s := 0; s < 50; s++ {
+		if err := heated.Step(3600, flux); err != nil {
+			t.Fatal(err)
+		}
+		if err := control.Step(3600, zero); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gain := AreaMean(g, heated.SST) - AreaMean(g, control.SST)
+	want := 500.0 * 3600 * 50 / heated.HeatCapacity
+	if gain < want*0.5 || gain > want*1.2 {
+		t.Errorf("flux warming = %.3f K, want ~%.3f", gain, want)
+	}
+}
+
+func TestOceanIceAtPoles(t *testing.T) {
+	g := Grid{NLat: 24, NLon: 48}
+	o := NewOcean(g)
+	// Climatology puts the poles at ~271 K -> partial ice.
+	poleIce := o.Ice[g.Idx(0, 0)]
+	eqIce := o.Ice[g.Idx(g.NLat/2, 0)]
+	if poleIce <= 0 {
+		t.Error("no polar ice")
+	}
+	if eqIce != 0 {
+		t.Error("equatorial ice")
+	}
+	for _, v := range o.Ice {
+		if v < 0 || v > 1 {
+			t.Fatalf("ice fraction %v out of [0,1]", v)
+		}
+	}
+}
+
+func TestOceanValidation(t *testing.T) {
+	o := NewOcean(Grid{NLat: 8, NLon: 16})
+	if err := o.Step(3600, make([]float64, 3)); err == nil {
+		t.Error("bad flux length accepted")
+	}
+}
+
+func TestAtmosFluxDirection(t *testing.T) {
+	g := Grid{NLat: 16, NLon: 32}
+	a := NewAtmos(g)
+	// SST much colder than air everywhere: flux into ocean positive.
+	sst := make([]float64, g.Cells())
+	for i := range sst {
+		sst[i] = 250
+	}
+	heat, tauX, _, err := a.Step(1800, sst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := 0
+	for _, q := range heat {
+		if q > 0 {
+			warm++
+		}
+	}
+	if warm < g.Cells()*9/10 {
+		t.Errorf("only %d/%d cells have downward flux onto a cold ocean", warm, g.Cells())
+	}
+	// Wind stress follows the jet: westerly (positive) in
+	// midlatitudes, easterly (negative) in the deep tropics.
+	mid := g.Idx(g.NLat-3, 0) // ~ +60 degrees
+	trop := g.Idx(g.NLat/2, 0)
+	if tauX[mid] <= 0 {
+		t.Errorf("midlatitude stress %v, want westerly > 0", tauX[mid])
+	}
+	if tauX[trop] >= 0 {
+		t.Errorf("tropical stress %v, want easterly < 0", tauX[trop])
+	}
+}
+
+func TestAtmosStaysBounded(t *testing.T) {
+	g := Grid{NLat: 16, NLon: 32}
+	a := NewAtmos(g)
+	sst := make([]float64, g.Cells())
+	for i := range sst {
+		sst[i] = 290
+	}
+	for s := 0; s < 200; s++ {
+		if _, _, _, err := a.Step(1800, sst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, ta := range a.TA {
+		if ta < 180 || ta > 340 {
+			t.Fatalf("air temperature %v K at %d out of physical range", ta, i)
+		}
+	}
+}
+
+func TestJetStructure(t *testing.T) {
+	if Jet(45) <= 0 {
+		t.Error("no midlatitude westerlies")
+	}
+	if Jet(0) >= 0 {
+		t.Error("no tropical easterlies")
+	}
+}
+
+func TestCoupledRunEndToEnd(t *testing.T) {
+	cfg := CoupledConfig{
+		OceanGrid: Grid{NLat: 32, NLon: 64},
+		AtmosGrid: Grid{NLat: 16, NLon: 32},
+		Dt:        3600,
+		Steps:     24,
+	}
+	shaper := mpi.LinkShaper{Latency: 50 * time.Microsecond, Bps: 2e9}
+	res, err := RunCoupled([3]string{"cray-t3e", "ibm-sp2", "coupler"}, shaper, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 24 {
+		t.Errorf("steps = %d", res.Steps)
+	}
+	// Exchange size: ocean sends 2 fields on 32x64, atmos 3 on 16x32.
+	want := 8*2*32*64 + 8*3*16*32
+	if res.BytesPerExchange != want {
+		t.Errorf("bytes/exchange = %d, want %d", res.BytesPerExchange, want)
+	}
+	// Physical sanity after a simulated day.
+	if res.FinalMeanSST < 270 || res.FinalMeanSST > 310 {
+		t.Errorf("mean SST = %.1f K", res.FinalMeanSST)
+	}
+	if res.MinSST < FreezePoint-2-1e-9 || res.MaxSST > 320 {
+		t.Errorf("SST range [%.1f, %.1f]", res.MinSST, res.MaxSST)
+	}
+	if res.FinalIceFraction <= 0 || res.FinalIceFraction > 0.5 {
+		t.Errorf("ice fraction = %.3f", res.FinalIceFraction)
+	}
+}
+
+func TestCoupledRunValidation(t *testing.T) {
+	if _, err := RunCoupled([3]string{"a", "b", "c"}, nil, CoupledConfig{}); err == nil {
+		t.Error("zero steps accepted")
+	}
+}

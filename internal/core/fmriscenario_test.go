@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestFMRIScenarioMeetsPaperBudget(t *testing.T) {
+	res, err := RunFMRIScenario(FMRIScenario{PEs: 256, TR: 3.0, Frames: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frames == 0 {
+		t.Fatal("no frames displayed")
+	}
+	// The derived end-to-end GUI delay must land under the paper's
+	// 5 s bound (and above the bare compute+scan floor).
+	if res.MaxGUIDelay >= 5.0 {
+		t.Errorf("max GUI delay %.2f s, paper promises < 5", res.MaxGUIDelay)
+	}
+	if res.MeanGUIDelay < 2.0 {
+		t.Errorf("mean GUI delay %.2f s implausibly small", res.MeanGUIDelay)
+	}
+	// The VR path adds the Onyx round trip on top of the GUI delay.
+	if res.MeanVRDelay <= res.MeanGUIDelay {
+		t.Error("VR delay should exceed GUI delay")
+	}
+	// Wire time is a small share: the budget is dominated by scanner
+	// availability, control handling, compute and display — the
+	// paper's observation that bytes were not the problem.
+	if res.WireSeconds > 0.5 {
+		t.Errorf("wire seconds %.3f per frame, should be well under the 1.1 s budget", res.WireSeconds)
+	}
+}
+
+func TestFMRIScenarioFewerPEsSlower(t *testing.T) {
+	fast, err := RunFMRIScenario(FMRIScenario{PEs: 256, TR: 3.0, Frames: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := RunFMRIScenario(FMRIScenario{PEs: 16, TR: 8.0, Frames: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.MeanGUIDelay <= fast.MeanGUIDelay {
+		t.Errorf("16-PE delay %.2f s should exceed 256-PE %.2f s",
+			slow.MeanGUIDelay, fast.MeanGUIDelay)
+	}
+	if slow.ComputeSeconds <= fast.ComputeSeconds {
+		t.Error("compute time should grow as PEs shrink")
+	}
+}
+
+func TestFMRIScenarioFastTRSkipsFrames(t *testing.T) {
+	// At TR=2 the unpipelined chain (~2.7 s + transfers) cannot keep
+	// up: the realtime system skips to the newest scan.
+	res, err := RunFMRIScenario(FMRIScenario{PEs: 256, TR: 2.0, Frames: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frames >= 16 {
+		t.Errorf("displayed %d/16 frames at TR=2; expected skips", res.Frames)
+	}
+}
+
+func TestFMRIScenarioValidation(t *testing.T) {
+	if _, err := RunFMRIScenario(FMRIScenario{}); err == nil {
+		t.Error("zero scenario accepted")
+	}
+}

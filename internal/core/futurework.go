@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bwin"
+	"repro/internal/fire"
+	"repro/internal/mri"
+)
+
+// FutureWork quantifies the paper's two forward-looking claims: the
+// B-WiN saturation that motivates the gigabit upgrade (section 1) and
+// the multi-echo acquisition rates that will "be a challenging task
+// for a supercomputer again" (section 4).
+
+// MultiEchoRow evaluates one acquisition against the T3E model.
+type MultiEchoRow struct {
+	Name         string
+	DataRateMbps float64
+	// T3EFullSeconds is the full-machine (512 PE) chain time per
+	// volume.
+	T3EFullSeconds float64
+	// RealtimeOK reports whether the full machine keeps up with TR.
+	RealtimeOK bool
+}
+
+// FutureWorkResult bundles both analyses.
+type FutureWorkResult struct {
+	// BWiNSaturation is the extrapolated year the 155 Mbit/s network
+	// saturates.
+	BWiNSaturation float64
+	// GigabitHeadroomYears is how long the gigabit upgrade lasts at
+	// the same growth.
+	GigabitHeadroomYears float64
+	Acquisitions         []MultiEchoRow
+}
+
+// FutureWorkAnalysis evaluates both claims.
+func FutureWorkAnalysis() (FutureWorkResult, error) {
+	m := bwin.DefaultBWiN()
+	sat, err := m.SaturationYear(bwin.AccessCapacityMbps)
+	if err != nil {
+		return FutureWorkResult{}, err
+	}
+	head, err := m.HeadroomYears(bwin.AccessCapacityMbps, bwin.GigabitCapacityMbps)
+	if err != nil {
+		return FutureWorkResult{}, err
+	}
+	res := FutureWorkResult{BWiNSaturation: sat, GigabitHeadroomYears: head}
+
+	model := fire.DefaultT3E600()
+	for _, acq := range []struct {
+		name string
+		a    mri.MultiEcho
+	}{
+		{"standard 64x64x16 single-echo, TR 2 s", mri.StandardAcquisition()},
+		{"multi-echo 128x128x16 x8 echoes, TR 2 s", mri.ReferenceMultiEcho()},
+	} {
+		if err := acq.a.Validate(); err != nil {
+			return res, err
+		}
+		// The analysis chain scales with acquired voxels; echoes
+		// multiply the per-volume work.
+		secs := float64(acq.a.Echoes) * model.TotalTime(512, acq.a.NX, acq.a.NY, acq.a.NZ)
+		res.Acquisitions = append(res.Acquisitions, MultiEchoRow{
+			Name:           acq.name,
+			DataRateMbps:   acq.a.DataRateBps() / 1e6,
+			T3EFullSeconds: secs,
+			RealtimeOK:     secs <= acq.a.TR,
+		})
+	}
+	return res, nil
+}
+
+// FormatFutureWork renders the analysis.
+func FormatFutureWork(r FutureWorkResult) string {
+	var sb strings.Builder
+	sb.WriteString("B1: B-WiN capacity planning (section 1)\n")
+	fmt.Fprintf(&sb, "  155 Mbit/s network saturates ~%.1f (paper: 'its limit in the next year', written 1999)\n",
+		r.BWiNSaturation)
+	fmt.Fprintf(&sb, "  gigabit upgrade buys %.1f years at the same growth\n", r.GigabitHeadroomYears)
+	sb.WriteString("X3: advanced MR imaging (section 4 outlook)\n")
+	for _, a := range r.Acquisitions {
+		status := "realtime on 512 PEs"
+		if !a.RealtimeOK {
+			status = "NOT realtime even on 512 PEs — 'a challenging task for a supercomputer again'"
+		}
+		fmt.Fprintf(&sb, "  %-42s %7.2f Mbit/s raw, %6.2f s/volume on full T3E: %s\n",
+			a.Name, a.DataRateMbps, a.T3EFullSeconds, status)
+	}
+	return sb.String()
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFutureWorkAnalysis(t *testing.T) {
+	r, err := FutureWorkAnalysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Section 1: saturation "next year" from a 1999 vantage point.
+	if r.BWiNSaturation < 1998.8 || r.BWiNSaturation > 2000.2 {
+		t.Errorf("B-WiN saturation = %.2f", r.BWiNSaturation)
+	}
+	if r.GigabitHeadroomYears < 3 || r.GigabitHeadroomYears > 5 {
+		t.Errorf("gigabit headroom = %.2f years", r.GigabitHeadroomYears)
+	}
+	if len(r.Acquisitions) != 2 {
+		t.Fatalf("%d acquisitions", len(r.Acquisitions))
+	}
+	std, adv := r.Acquisitions[0], r.Acquisitions[1]
+	// Today's acquisition is realtime-feasible; the multi-echo one is
+	// not, even on the full machine — the section-4 closing claim.
+	if !std.RealtimeOK {
+		t.Errorf("standard acquisition not realtime: %.2f s/volume", std.T3EFullSeconds)
+	}
+	if adv.RealtimeOK {
+		t.Errorf("multi-echo acquisition should overwhelm the T3E: %.2f s/volume", adv.T3EFullSeconds)
+	}
+	// Order of magnitude in data rate.
+	if adv.DataRateMbps < 10*std.DataRateMbps {
+		t.Errorf("data rate ratio %.1f, want >= 10", adv.DataRateMbps/std.DataRateMbps)
+	}
+	text := FormatFutureWork(r)
+	if !strings.Contains(text, "B-WiN") || !strings.Contains(text, "challenging task") {
+		t.Error("format output incomplete")
+	}
+}

@@ -1,0 +1,136 @@
+package fire
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/volume"
+)
+
+// Correlator accumulates voxel-wise Pearson correlation between the
+// measured signal and a fixed reference vector, scan by scan — the
+// core analysis step FIRE performs within the 2-second acquisition
+// time. Sums are accumulated incrementally so each new scan costs one
+// pass over the volume.
+type Correlator struct {
+	ref        []float64
+	nx, ny, nz int
+	n          int       // scans folded in
+	sx         float64   // sum of ref over folded scans
+	sxx        float64   // sum of ref^2
+	sy         []float64 // per-voxel sum of signal
+	syy        []float64 // per-voxel sum of signal^2
+	sxy        []float64 // per-voxel sum of ref*signal
+}
+
+// NewCorrelator creates a correlator against the given reference
+// vector for volumes of the given shape.
+func NewCorrelator(ref []float64, nx, ny, nz int) *Correlator {
+	nvox := nx * ny * nz
+	return &Correlator{
+		ref: ref, nx: nx, ny: ny, nz: nz,
+		sy: make([]float64, nvox), syy: make([]float64, nvox), sxy: make([]float64, nvox),
+	}
+}
+
+// Scans reports how many scans have been folded in.
+func (c *Correlator) Scans() int { return c.n }
+
+// Add folds in the next scan.
+func (c *Correlator) Add(v *volume.Volume) error {
+	if v.NX != c.nx || v.NY != c.ny || v.NZ != c.nz {
+		return fmt.Errorf("fire: scan shape %dx%dx%d != correlator shape %dx%dx%d",
+			v.NX, v.NY, v.NZ, c.nx, c.ny, c.nz)
+	}
+	if c.n >= len(c.ref) {
+		return fmt.Errorf("fire: more scans (%d) than reference samples (%d)", c.n+1, len(c.ref))
+	}
+	x := c.ref[c.n]
+	c.sx += x
+	c.sxx += x * x
+	for i, raw := range v.Data {
+		y := float64(raw)
+		c.sy[i] += y
+		c.syy[i] += y * y
+		c.sxy[i] += x * y
+	}
+	c.n++
+	return nil
+}
+
+// Map returns the current correlation-coefficient volume. Voxels with
+// (near-)constant signal get correlation 0. At least 3 scans are
+// required.
+func (c *Correlator) Map() (*volume.Volume, error) {
+	if c.n < 3 {
+		return nil, fmt.Errorf("fire: need >= 3 scans for a correlation map, have %d", c.n)
+	}
+	out := volume.New(c.nx, c.ny, c.nz)
+	fn := float64(c.n)
+	varX := fn*c.sxx - c.sx*c.sx
+	if varX <= 0 {
+		return out, nil // constant reference so far: all zeros
+	}
+	for i := range out.Data {
+		varY := fn*c.syy[i] - c.sy[i]*c.sy[i]
+		if varY <= 1e-12 {
+			continue
+		}
+		cov := fn*c.sxy[i] - c.sx*c.sy[i]
+		r := cov / math.Sqrt(varX*varY)
+		// Clamp FP excursions so downstream clip levels behave.
+		if r > 1 {
+			r = 1
+		} else if r < -1 {
+			r = -1
+		}
+		out.Data[i] = float32(r)
+	}
+	return out, nil
+}
+
+// CorrelateSeries computes the correlation map of a complete series in
+// one call (the offline path; the realtime path uses Add incrementally).
+func CorrelateSeries(series []*volume.Volume, ref []float64) (*volume.Volume, error) {
+	if len(series) == 0 {
+		return nil, fmt.Errorf("fire: empty series")
+	}
+	c := NewCorrelator(ref, series[0].NX, series[0].NY, series[0].NZ)
+	for _, v := range series {
+		if err := c.Add(v); err != nil {
+			return nil, err
+		}
+	}
+	return c.Map()
+}
+
+// ROITimeCourse extracts the mean signal time course of a region of
+// interest — the upper-right display of the FIRE GUI (figure 3).
+func ROITimeCourse(series []*volume.Volume, roi []bool) ([]float64, error) {
+	if len(series) == 0 {
+		return nil, fmt.Errorf("fire: empty series")
+	}
+	if len(roi) != series[0].Voxels() {
+		return nil, fmt.Errorf("fire: ROI mask length %d != voxels %d", len(roi), series[0].Voxels())
+	}
+	var count int
+	for _, b := range roi {
+		if b {
+			count++
+		}
+	}
+	if count == 0 {
+		return nil, fmt.Errorf("fire: empty ROI")
+	}
+	out := make([]float64, len(series))
+	for t, v := range series {
+		var s float64
+		for i, b := range roi {
+			if b {
+				s += float64(v.Data[i])
+			}
+		}
+		out[t] = s / float64(count)
+	}
+	return out, nil
+}

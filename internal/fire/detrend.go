@@ -1,0 +1,74 @@
+package fire
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// Detrender removes slow baseline drifts from voxel time series by
+// least-squares projection onto a small set of detrending vectors
+// (polynomial drift terms), exactly as FIRE's detrending module does.
+// The constant term is retained so the signal keeps its baseline level.
+type Detrender struct {
+	nScans int
+	basis  *linalg.Mat // nScans x (order+1); column 0 is the constant
+	proj   *linalg.Mat // (order+1) x nScans: (B^T B)^-1 B^T
+}
+
+// NewDetrender builds a detrender for series of nScans samples using
+// polynomial drift terms up to the given order (order >= 1; order 1 is
+// linear drift, the common case).
+func NewDetrender(nScans, order int) (*Detrender, error) {
+	if nScans < order+2 {
+		return nil, fmt.Errorf("fire: %d scans too few for order-%d detrending", nScans, order)
+	}
+	if order < 1 {
+		return nil, fmt.Errorf("fire: detrend order %d < 1", order)
+	}
+	b := linalg.NewMat(nScans, order+1)
+	for i := 0; i < nScans; i++ {
+		// Scale t to [-1, 1] to keep the basis well conditioned.
+		t := 2*float64(i)/float64(nScans-1) - 1
+		v := 1.0
+		for j := 0; j <= order; j++ {
+			b.Set(i, j, v)
+			v *= t
+		}
+	}
+	// proj = (B^T B)^-1 B^T, solved column by column.
+	bt := b.T()
+	btb := bt.Mul(b)
+	proj := linalg.NewMat(order+1, nScans)
+	col := make([]float64, order+1)
+	for j := 0; j < nScans; j++ {
+		for i := 0; i <= order; i++ {
+			col[i] = bt.At(i, j)
+		}
+		x, err := linalg.Solve(btb, col)
+		if err != nil {
+			return nil, fmt.Errorf("fire: detrend basis singular: %w", err)
+		}
+		for i := 0; i <= order; i++ {
+			proj.Set(i, j, x[i])
+		}
+	}
+	return &Detrender{nScans: nScans, basis: b, proj: proj}, nil
+}
+
+// Apply removes the fitted drift (all basis terms except the constant)
+// from y in place and returns y.
+func (d *Detrender) Apply(y []float64) ([]float64, error) {
+	if len(y) != d.nScans {
+		return nil, fmt.Errorf("fire: series length %d != %d", len(y), d.nScans)
+	}
+	beta := d.proj.MulVec(y)
+	for i := range y {
+		var drift float64
+		for j := 1; j < d.basis.Cols; j++ { // skip constant
+			drift += d.basis.At(i, j) * beta[j]
+		}
+		y[i] -= drift
+	}
+	return y, nil
+}

@@ -1,0 +1,54 @@
+// Package fire reimplements FIRE (Functional Imaging in REaltime), the
+// software package developed at the Institute of Medicine of the
+// Research Centre Jülich for online analysis of fMRI measurements, as
+// described in section 4 of the paper.
+//
+// The analysis modules are real algorithms operating on real (synthetic)
+// data:
+//
+//   - spatial filters: a 3-D median filter for raw-image denoising and
+//     an averaging filter for post-pipeline smoothing,
+//   - 3-D movement correction by an iterative linear (Gauss-Newton)
+//     scheme,
+//   - detrending against a small set of drift basis vectors,
+//   - voxel-wise correlation of the measured signal with a reference
+//     vector (the stimulation time course convolved with a hemodynamic
+//     response function), and
+//   - reference-vector optimization (RVO): a per-voxel least-squares
+//     fit of HRF delay and dispersion by rastering the parameter space,
+//     with the grid-refinement scheme the paper plans as future work.
+//
+// The package also contains the RT-server/RT-client pair (a TCP
+// protocol mirroring FIRE's scanner front-end interface), pipelined and
+// unpipelined session drivers, and the calibrated Cray T3E-600 cost
+// model that reproduces Table 1.
+package fire
+
+import (
+	"math"
+
+	"repro/internal/volume"
+)
+
+// Result of processing one scan through the module chain.
+type Result struct {
+	// Corr is the voxel-wise correlation coefficient map in [-1, 1].
+	Corr *volume.Volume
+	// Shift is the rigid motion estimate removed from this scan.
+	Shift [3]float64
+	// ScansUsed is the number of scans the correlation is based on.
+	ScansUsed int
+}
+
+// ClipMap returns the overlay mask for a clip level: voxels whose
+// correlation magnitude meets or exceeds clip, as the FIRE GUI overlays
+// them on the anatomy (figure 3).
+func (r *Result) ClipMap(clip float64) []bool {
+	out := make([]bool, r.Corr.Voxels())
+	for i, v := range r.Corr.Data {
+		if math.Abs(float64(v)) >= clip {
+			out[i] = true
+		}
+	}
+	return out
+}

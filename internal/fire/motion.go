@@ -1,0 +1,99 @@
+package fire
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/volume"
+)
+
+// MotionOptions tunes EstimateShift.
+type MotionOptions struct {
+	// MaxIter bounds the Gauss-Newton iterations (default 8).
+	MaxIter int
+	// Tol stops iterating when the update norm falls below it
+	// (default 1e-3 voxels).
+	Tol float64
+	// Border excludes this many voxels at each face from the fit
+	// (default 2), avoiding clamped-edge artifacts.
+	Border int
+}
+
+func (o *MotionOptions) fill() {
+	if o.MaxIter == 0 {
+		o.MaxIter = 8
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-3
+	}
+	if o.Border == 0 {
+		o.Border = 2
+	}
+}
+
+// EstimateShift estimates the rigid translation (in voxels) that maps
+// ref onto cur, using the iterative linear scheme the paper describes:
+// linearize the image around the current estimate with spatial
+// gradients and solve the 3x3 normal equations, then re-resample.
+// Small head movements (a few voxels) are the intended regime.
+func EstimateShift(ref, cur *volume.Volume, opts MotionOptions) ([3]float64, error) {
+	if !ref.SameShape(cur) {
+		return [3]float64{}, fmt.Errorf("fire: shape mismatch %dx%dx%d vs %dx%dx%d",
+			ref.NX, ref.NY, ref.NZ, cur.NX, cur.NY, cur.NZ)
+	}
+	opts.fill()
+	var d [3]float64
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		// Resample cur back by the current estimate.
+		moved := cur.Shift(-d[0], -d[1], -d[2])
+		// Accumulate J^T J and J^T r over interior voxels, where J
+		// columns are the spatial gradients of the moved image and
+		// r is the intensity residual vs. the reference.
+		var jtj [3][3]float64
+		var jtr [3]float64
+		b := opts.Border
+		for z := b; z < ref.NZ-b; z++ {
+			for y := b; y < ref.NY-b; y++ {
+				for x := b; x < ref.NX-b; x++ {
+					gx, gy, gz := moved.Gradient(x, y, z)
+					r := float64(ref.At(x, y, z) - moved.At(x, y, z))
+					g := [3]float64{gx, gy, gz}
+					for i := 0; i < 3; i++ {
+						for j := 0; j < 3; j++ {
+							jtj[i][j] += g[i] * g[j]
+						}
+						jtr[i] += g[i] * r
+					}
+				}
+			}
+		}
+		a := linalg.NewMat(3, 3)
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				a.Set(i, j, jtj[i][j])
+			}
+		}
+		delta, err := linalg.Solve(a, jtr[:])
+		if err != nil {
+			return d, fmt.Errorf("fire: motion normal equations singular (featureless image?): %w", err)
+		}
+		d[0] += delta[0]
+		d[1] += delta[1]
+		d[2] += delta[2]
+		if math.Sqrt(delta[0]*delta[0]+delta[1]*delta[1]+delta[2]*delta[2]) < opts.Tol {
+			break
+		}
+	}
+	return d, nil
+}
+
+// MotionCorrect estimates the shift of cur relative to ref and returns
+// the corrected (resampled) volume together with the estimate.
+func MotionCorrect(ref, cur *volume.Volume, opts MotionOptions) (*volume.Volume, [3]float64, error) {
+	d, err := EstimateShift(ref, cur, opts)
+	if err != nil {
+		return nil, d, err
+	}
+	return cur.Shift(-d[0], -d[1], -d[2]), d, nil
+}

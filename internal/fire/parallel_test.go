@@ -1,0 +1,134 @@
+package fire
+
+import (
+	"testing"
+
+	"repro/internal/mri"
+	"repro/internal/volume"
+)
+
+func TestParallelMedianMatchesSerial(t *testing.T) {
+	ph := mri.NewPhantom(24, 24, 12, nil)
+	v := ph.Anatomy
+	serial := MedianFilter3D(v, 1)
+	for _, workers := range []int{1, 2, 3, 4, 16} {
+		par := ParallelMedianFilter3D(v, 1, workers)
+		for i := range serial.Data {
+			if par.Data[i] != serial.Data[i] {
+				t.Fatalf("workers=%d: voxel %d differs (%v vs %v)",
+					workers, i, par.Data[i], serial.Data[i])
+			}
+		}
+	}
+	// Zero radius clones.
+	c := ParallelMedianFilter3D(v, 0, 4)
+	if c.At(12, 12, 6) != v.At(12, 12, 6) {
+		t.Error("r=0 should copy")
+	}
+}
+
+func TestParallelRVOMatchesSerial(t *testing.T) {
+	series, stim, tr, center := rvoSeries(t, mri.HRF{Delay: 7, Dispersion: 1.2})
+	serial, err := RVO(series, stim, tr, DefaultRVOGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		par, err := ParallelRVO(series, stim, tr, DefaultRVOGrid(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Evaluated != serial.Evaluated {
+			t.Errorf("workers=%d: %d evaluations vs serial %d", workers, par.Evaluated, serial.Evaluated)
+		}
+		for i := range serial.Corr.Data {
+			if par.Corr.Data[i] != serial.Corr.Data[i] ||
+				par.Delay.Data[i] != serial.Delay.Data[i] ||
+				par.Dispersion.Data[i] != serial.Dispersion.Data[i] {
+				t.Fatalf("workers=%d: voxel %d differs", workers, i)
+			}
+		}
+	}
+	_ = center
+}
+
+func TestParallelRVOWorkersDefault(t *testing.T) {
+	series, stim, tr, _ := rvoSeries(t, mri.DefaultHRF)
+	// workers <= 0 -> GOMAXPROCS; must still validate inputs.
+	if _, err := ParallelRVO(series[:2], stim, tr, DefaultRVOGrid(), 0); err == nil {
+		t.Error("short series accepted")
+	}
+	res, err := ParallelRVO(series, stim, tr, CoarseRVOGrid(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated == 0 {
+		t.Error("no work done")
+	}
+}
+
+func TestT3EExecutor(t *testing.T) {
+	ph := mri.NewPhantom(32, 32, 8, nil)
+	raw := ph.Anatomy.Shift(0.5, -0.3, 0.1)
+	ex := &T3EExecutor{Model: DefaultT3E600(), PEs: 128, Workers: 2}
+	out, err := ex.Process(ph.Anatomy, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Filtered == nil || !out.Filtered.SameShape(raw) {
+		t.Fatal("no filtered output")
+	}
+	// Modeled time scales with image size relative to the Table-1
+	// reference (32x32x8 is 1/16 the work).
+	ref := DefaultT3E600().TotalTime(128, 32, 32, 8)
+	if out.ModeledSeconds != ref {
+		t.Errorf("modeled %.4f s, want %.4f", out.ModeledSeconds, ref)
+	}
+	// Unconfigured executor errors.
+	bad := &T3EExecutor{}
+	if _, err := bad.Process(nil, raw); err == nil {
+		t.Error("unconfigured executor accepted work")
+	}
+	// Without a reference, motion correction is skipped but filtering
+	// still happens.
+	out2, err := ex.Process(nil, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Filtered == nil {
+		t.Error("no output without reference")
+	}
+}
+
+func TestInsertionSortCorrect(t *testing.T) {
+	a := []float32{5, 1, 4, 2, 3, 3, -1}
+	insertionSort(a)
+	for i := 1; i < len(a); i++ {
+		if a[i-1] > a[i] {
+			t.Fatalf("not sorted: %v", a)
+		}
+	}
+	empty := []float32{}
+	insertionSort(empty) // must not panic
+	one := []float32{7}
+	insertionSort(one)
+	if one[0] != 7 {
+		t.Error("single element corrupted")
+	}
+}
+
+func TestParallelFilterOddSlabCounts(t *testing.T) {
+	// More workers than slices: some slabs are empty and must be
+	// skipped cleanly.
+	v := volume.New(8, 8, 3)
+	for i := range v.Data {
+		v.Data[i] = float32(i % 7)
+	}
+	serial := MedianFilter3D(v, 1)
+	par := ParallelMedianFilter3D(v, 1, 16)
+	for i := range serial.Data {
+		if serial.Data[i] != par.Data[i] {
+			t.Fatalf("voxel %d differs", i)
+		}
+	}
+}

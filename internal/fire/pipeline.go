@@ -1,0 +1,173 @@
+package fire
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// StageTimes captures the section-4 latency budget of the realtime fMRI
+// dataflow (all in seconds):
+//
+//	scan end -> RT-server:        ~1.5 s  (ScanToServer)
+//	transfers + control messages: ~1.1 s  (Transfers: server->T3E->client)
+//	T3E processing:               Table 1 (Compute, depends on PEs)
+//	client display:               ~0.6 s  (Display)
+type StageTimes struct {
+	ScanToServer float64
+	Transfers    float64
+	Compute      float64
+	Display      float64
+}
+
+// PaperStageTimes returns the budget quoted in section 4 with the T3E
+// compute time for the given PE count filled in from the cost model.
+func PaperStageTimes(model *T3EModel, pes int) StageTimes {
+	return StageTimes{
+		ScanToServer: 1.5,
+		Transfers:    1.1,
+		Compute:      model.TotalTime(pes, 64, 64, 16),
+		Display:      0.6,
+	}
+}
+
+// TotalDelay reports the end-to-end delay from the end of an MR scan to
+// the correlation map appearing on the 2-D GUI. The paper: "less than
+// 5 seconds" at 256 PEs.
+func (st StageTimes) TotalDelay() float64 {
+	return st.ScanToServer + st.Transfers + st.Compute + st.Display
+}
+
+// UnpipelinedPeriod reports the steady-state time between processed
+// images in the current (sequential) implementation: a new image is
+// requested only after processing and display of the previous one, so
+// the period is the sum of the client- and T3E-side delays ("2.7
+// seconds in the above example").
+func (st StageTimes) UnpipelinedPeriod() float64 {
+	return st.Transfers + st.Compute + st.Display
+}
+
+// PipelinedPeriod reports the steady-state period if the stages were
+// pipelined (the improvement the paper identifies as unexploited): the
+// slowest stage dominates.
+func (st StageTimes) PipelinedPeriod() float64 {
+	m := st.Transfers
+	if st.Compute > m {
+		m = st.Compute
+	}
+	if st.Display > m {
+		m = st.Display
+	}
+	return m
+}
+
+// SafeTR reports the smallest scanner repetition time the analysis
+// keeps up with: the processing period rounded up to the next half
+// second (scanner TRs are configured in 0.5 s steps).
+func SafeTR(period float64) float64 {
+	steps := int(period / 0.5)
+	tr := float64(steps) * 0.5
+	if tr < period {
+		tr += 0.5
+	}
+	return tr
+}
+
+// SessionResult summarizes a simulated realtime session.
+type SessionResult struct {
+	Frames         int
+	MeanDelay      float64 // mean scan-end -> display delay, seconds
+	MaxDelay       float64
+	AchievedPeriod float64 // steady-state seconds per displayed frame
+	DroppedScans   int     // scans the analysis could not keep up with
+}
+
+// SimulateSession runs the fMRI dataflow in virtual time on a DES
+// kernel: the scanner produces a volume every tr seconds; images become
+// available at the RT-server ScanToServer later; the analysis chain
+// (transfers + compute + display) services them either unpipelined
+// (request next only after display) or pipelined (stages overlap, the
+// slowest stage is the bottleneck). When the analysis falls behind, the
+// realtime system skips to the newest available scan and counts the
+// missed ones as dropped — exactly what an online display must do.
+func SimulateSession(st StageTimes, tr float64, frames int, pipelined bool) (SessionResult, error) {
+	if frames <= 0 || tr <= 0 {
+		return SessionResult{}, fmt.Errorf("fire: bad session parameters tr=%v frames=%d", tr, frames)
+	}
+	k := sim.NewKernel()
+	type scanEvent struct {
+		idx int
+		end sim.Time // when the scan finished
+	}
+	available := sim.NewChan[scanEvent](k, 0)
+
+	// Scanner process: one scan every tr, available ScanToServer later.
+	k.Go("scanner", func(p *sim.Proc) {
+		for i := 0; i < frames; i++ {
+			p.Sleep(sim.Duration(tr))
+			ev := scanEvent{idx: i, end: p.Now()}
+			k.After(sim.Duration(st.ScanToServer), func() { available.TrySend(ev) })
+		}
+	})
+
+	var res SessionResult
+	var delays []float64
+	var displayTimes []sim.Time
+
+	// Analysis process.
+	k.Go("analysis", func(p *sim.Proc) {
+		for done := 0; done < frames-res.DroppedScans; {
+			ev := available.Recv(p)
+			// Realtime skip: drain to the newest available scan.
+			for {
+				next, ok := available.TryRecv()
+				if !ok {
+					break
+				}
+				res.DroppedScans++
+				ev = next
+			}
+			if pipelined {
+				// Stages overlap across frames; each frame still
+				// traverses every stage, but the service rate is the
+				// slowest stage. Model: occupy the bottleneck stage
+				// for its duration, then complete after the remaining
+				// pipeline latency in the background.
+				bottleneck := st.PipelinedPeriod()
+				p.Sleep(sim.Duration(bottleneck))
+				rest := st.Transfers + st.Compute + st.Display - bottleneck
+				end := ev.end
+				k.After(sim.Duration(rest), func() {
+					now := k.Now()
+					delays = append(delays, now.Sub(end).Seconds())
+					displayTimes = append(displayTimes, now)
+				})
+			} else {
+				p.Sleep(sim.Duration(st.Transfers + st.Compute + st.Display))
+				now := p.Now()
+				delays = append(delays, now.Sub(ev.end).Seconds())
+				displayTimes = append(displayTimes, now)
+			}
+			done++
+		}
+	})
+	k.Run()
+
+	res.Frames = len(delays)
+	if res.Frames == 0 {
+		return res, fmt.Errorf("fire: session displayed no frames")
+	}
+	var sum float64
+	for _, d := range delays {
+		sum += d
+		if d > res.MaxDelay {
+			res.MaxDelay = d
+		}
+	}
+	res.MeanDelay = sum / float64(res.Frames)
+	if res.Frames >= 2 {
+		span := displayTimes[len(displayTimes)-1].Sub(displayTimes[0]).Seconds()
+		res.AchievedPeriod = span / float64(res.Frames-1)
+	}
+	return res, nil
+}

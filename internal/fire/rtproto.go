@@ -1,0 +1,143 @@
+package fire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/volume"
+)
+
+// The RT protocol is the interface between FIRE's RT-server (running on
+// the scanner front-end workstation) and the RT-client. The client
+// pulls: it requests the next image and the server answers with the raw
+// volume or an end-of-measurement marker. All integers are little
+// endian; voxels are float32.
+
+// Message types.
+const (
+	MsgRequest uint8 = 1 // client -> server: send next image
+	MsgImage   uint8 = 2 // server -> client: raw image payload
+	MsgDone    uint8 = 3 // server -> client: measurement finished
+)
+
+// rtMagic guards against protocol confusion on the wire.
+const rtMagic uint32 = 0x46495245 // "FIRE"
+
+// header is the fixed-size preamble of every RT message.
+type header struct {
+	Magic   uint32
+	Type    uint8
+	_       [3]uint8 // pad
+	Scan    uint32
+	NX      uint16
+	NY      uint16
+	NZ      uint16
+	_       uint16 // pad
+	Payload uint32 // bytes following the header
+}
+
+const headerSize = 24
+
+func writeHeader(w io.Writer, h header) error {
+	buf := make([]byte, headerSize)
+	binary.LittleEndian.PutUint32(buf[0:], h.Magic)
+	buf[4] = h.Type
+	binary.LittleEndian.PutUint32(buf[8:], h.Scan)
+	binary.LittleEndian.PutUint16(buf[12:], h.NX)
+	binary.LittleEndian.PutUint16(buf[14:], h.NY)
+	binary.LittleEndian.PutUint16(buf[16:], h.NZ)
+	binary.LittleEndian.PutUint32(buf[20:], h.Payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+func readHeader(r io.Reader) (header, error) {
+	buf := make([]byte, headerSize)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return header{}, err
+	}
+	h := header{
+		Magic:   binary.LittleEndian.Uint32(buf[0:]),
+		Type:    buf[4],
+		Scan:    binary.LittleEndian.Uint32(buf[8:]),
+		NX:      binary.LittleEndian.Uint16(buf[12:]),
+		NY:      binary.LittleEndian.Uint16(buf[14:]),
+		NZ:      binary.LittleEndian.Uint16(buf[16:]),
+		Payload: binary.LittleEndian.Uint32(buf[20:]),
+	}
+	if h.Magic != rtMagic {
+		return header{}, fmt.Errorf("fire: bad RT magic %#x", h.Magic)
+	}
+	return h, nil
+}
+
+// WriteRequest sends a next-image request.
+func WriteRequest(w io.Writer) error {
+	return writeHeader(w, header{Magic: rtMagic, Type: MsgRequest})
+}
+
+// WriteDone sends the end-of-measurement marker.
+func WriteDone(w io.Writer) error {
+	return writeHeader(w, header{Magic: rtMagic, Type: MsgDone})
+}
+
+// WriteImage sends one raw image with its scan index.
+func WriteImage(w io.Writer, scan int, v *volume.Volume) error {
+	h := header{
+		Magic: rtMagic, Type: MsgImage, Scan: uint32(scan),
+		NX: uint16(v.NX), NY: uint16(v.NY), NZ: uint16(v.NZ),
+		Payload: uint32(4 * v.Voxels()),
+	}
+	if err := writeHeader(w, h); err != nil {
+		return err
+	}
+	buf := make([]byte, 4*v.Voxels())
+	for i, f := range v.Data {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(f))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// RTMessage is a decoded protocol message.
+type RTMessage struct {
+	Type  uint8
+	Scan  int
+	Image *volume.Volume // non-nil for MsgImage
+}
+
+// ReadMessage reads and decodes one message.
+func ReadMessage(r io.Reader) (RTMessage, error) {
+	h, err := readHeader(r)
+	if err != nil {
+		return RTMessage{}, err
+	}
+	msg := RTMessage{Type: h.Type, Scan: int(h.Scan)}
+	switch h.Type {
+	case MsgRequest, MsgDone:
+		if h.Payload != 0 {
+			return RTMessage{}, fmt.Errorf("fire: unexpected payload %d on message type %d", h.Payload, h.Type)
+		}
+		return msg, nil
+	case MsgImage:
+		nvox := int(h.NX) * int(h.NY) * int(h.NZ)
+		if nvox == 0 || h.Payload != uint32(4*nvox) {
+			return RTMessage{}, fmt.Errorf("fire: image payload %d inconsistent with dims %dx%dx%d",
+				h.Payload, h.NX, h.NY, h.NZ)
+		}
+		buf := make([]byte, h.Payload)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return RTMessage{}, err
+		}
+		v := volume.New(int(h.NX), int(h.NY), int(h.NZ))
+		for i := range v.Data {
+			v.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+		msg.Image = v
+		return msg, nil
+	default:
+		return RTMessage{}, fmt.Errorf("fire: unknown RT message type %d", h.Type)
+	}
+}

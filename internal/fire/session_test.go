@@ -1,0 +1,158 @@
+package fire
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/mri"
+	"repro/internal/volume"
+)
+
+// startServer launches an RT-server for a fresh synthetic measurement
+// and returns a connected client plus the scanner.
+func startServer(t *testing.T, withMotion bool, nScans int) (*RTClient, *mri.Scanner) {
+	t.Helper()
+	act := mri.Activation{CX: 8, CY: 8, CZ: 4, Radius: 2.5, Amplitude: 0.06, HRF: mri.DefaultHRF}
+	ph := mri.NewPhantom(16, 16, 8, []mri.Activation{act})
+	cfg := mri.ScanConfig{NX: 16, NY: 16, NZ: 8, TR: 2, NScans: nScans, NoiseStd: 1, Seed: 31}
+	if withMotion {
+		cfg.Motion = make([]mri.Shift, nScans)
+		for i := nScans / 2; i < nScans; i++ {
+			cfg.Motion[i] = mri.Shift{DX: 0.6, DY: -0.3}
+		}
+	}
+	sc := mri.NewScanner(ph, cfg)
+	srv := &RTServer{Scanner: sc}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go srv.ListenAndServe(l)
+	client, err := DialRT(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return client, sc
+}
+
+func TestRealtimeSessionEndToEnd(t *testing.T) {
+	client, sc := startServer(t, false, 24)
+	var callbacks int
+	sess := &RealtimeSession{
+		Client:    client,
+		Reference: sc.Reference(0),
+		NX:        16, NY: 16, NZ: 8,
+		FilterRadius: 1,
+		OnFrame:      func(scan int, r *Result) { callbacks++ },
+	}
+	frames, last, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frames != 24 || callbacks != 24 {
+		t.Errorf("frames=%d callbacks=%d", frames, callbacks)
+	}
+	if last == nil || last.Corr == nil {
+		t.Fatal("no final correlation map")
+	}
+	if r := last.Corr.At(8, 8, 4); r < 0.6 {
+		t.Errorf("activation correlation %.3f (median-filtered path)", r)
+	}
+	if last.ScansUsed != 24 {
+		t.Errorf("ScansUsed = %d", last.ScansUsed)
+	}
+}
+
+func TestRealtimeSessionWithMotionCorrection(t *testing.T) {
+	client, sc := startServer(t, true, 24)
+	ph := mri.NewPhantom(16, 16, 8, nil)
+	var lastShift [3]float64
+	sess := &RealtimeSession{
+		Client:    client,
+		Reference: sc.Reference(0),
+		NX:        16, NY: 16, NZ: 8,
+		MotionRef: ph.Anatomy,
+		OnFrame: func(scan int, r *Result) {
+			if scan == 20 {
+				lastShift = r.Shift
+			}
+		},
+	}
+	frames, last, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frames != 24 {
+		t.Fatalf("frames = %d", frames)
+	}
+	// The injected subject motion (0.6, -0.3, 0) is recovered.
+	if d := lastShift[0] - 0.6; d > 0.15 || d < -0.15 {
+		t.Errorf("estimated dx = %.2f, want ~0.6", lastShift[0])
+	}
+	if last.Corr.At(8, 8, 4) < 0.6 {
+		t.Errorf("correlation after motion correction = %.3f", last.Corr.At(8, 8, 4))
+	}
+}
+
+func TestRealtimeSessionValidation(t *testing.T) {
+	if _, _, err := (&RealtimeSession{}).Run(); err == nil {
+		t.Error("empty session accepted")
+	}
+	client, sc := startServer(t, false, 2)
+	if _, _, err := (&RealtimeSession{Client: client}).Run(); err == nil {
+		t.Error("session without reference accepted")
+	}
+	if _, _, err := (&RealtimeSession{Client: client, Reference: sc.Reference(0)}).Run(); err == nil {
+		t.Error("session without matrix accepted")
+	}
+}
+
+func TestRealtimeSessionShapeMismatch(t *testing.T) {
+	client, sc := startServer(t, false, 4)
+	sess := &RealtimeSession{
+		Client:    client,
+		Reference: sc.Reference(0),
+		NX:        32, NY: 32, NZ: 8, // wrong matrix
+	}
+	if _, _, err := sess.Run(); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestRealtimeSessionFeedsVolume(t *testing.T) {
+	// The session's last map shares the analysis chain with a direct
+	// correlator over the same data (no filter, no motion).
+	client, sc := startServer(t, false, 16)
+	sess := &RealtimeSession{
+		Client:    client,
+		Reference: sc.Reference(0),
+		NX:        16, NY: 16, NZ: 8,
+	}
+	_, last, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want *volume.Volume
+	{
+		// Re-generate the same measurement deterministically.
+		act := mri.Activation{CX: 8, CY: 8, CZ: 4, Radius: 2.5, Amplitude: 0.06, HRF: mri.DefaultHRF}
+		ph := mri.NewPhantom(16, 16, 8, []mri.Activation{act})
+		sc2 := mri.NewScanner(ph, mri.ScanConfig{NX: 16, NY: 16, NZ: 8, TR: 2, NScans: 16, NoiseStd: 1, Seed: 31})
+		c := NewCorrelator(sc2.Reference(0), 16, 16, 8)
+		for {
+			v := sc2.Next()
+			if v == nil {
+				break
+			}
+			c.Add(v)
+		}
+		want, _ = c.Map()
+	}
+	for i := range want.Data {
+		if last.Corr.Data[i] != want.Data[i] {
+			t.Fatalf("session map differs from direct analysis at %d", i)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package groundwater
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+func uniformCfg() FlowConfig {
+	return FlowConfig{
+		NX: 20, NY: 8, NZ: 6, Dx: 1.0,
+		K:        UniformK(20, 8, 6, 1e-4),
+		HeadLeft: 10, HeadRight: 0, Porosity: 0.3,
+	}
+}
+
+func TestUniformFlowLinearHead(t *testing.T) {
+	f, err := SolveFlow(uniformCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Head must be linear in x and uniform in y, z.
+	for x := 0; x < 20; x++ {
+		want := 10 * (1 - float64(x)/19)
+		for _, yz := range [][2]int{{0, 0}, {4, 3}, {7, 5}} {
+			got := f.Head[f.Idx(x, yz[0], yz[1])]
+			if math.Abs(got-want) > 1e-6 {
+				t.Fatalf("head(%d,%d,%d) = %v, want %v", x, yz[0], yz[1], got, want)
+			}
+		}
+	}
+}
+
+func TestUniformFlowVelocity(t *testing.T) {
+	cfg := uniformCfg()
+	f, err := SolveFlow(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v = -K dh/dx / porosity = 1e-4 * (10/19) / 0.3.
+	want := 1e-4 * (10.0 / 19.0) / 0.3
+	vx, vy, vz := f.Velocity(10, 4, 3)
+	if math.Abs(vx-want)/want > 1e-6 {
+		t.Errorf("vx = %g, want %g", vx, want)
+	}
+	if math.Abs(vy) > want*1e-6 || math.Abs(vz) > want*1e-6 {
+		t.Errorf("transverse velocities not ~0: %g %g", vy, vz)
+	}
+}
+
+func TestHeterogeneousFlowMassBalance(t *testing.T) {
+	cfg := uniformCfg()
+	cfg.K = LognormalK(20, 8, 6, 1e-4, 1.0, 7)
+	f, err := SolveFlow(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Darcy flux through each x-plane of interfaces must be equal
+	// (steady state, no-flow lateral boundaries).
+	flux := func(x int) float64 {
+		var q float64
+		for z := 0; z < cfg.NZ; z++ {
+			for y := 0; y < cfg.NY; y++ {
+				c1 := f.Idx(x, y, z)
+				c2 := f.Idx(x+1, y, z)
+				k := harmonic(cfg.K[c1], cfg.K[c2])
+				q += k * (f.Head[c1] - f.Head[c2]) * cfg.Dx
+			}
+		}
+		return q
+	}
+	q0 := flux(0)
+	if q0 <= 0 {
+		t.Fatal("no flow from high to low head")
+	}
+	for x := 1; x < 19; x++ {
+		if diff := math.Abs(flux(x)-q0) / q0; diff > 1e-6 {
+			t.Fatalf("mass balance violated at plane %d: %.2e", x, diff)
+		}
+	}
+}
+
+func TestHeadBoundsAndMonotonicity(t *testing.T) {
+	cfg := uniformCfg()
+	cfg.K = LognormalK(20, 8, 6, 1e-4, 1.5, 3)
+	f, err := SolveFlow(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Discrete maximum principle: head within [HeadRight, HeadLeft].
+	for i, h := range f.Head {
+		if h < -1e-9 || h > 10+1e-9 {
+			t.Fatalf("head[%d] = %v outside [0, 10]", i, h)
+		}
+	}
+}
+
+func TestSolveFlowValidation(t *testing.T) {
+	cfg := uniformCfg()
+	cfg.NX = 2
+	if _, err := SolveFlow(cfg); err == nil {
+		t.Error("tiny grid accepted")
+	}
+	cfg = uniformCfg()
+	cfg.K = cfg.K[:10]
+	if _, err := SolveFlow(cfg); err == nil {
+		t.Error("short K accepted")
+	}
+	cfg = uniformCfg()
+	cfg.Porosity = 0
+	if _, err := SolveFlow(cfg); err == nil {
+		t.Error("zero porosity accepted")
+	}
+}
+
+func TestParticlesAdvectDownGradient(t *testing.T) {
+	cfg := uniformCfg()
+	f, err := SolveFlow(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := InjectPlane(f, 50, 1)
+	vx, _, _ := f.Velocity(10, 4, 3) // m/s
+	// Time to traverse ~5 cells.
+	dt := 1.0 * cfg.Dx / vx
+	res, err := Track(f, parts, TrackConfig{Dt: dt / 10, Steps: 50, Seed: 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After 5 cell-traversal times, mean position ~ 0.5 + 5 cells.
+	if math.Abs(res.MeanX-5.5) > 0.3 {
+		t.Errorf("mean x = %.2f cells, want ~5.5", res.MeanX)
+	}
+	if res.Exited != 0 {
+		t.Errorf("%d particles exited early", res.Exited)
+	}
+}
+
+func TestParticlesBreakthrough(t *testing.T) {
+	cfg := uniformCfg()
+	f, err := SolveFlow(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := InjectPlane(f, 30, 1)
+	vx, _, _ := f.Velocity(10, 4, 3)
+	traverse := 19 * cfg.Dx / vx // full domain
+	res, err := Track(f, parts, TrackConfig{Dt: traverse / 200, Steps: 300, Seed: 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exited != 30 {
+		t.Fatalf("only %d/30 particles broke through", res.Exited)
+	}
+	// Pure advection: breakthrough at ~traverse time.
+	for _, bt := range res.Breakthrough {
+		if math.Abs(bt-traverse)/traverse > 0.1 {
+			t.Fatalf("breakthrough at %.0f s, want ~%.0f", bt, traverse)
+		}
+	}
+}
+
+func TestDispersionSpreadsPlume(t *testing.T) {
+	cfg := uniformCfg()
+	f, err := SolveFlow(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vx, _, _ := f.Velocity(10, 4, 3)
+	dt := cfg.Dx / vx / 10
+	run := func(disp float64) float64 {
+		parts := InjectPlane(f, 200, 4)
+		if _, err := Track(f, parts, TrackConfig{Dt: dt, Steps: 40, Dispersion: disp, Seed: 5}, 0); err != nil {
+			t.Fatal(err)
+		}
+		var mean, ss float64
+		for _, p := range parts {
+			mean += p.X
+		}
+		mean /= 200
+		for _, p := range parts {
+			ss += (p.X - mean) * (p.X - mean)
+		}
+		return math.Sqrt(ss / 200)
+	}
+	if spread, pure := run(2e-4), run(0); spread <= pure+1e-9 {
+		t.Errorf("dispersion did not spread the plume: %g vs %g", spread, pure)
+	}
+}
+
+func TestTrackValidation(t *testing.T) {
+	f := &FlowField{NX: 4, NY: 4, NZ: 4, Dx: 1,
+		VX: make([]float64, 64), VY: make([]float64, 64), VZ: make([]float64, 64)}
+	if _, err := Track(f, nil, TrackConfig{}, 0); err == nil {
+		t.Error("zero dt accepted")
+	}
+}
+
+func TestReflect(t *testing.T) {
+	if v := reflect(-0.5, 10); v != 0.5 {
+		t.Errorf("reflect(-0.5) = %v", v)
+	}
+	if v := reflect(10.5, 10); v != 9.5 {
+		t.Errorf("reflect(10.5) = %v", v)
+	}
+	if v := reflect(5, 10); v != 5 {
+		t.Errorf("reflect(5) = %v", v)
+	}
+}
+
+func TestCoupledRunTransfersField(t *testing.T) {
+	flow := uniformCfg()
+	// Heterogeneous conductivity so the solver does real work (a
+	// uniform field is solved exactly by the linear initial guess).
+	flow.K = LognormalK(flow.NX, flow.NY, flow.NZ, 1e-4, 0.8, 11)
+	cfg := CoupledConfig{
+		Flow:      flow,
+		Track:     TrackConfig{Dt: 1000, Steps: 10, Seed: 3},
+		Particles: 40,
+		Steps:     4,
+		HeadDrift: 0.1,
+	}
+	shaper := mpi.LinkShaper{Latency: 100 * time.Microsecond, Bps: 1e9}
+	res, err := RunCoupled([2]string{"ibm-sp2", "cray-t3e"}, shaper, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := 3 * 4 * 20 * 8 * 6
+	if res.BytesPerStep != wantBytes {
+		t.Errorf("field transfer = %d bytes/step, want %d", res.BytesPerStep, wantBytes)
+	}
+	if res.TotalBytes != int64(4*wantBytes) {
+		t.Errorf("total = %d", res.TotalBytes)
+	}
+	if res.FinalMeanX <= 0.5 {
+		t.Error("particles did not advance over the coupled run")
+	}
+	if res.CGIterTotal <= 0 {
+		t.Error("no CG effort reported")
+	}
+}
+
+func TestCoupledRunValidation(t *testing.T) {
+	if _, err := RunCoupled([2]string{"a", "b"}, nil, CoupledConfig{}); err == nil {
+		t.Error("steps=0 accepted")
+	}
+}

@@ -1,0 +1,264 @@
+// Package groundwater reimplements the coupled application of the
+// Institute for Petroleum and Organic Geochemistry: TRACE, a saturated
+// groundwater flow simulation, coupled to PARTRACE, a particle tracker
+// computing the transport of solutants in the computed water flow. In
+// the testbed TRACE ran on the IBM SP2 and PARTRACE on the Cray T3E,
+// with the 3-D flow field crossing the WAN every timestep at up to
+// 30 MByte/s.
+//
+// TRACE here is a finite-volume Darcy solver: steady saturated flow
+// del . (K grad h) = 0 on a regular grid with Dirichlet head boundaries
+// at the inflow (x=0) and outflow (x=NX-1) faces and no-flow elsewhere,
+// solved with conjugate gradients on the SPD system; Darcy fluxes are
+// converted to pore velocities with the porosity.
+package groundwater
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/linalg"
+)
+
+// FlowConfig describes one TRACE solve.
+type FlowConfig struct {
+	NX, NY, NZ int
+	// Dx is the cell size in meters (cubic cells).
+	Dx float64
+	// K is the hydraulic conductivity per cell (m/s), length NX*NY*NZ.
+	K []float64
+	// HeadLeft and HeadRight are the Dirichlet heads (m) at the x=0
+	// and x=NX-1 faces.
+	HeadLeft, HeadRight float64
+	// Porosity converts Darcy flux to pore velocity.
+	Porosity float64
+	// Tol is the CG relative tolerance (default 1e-10).
+	Tol float64
+}
+
+// UniformK builds a homogeneous conductivity field.
+func UniformK(nx, ny, nz int, k float64) []float64 {
+	out := make([]float64, nx*ny*nz)
+	for i := range out {
+		out[i] = k
+	}
+	return out
+}
+
+// LognormalK builds a heterogeneous conductivity field with the given
+// geometric mean and log-std-dev — the standard aquifer heterogeneity
+// model.
+func LognormalK(nx, ny, nz int, geomMean, sigmaLn float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, nx*ny*nz)
+	for i := range out {
+		out[i] = geomMean * math.Exp(sigmaLn*rng.NormFloat64())
+	}
+	return out
+}
+
+// FlowField is the solved head and cell-centered pore-velocity field.
+type FlowField struct {
+	NX, NY, NZ int
+	Dx         float64
+	Head       []float64
+	VX, VY, VZ []float64
+	// CGIterations reports solver effort.
+	CGIterations int
+}
+
+// Idx converts cell coordinates to a linear index.
+func (f *FlowField) Idx(x, y, z int) int { return x + f.NX*(y+f.NY*z) }
+
+func harmonic(a, b float64) float64 {
+	if a+b == 0 {
+		return 0
+	}
+	return 2 * a * b / (a + b)
+}
+
+// SolveFlow runs one steady-state TRACE solve.
+func SolveFlow(cfg FlowConfig) (*FlowField, error) {
+	nx, ny, nz := cfg.NX, cfg.NY, cfg.NZ
+	if nx < 3 || ny < 1 || nz < 1 {
+		return nil, fmt.Errorf("groundwater: grid %dx%dx%d too small (need nx >= 3)", nx, ny, nz)
+	}
+	if len(cfg.K) != nx*ny*nz {
+		return nil, fmt.Errorf("groundwater: K length %d != %d cells", len(cfg.K), nx*ny*nz)
+	}
+	if cfg.Dx <= 0 || cfg.Porosity <= 0 {
+		return nil, fmt.Errorf("groundwater: Dx and Porosity must be positive")
+	}
+	if cfg.Tol == 0 {
+		cfg.Tol = 1e-10
+	}
+	idx := func(x, y, z int) int { return x + nx*(y+ny*z) }
+	// Unknowns: interior-in-x cells (1..nx-2), all y, z.
+	inx := nx - 2
+	n := inx * ny * nz
+	uidx := func(x, y, z int) int { return (x - 1) + inx*(y+ny*z) }
+
+	// Interface transmissibility between two cells (unit cross-section
+	// area divided by spacing folds into a single Dx factor).
+	trans := func(c1, c2 int) float64 { return harmonic(cfg.K[c1], cfg.K[c2]) * cfg.Dx }
+
+	b := make([]float64, n)
+	op := func(dst, src []float64) {
+		for z := 0; z < nz; z++ {
+			for y := 0; y < ny; y++ {
+				for x := 1; x < nx-1; x++ {
+					c := idx(x, y, z)
+					u := uidx(x, y, z)
+					var diag, off float64
+					// x- neighbor.
+					t := trans(c, idx(x-1, y, z))
+					diag += t
+					if x-1 >= 1 {
+						off += t * src[uidx(x-1, y, z)]
+					}
+					// x+ neighbor.
+					t = trans(c, idx(x+1, y, z))
+					diag += t
+					if x+1 <= nx-2 {
+						off += t * src[uidx(x+1, y, z)]
+					}
+					// y, z neighbors: no-flow outside.
+					if y > 0 {
+						t = trans(c, idx(x, y-1, z))
+						diag += t
+						off += t * src[uidx(x, y-1, z)]
+					}
+					if y < ny-1 {
+						t = trans(c, idx(x, y+1, z))
+						diag += t
+						off += t * src[uidx(x, y+1, z)]
+					}
+					if z > 0 {
+						t = trans(c, idx(x, y, z-1))
+						diag += t
+						off += t * src[uidx(x, y, z-1)]
+					}
+					if z < nz-1 {
+						t = trans(c, idx(x, y, z+1))
+						diag += t
+						off += t * src[uidx(x, y, z+1)]
+					}
+					dst[u] = diag*src[u] - off
+				}
+			}
+		}
+	}
+	// RHS from Dirichlet planes.
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			b[uidx(1, y, z)] += trans(idx(1, y, z), idx(0, y, z)) * cfg.HeadLeft
+			b[uidx(nx-2, y, z)] += trans(idx(nx-2, y, z), idx(nx-1, y, z)) * cfg.HeadRight
+		}
+	}
+	h := make([]float64, n)
+	// Linear initial guess speeds convergence.
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 1; x < nx-1; x++ {
+				f := float64(x) / float64(nx-1)
+				h[uidx(x, y, z)] = cfg.HeadLeft + f*(cfg.HeadRight-cfg.HeadLeft)
+			}
+		}
+	}
+	res, err := linalg.CG(op, h, b, cfg.Tol, 40*n)
+	if err != nil {
+		return nil, fmt.Errorf("groundwater: CG failed: %w", err)
+	}
+	if !res.Converged {
+		return nil, fmt.Errorf("groundwater: CG stalled at residual %g after %d iterations", res.Residual, res.Iterations)
+	}
+
+	// Assemble the full head field.
+	field := &FlowField{NX: nx, NY: ny, NZ: nz, Dx: cfg.Dx,
+		Head: make([]float64, nx*ny*nz), CGIterations: res.Iterations}
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			field.Head[idx(0, y, z)] = cfg.HeadLeft
+			field.Head[idx(nx-1, y, z)] = cfg.HeadRight
+			for x := 1; x < nx-1; x++ {
+				field.Head[idx(x, y, z)] = h[uidx(x, y, z)]
+			}
+		}
+	}
+	// Cell-centered pore velocities from central differences of head
+	// (one-sided at boundaries), v = -K grad h / porosity.
+	field.VX = make([]float64, nx*ny*nz)
+	field.VY = make([]float64, nx*ny*nz)
+	field.VZ = make([]float64, nx*ny*nz)
+	grad := func(hm, hp float64, cells int) float64 { return (hp - hm) / (float64(cells) * cfg.Dx) }
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				c := idx(x, y, z)
+				xm, xp := maxi(x-1, 0), mini(x+1, nx-1)
+				ym, yp := maxi(y-1, 0), mini(y+1, ny-1)
+				zm, zp := maxi(z-1, 0), mini(z+1, nz-1)
+				k := cfg.K[c] / cfg.Porosity
+				if xp > xm {
+					field.VX[c] = -k * grad(field.Head[idx(xm, y, z)], field.Head[idx(xp, y, z)], xp-xm)
+				}
+				if yp > ym {
+					field.VY[c] = -k * grad(field.Head[idx(x, ym, z)], field.Head[idx(x, yp, z)], yp-ym)
+				}
+				if zp > zm {
+					field.VZ[c] = -k * grad(field.Head[idx(x, y, zm)], field.Head[idx(x, y, zp)], zp-zm)
+				}
+			}
+		}
+	}
+	return field, nil
+}
+
+// FieldBytes reports the wire size of the velocity field as transferred
+// to PARTRACE (three float32 components per cell).
+func (f *FlowField) FieldBytes() int { return 3 * 4 * f.NX * f.NY * f.NZ }
+
+// Velocity samples the pore velocity at a fractional cell coordinate by
+// trilinear interpolation with edge clamping.
+func (f *FlowField) Velocity(x, y, z float64) (vx, vy, vz float64) {
+	return trilinear(f.VX, f.NX, f.NY, f.NZ, x, y, z),
+		trilinear(f.VY, f.NX, f.NY, f.NZ, x, y, z),
+		trilinear(f.VZ, f.NX, f.NY, f.NZ, x, y, z)
+}
+
+func trilinear(data []float64, nx, ny, nz int, x, y, z float64) float64 {
+	x0, y0, z0 := int(math.Floor(x)), int(math.Floor(y)), int(math.Floor(z))
+	fx, fy, fz := x-float64(x0), y-float64(y0), z-float64(z0)
+	cl := func(i, n int) int {
+		if i < 0 {
+			return 0
+		}
+		if i >= n {
+			return n - 1
+		}
+		return i
+	}
+	at := func(x, y, z int) float64 { return data[cl(x, nx)+nx*(cl(y, ny)+ny*cl(z, nz))] }
+	c00 := at(x0, y0, z0)*(1-fx) + at(x0+1, y0, z0)*fx
+	c10 := at(x0, y0+1, z0)*(1-fx) + at(x0+1, y0+1, z0)*fx
+	c01 := at(x0, y0, z0+1)*(1-fx) + at(x0+1, y0, z0+1)*fx
+	c11 := at(x0, y0+1, z0+1)*(1-fx) + at(x0+1, y0+1, z0+1)*fx
+	c0 := c00*(1-fy) + c10*fy
+	c1 := c01*(1-fy) + c11*fy
+	return c0*(1-fz) + c1*fz
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func mini(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

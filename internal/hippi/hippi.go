@@ -1,0 +1,115 @@
+// Package hippi models the High Performance Parallel Interface
+// (HiPPI-800, ANSI X3.183) channels that attached the Cray and SP2
+// supercomputers to the Gigabit Testbed West, and the workstation-based
+// HiPPI-ATM IP gateways described in section 2 of the paper.
+//
+// HiPPI moves data in bursts of 256 32-bit words (1 KiB). A packet is a
+// sequence of bursts; connection setup, the first short burst and
+// per-burst gaps cost cycles, so small transfers see much less than the
+// 800 Mbit/s signalling rate while transfers of 1 MByte or more approach
+// it — the behaviour the paper reports ("peak performance of 800 Mbit/s
+// when a low-level protocol and large transfer blocks (1 MByte or more)
+// are used").
+package hippi
+
+import "time"
+
+const (
+	// SignallingRate is the HiPPI-800 data rate in bit/s
+	// (32 bits x 25 MHz).
+	SignallingRate = 800e6
+
+	// BurstBytes is the payload of a full HiPPI burst:
+	// 256 words x 4 bytes.
+	BurstBytes = 1024
+
+	// burstOverheadWords is the per-burst framing cost in word
+	// times (LLRC + READY exchange), expressed in 32-bit words.
+	burstOverheadWords = 4
+
+	// connectionOverhead is the connection setup + I-field exchange
+	// cost per HiPPI packet.
+	connectionOverhead = 2 * time.Microsecond
+)
+
+// wordTime is the duration of one 32-bit word on the channel.
+const wordTime = time.Second * 4 * 8 / SignallingRate // 40 ns
+
+// Bursts reports the number of bursts needed for an n-byte packet.
+func Bursts(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + BurstBytes - 1) / BurstBytes
+}
+
+// TransferTime reports the channel occupancy for one n-byte HiPPI
+// packet, including connection setup and per-burst overhead.
+func TransferTime(n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	words := (n + 3) / 4
+	overhead := Bursts(n) * burstOverheadWords
+	return connectionOverhead + time.Duration(words+overhead)*wordTime
+}
+
+// Throughput reports the effective data rate in bit/s for packets of n
+// bytes sent back to back.
+func Throughput(n int) float64 {
+	d := TransferTime(n)
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) * 8 / d.Seconds()
+}
+
+// Efficiency reports Throughput(n)/SignallingRate.
+func Efficiency(n int) float64 { return Throughput(n) / SignallingRate }
+
+// Gateway describes a workstation acting as an IP gateway between a
+// HiPPI channel and an ATM interface — the SGI O200 and Sun Ultra 30 in
+// Jülich and the Sun E5000 in Sankt Augustin. Packets are
+// store-and-forwarded: each one costs fixed per-packet CPU work plus a
+// pass through the workstation's memory system.
+type Gateway struct {
+	// Name identifies the gateway host.
+	Name string
+	// PerPacket is the fixed IP forwarding cost per packet.
+	PerPacket time.Duration
+	// CopyBps is the memory-copy bandwidth of the workstation in
+	// bit/s; each forwarded byte crosses the bus once.
+	CopyBps float64
+}
+
+// DefaultGateway returns parameters representative of the 1999
+// workstations (O200/Ultra 30 class): ~50 us of per-packet protocol
+// work and ~2.6 Gbit/s of copy bandwidth. With a 64 KByte MTU these
+// costs keep TCP/IP on the HiPPI path in the 430-540 Mbit/s range the
+// paper reports, while a 1500-byte MTU collapses to tens of Mbit/s.
+func DefaultGateway(name string) Gateway {
+	return Gateway{Name: name, PerPacket: 50 * time.Microsecond, CopyBps: 2.6e9}
+}
+
+// ForwardTime reports the gateway residence time of an n-byte packet.
+// A gateway with CopyBps <= 0 charges only the per-packet cost.
+func (g Gateway) ForwardTime(n int) time.Duration {
+	if n < 0 {
+		n = 0
+	}
+	var copyT time.Duration
+	if g.CopyBps > 0 {
+		copyT = time.Duration(float64(n) * 8 / g.CopyBps * 1e9)
+	}
+	return g.PerPacket + copyT
+}
+
+// MaxForwardBps reports the forwarding rate limit in bit/s that the
+// gateway imposes for packets of n bytes.
+func (g Gateway) MaxForwardBps(n int) float64 {
+	d := g.ForwardTime(n)
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) * 8 / d.Seconds()
+}

@@ -1,0 +1,72 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Operator applies a symmetric positive-definite linear operator:
+// dst = A src. dst and src never alias.
+type Operator func(dst, src []float64)
+
+// CGResult reports conjugate-gradient convergence.
+type CGResult struct {
+	Iterations int
+	Residual   float64 // final ||r|| / ||b||
+	Converged  bool
+}
+
+// CG solves A x = b for SPD A using the conjugate-gradient method,
+// starting from x (which it updates in place). It stops when the
+// relative residual falls below tol or maxIter iterations elapse.
+func CG(a Operator, x, b []float64, tol float64, maxIter int) (CGResult, error) {
+	n := len(b)
+	if len(x) != n {
+		return CGResult{}, fmt.Errorf("linalg: CG dim mismatch x=%d b=%d", len(x), n)
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	if maxIter <= 0 {
+		maxIter = 10 * n
+	}
+	bnorm := Norm2(b)
+	if bnorm == 0 {
+		for i := range x {
+			x[i] = 0
+		}
+		return CGResult{Converged: true}, nil
+	}
+	r := make([]float64, n)
+	ax := make([]float64, n)
+	a(ax, x)
+	for i := range r {
+		r[i] = b[i] - ax[i]
+	}
+	p := make([]float64, n)
+	copy(p, r)
+	ap := make([]float64, n)
+	rs := Dot(r, r)
+	var it int
+	for it = 0; it < maxIter; it++ {
+		if math.Sqrt(rs)/bnorm < tol {
+			return CGResult{Iterations: it, Residual: math.Sqrt(rs) / bnorm, Converged: true}, nil
+		}
+		a(ap, p)
+		pap := Dot(p, ap)
+		if pap <= 0 {
+			return CGResult{Iterations: it, Residual: math.Sqrt(rs) / bnorm},
+				fmt.Errorf("linalg: CG operator not positive definite (pAp=%g)", pap)
+		}
+		alpha := rs / pap
+		Axpy(alpha, p, x)
+		Axpy(-alpha, ap, r)
+		rsNew := Dot(r, r)
+		beta := rsNew / rs
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		rs = rsNew
+	}
+	return CGResult{Iterations: it, Residual: math.Sqrt(rs) / bnorm, Converged: math.Sqrt(rs)/bnorm < tol}, nil
+}

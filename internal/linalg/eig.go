@@ -1,0 +1,96 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EigSym computes the eigendecomposition of a symmetric matrix with the
+// cyclic Jacobi method. It returns eigenvalues in descending order and
+// the matching eigenvectors as the columns of the returned matrix.
+func EigSym(a *Mat) (vals []float64, vecs *Mat, err error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, nil, fmt.Errorf("linalg: EigSym needs square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	// Verify symmetry within roundoff; MUSIC covariance matrices are
+	// symmetric by construction, so real asymmetry is a caller bug.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if d := math.Abs(a.At(i, j) - a.At(j, i)); d > 1e-8*(1+math.Abs(a.At(i, j))) {
+				return nil, nil, fmt.Errorf("linalg: matrix not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	w := a.Clone()
+	v := Identity(n)
+	// Convergence is judged relative to the matrix magnitude so that
+	// physically tiny matrices (e.g. MEG covariances, ~1e-21 Tesla^2)
+	// are rotated just as thoroughly as O(1) ones.
+	var fro float64
+	for _, x := range w.Data {
+		fro += x * x
+	}
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.At(i, j) * w.At(i, j)
+			}
+		}
+		if off <= 1e-28*fro {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Rotate rows/cols p and q of w.
+				for i := 0; i < n; i++ {
+					wip, wiq := w.At(i, p), w.At(i, q)
+					w.Set(i, p, c*wip-s*wiq)
+					w.Set(i, q, s*wip+c*wiq)
+				}
+				for i := 0; i < n; i++ {
+					wpi, wqi := w.At(p, i), w.At(q, i)
+					w.Set(p, i, c*wpi-s*wqi)
+					w.Set(q, i, s*wpi+c*wqi)
+				}
+				// Accumulate eigenvectors.
+				for i := 0; i < n; i++ {
+					vip, viq := v.At(i, p), v.At(i, q)
+					v.Set(i, p, c*vip-s*viq)
+					v.Set(i, q, s*vip+c*viq)
+				}
+			}
+		}
+	}
+	// Extract and sort descending.
+	type pair struct {
+		val float64
+		idx int
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{w.At(i, i), i}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].val > pairs[j].val })
+	vals = make([]float64, n)
+	vecs = NewMat(n, n)
+	for k, pr := range pairs {
+		vals[k] = pr.val
+		for i := 0; i < n; i++ {
+			vecs.Set(i, k, v.At(i, pr.idx))
+		}
+	}
+	return vals, vecs, nil
+}

@@ -1,0 +1,114 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR holds a Householder QR factorization of an m x n matrix (m >= n).
+type QR struct {
+	qr    *Mat      // packed Householder vectors + R
+	rdiag []float64 // diagonal of R
+}
+
+// NewQR factorizes a (copied; a is not modified).
+func NewQR(a *Mat) (*QR, error) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		return nil, fmt.Errorf("linalg: QR needs rows >= cols, got %dx%d", m, n)
+	}
+	qr := a.Clone()
+	rdiag := make([]float64, n)
+	// Scale for the rank test: a column whose remaining norm is
+	// negligible relative to the whole matrix is linearly dependent.
+	var frob float64
+	for _, v := range qr.Data {
+		frob += v * v
+	}
+	rankTol := 1e-12 * math.Sqrt(frob)
+	for k := 0; k < n; k++ {
+		// Householder vector for column k.
+		var nrm float64
+		for i := k; i < m; i++ {
+			nrm = math.Hypot(nrm, qr.At(i, k))
+		}
+		if nrm <= rankTol {
+			return nil, fmt.Errorf("linalg: rank-deficient matrix (column %d)", k)
+		}
+		if qr.At(k, k) < 0 {
+			nrm = -nrm
+		}
+		for i := k; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)/nrm)
+		}
+		qr.Set(k, k, qr.At(k, k)+1)
+		// Apply to remaining columns.
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s = -s / qr.At(k, k)
+			for i := k; i < m; i++ {
+				qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+			}
+		}
+		rdiag[k] = -nrm
+	}
+	return &QR{qr: qr, rdiag: rdiag}, nil
+}
+
+// Solve returns the least-squares solution x minimizing ||A x - b||2.
+func (f *QR) Solve(b []float64) ([]float64, error) {
+	m, n := f.qr.Rows, f.qr.Cols
+	if len(b) != m {
+		return nil, fmt.Errorf("linalg: rhs length %d != rows %d", len(b), m)
+	}
+	y := make([]float64, m)
+	copy(y, b)
+	// Apply Householder reflections: y = Q^T b.
+	for k := 0; k < n; k++ {
+		var s float64
+		for i := k; i < m; i++ {
+			s += f.qr.At(i, k) * y[i]
+		}
+		s = -s / f.qr.At(k, k)
+		for i := k; i < m; i++ {
+			y[i] += s * f.qr.At(i, k)
+		}
+	}
+	// Back substitution R x = y[:n].
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.qr.At(i, j) * x[j]
+		}
+		x[i] = s / f.rdiag[i]
+	}
+	return x, nil
+}
+
+// LstSq solves min ||A x - b||2 by QR.
+func LstSq(a *Mat, b []float64) ([]float64, error) {
+	f, err := NewQR(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// FitLinear fits y ≈ X beta and returns beta along with the residual
+// sum of squares. X columns are the regressors.
+func FitLinear(x *Mat, y []float64) (beta []float64, rss float64, err error) {
+	beta, err = LstSq(x, y)
+	if err != nil {
+		return nil, 0, err
+	}
+	pred := x.MulVec(beta)
+	for i := range y {
+		d := y[i] - pred[i]
+		rss += d * d
+	}
+	return beta, rss, nil
+}

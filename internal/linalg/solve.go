@@ -1,0 +1,59 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Solve solves the square system A x = b by Gaussian elimination with
+// partial pivoting. A and b are not modified.
+func Solve(a *Mat, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("linalg: Solve needs square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: rhs length %d != %d", len(b), n)
+	}
+	m := a.Clone()
+	x := make([]float64, n)
+	copy(x, b)
+	for k := 0; k < n; k++ {
+		// Partial pivot.
+		piv := k
+		best := math.Abs(m.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(m.At(i, k)); v > best {
+				best, piv = v, i
+			}
+		}
+		if best == 0 {
+			return nil, fmt.Errorf("linalg: singular matrix at column %d", k)
+		}
+		if piv != k {
+			for j := 0; j < n; j++ {
+				m.Data[k*n+j], m.Data[piv*n+j] = m.Data[piv*n+j], m.Data[k*n+j]
+			}
+			x[k], x[piv] = x[piv], x[k]
+		}
+		inv := 1 / m.At(k, k)
+		for i := k + 1; i < n; i++ {
+			f := m.At(i, k) * inv
+			if f == 0 {
+				continue
+			}
+			for j := k; j < n; j++ {
+				m.Set(i, j, m.At(i, j)-f*m.At(k, j))
+			}
+			x[i] -= f * x[k]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= m.At(i, j) * x[j]
+		}
+		x[i] = s / m.At(i, i)
+	}
+	return x, nil
+}

@@ -1,0 +1,81 @@
+package meg
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// RAP-MUSIC (recursively applied and projected MUSIC): classic MUSIC
+// returns one global peak; with several simultaneously active dipoles
+// the secondary sources can hide under the primary's sidelobes.
+// RAP-MUSIC finds sources one at a time, projecting each found source's
+// gain space out of the signal subspace before the next scan — the
+// standard extension used for multi-dipole MEG analyses like the ones
+// pmusic performed.
+
+// RAPResult is an ordered list of found sources.
+type RAPResult struct {
+	Positions []Vec3
+	Values    []float64
+}
+
+// RAPMusic locates up to nSources dipoles on the grid. It stops early
+// when the best remaining subspace correlation falls below minValue
+// (e.g. 0.8), which indicates the residual subspace holds no further
+// localizable source.
+func RAPMusic(a *SensorArray, us *linalg.Mat, grid []Vec3, nSources int, minValue float64) (RAPResult, error) {
+	if nSources < 1 {
+		return RAPResult{}, fmt.Errorf("meg: nSources %d < 1", nSources)
+	}
+	if len(grid) == 0 {
+		return RAPResult{}, fmt.Errorf("meg: empty grid")
+	}
+	var res RAPResult
+	cur := us.Clone()
+	m := us.Rows
+	for k := 0; k < nSources; k++ {
+		scan := Scan(a, cur, grid)
+		best, val := scan.Best()
+		if val < minValue {
+			break
+		}
+		res.Positions = append(res.Positions, best)
+		res.Values = append(res.Values, val)
+		if k == nSources-1 {
+			break
+		}
+		// Project the found source's gain space out of the signal
+		// subspace: U <- (I - Q Q^T) U, re-orthonormalized, where Q
+		// spans the gain columns of the found position.
+		q := orthonormalCols(a.GainVector(best))
+		if q.Cols == 0 {
+			break
+		}
+		proj := cur.Clone()
+		for j := 0; j < cur.Cols; j++ {
+			col := make([]float64, m)
+			for i := 0; i < m; i++ {
+				col[i] = cur.At(i, j)
+			}
+			for b := 0; b < q.Cols; b++ {
+				qb := make([]float64, m)
+				for i := 0; i < m; i++ {
+					qb[i] = q.At(i, b)
+				}
+				linalg.Axpy(-linalg.Dot(qb, col), qb, col)
+			}
+			for i := 0; i < m; i++ {
+				proj.Set(i, j, col[i])
+			}
+		}
+		cur = orthonormalCols(proj)
+		if cur.Cols == 0 {
+			break
+		}
+	}
+	if len(res.Positions) == 0 {
+		return res, fmt.Errorf("meg: no source above the %.2f threshold", minValue)
+	}
+	return res, nil
+}

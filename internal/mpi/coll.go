@@ -1,0 +1,334 @@
+package mpi
+
+import (
+	"fmt"
+)
+
+// Internal collective tags.
+const (
+	tagBarrier = iota
+	tagBcast
+	tagReduce
+	tagGather
+	tagScatter
+	tagAlltoall
+	tagScan
+)
+
+// Op is a reduction operation over float64 element vectors.
+type Op int
+
+// Reduction operations.
+const (
+	OpSum Op = iota
+	OpMax
+	OpMin
+	OpProd
+)
+
+func (op Op) apply(acc, in []float64) {
+	switch op {
+	case OpSum:
+		for i := range acc {
+			acc[i] += in[i]
+		}
+	case OpMax:
+		for i := range acc {
+			if in[i] > acc[i] {
+				acc[i] = in[i]
+			}
+		}
+	case OpMin:
+		for i := range acc {
+			if in[i] < acc[i] {
+				acc[i] = in[i]
+			}
+		}
+	case OpProd:
+		for i := range acc {
+			acc[i] *= in[i]
+		}
+	}
+}
+
+// Barrier blocks until every rank of the communicator has entered it
+// (dissemination algorithm, ceil(log2 n) rounds).
+func (c *Comm) Barrier() {
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	for dist := 1; dist < n; dist *= 2 {
+		dst := (c.rank + dist) % n
+		src := (c.rank - dist + n) % n
+		done := make(chan struct{})
+		go func() {
+			c.sendColl(dst, tagBarrier, nil)
+			close(done)
+		}()
+		c.recvColl(src, tagBarrier)
+		<-done
+	}
+}
+
+// Bcast distributes root's buffer to every rank along a binomial tree
+// and returns the received copy (on root: data itself).
+func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	if err := c.checkRank(root); err != nil {
+		return nil, err
+	}
+	n := c.Size()
+	if n == 1 {
+		return data, nil
+	}
+	// Rotate so the root is virtual rank 0, then run the standard
+	// binomial tree: receive at the level of the lowest set bit,
+	// forward at every level below it.
+	vrank := (c.rank - root + n) % n
+	mask := 1
+	for mask < n {
+		if vrank&mask != 0 {
+			parent := ((vrank - mask) + root) % n
+			data = c.recvColl(parent, tagBcast)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if vrank+mask < n {
+			child := (vrank + mask + root) % n
+			c.sendColl(child, tagBcast, data)
+		}
+		mask >>= 1
+	}
+	return data, nil
+}
+
+// Reduce combines the vec contributions of all ranks with op; the
+// result is returned at root (nil elsewhere). All ranks must pass
+// vectors of equal length.
+func (c *Comm) Reduce(root int, op Op, vec []float64) ([]float64, error) {
+	if err := c.checkRank(root); err != nil {
+		return nil, err
+	}
+	n := c.Size()
+	acc := append([]float64(nil), vec...)
+	if n == 1 {
+		return acc, nil
+	}
+	vrank := (c.rank - root + n) % n
+	// Binomial fan-in: mirror image of Bcast.
+	mask := 1
+	for mask < n {
+		if vrank&mask != 0 {
+			parent := vrank &^ mask
+			real := (parent + root) % n
+			c.sendColl(real, tagReduce, Float64sToBytes(acc))
+			break
+		}
+		peer := vrank | mask
+		if peer < n {
+			data := c.recvColl((peer+root)%n, tagReduce)
+			in, err := BytesToFloat64s(data)
+			if err != nil {
+				return nil, err
+			}
+			if len(in) != len(acc) {
+				return nil, fmt.Errorf("mpi: Reduce length mismatch %d vs %d", len(in), len(acc))
+			}
+			op.apply(acc, in)
+		}
+		mask <<= 1
+	}
+	if c.rank == root {
+		return acc, nil
+	}
+	return nil, nil
+}
+
+// Allreduce combines contributions and delivers the result everywhere.
+func (c *Comm) Allreduce(op Op, vec []float64) ([]float64, error) {
+	res, err := c.Reduce(0, op, vec)
+	if err != nil {
+		return nil, err
+	}
+	var buf []byte
+	if c.rank == 0 {
+		buf = Float64sToBytes(res)
+	}
+	buf, err = c.Bcast(0, buf)
+	if err != nil {
+		return nil, err
+	}
+	return BytesToFloat64s(buf)
+}
+
+// Gather collects each rank's buffer at root, ordered by rank. Only
+// root receives a non-nil result.
+func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
+	if err := c.checkRank(root); err != nil {
+		return nil, err
+	}
+	if c.rank != root {
+		c.sendColl(root, tagGather, data)
+		return nil, nil
+	}
+	out := make([][]byte, c.Size())
+	out[root] = append([]byte(nil), data...)
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		out[r] = c.recvColl(r, tagGather)
+	}
+	return out, nil
+}
+
+// Allgather collects every rank's buffer everywhere.
+func (c *Comm) Allgather(data []byte) ([][]byte, error) {
+	parts, err := c.Gather(0, data)
+	if err != nil {
+		return nil, err
+	}
+	// Flatten with a length prefix table, broadcast, and split.
+	var flat []byte
+	if c.rank == 0 {
+		lens := make([]float64, len(parts))
+		for i, p := range parts {
+			lens[i] = float64(len(p))
+		}
+		flat = Float64sToBytes(lens)
+		for _, p := range parts {
+			flat = append(flat, p...)
+		}
+	}
+	flat, err = c.Bcast(0, flat)
+	if err != nil {
+		return nil, err
+	}
+	n := c.Size()
+	lens, err := BytesToFloat64s(flat[:8*n])
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, n)
+	off := 8 * n
+	for i := 0; i < n; i++ {
+		l := int(lens[i])
+		if off+l > len(flat) {
+			return nil, fmt.Errorf("mpi: Allgather framing corrupt")
+		}
+		out[i] = flat[off : off+l : off+l]
+		off += l
+	}
+	return out, nil
+}
+
+// Scatter distributes parts[i] from root to rank i and returns the
+// local part. Non-root ranks pass parts == nil.
+func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
+	if err := c.checkRank(root); err != nil {
+		return nil, err
+	}
+	if c.rank == root {
+		if len(parts) != c.Size() {
+			return nil, fmt.Errorf("mpi: Scatter needs %d parts, got %d", c.Size(), len(parts))
+		}
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				continue
+			}
+			c.sendColl(r, tagScatter, parts[r])
+		}
+		return append([]byte(nil), parts[root]...), nil
+	}
+	return c.recvColl(root, tagScatter), nil
+}
+
+// Scan computes the inclusive prefix reduction: rank r receives
+// op(vec_0, ..., vec_r). Linear chain (ranks are few in metacomputing
+// configurations; latency, not bandwidth, dominates).
+func (c *Comm) Scan(op Op, vec []float64) ([]float64, error) {
+	acc := append([]float64(nil), vec...)
+	if c.rank > 0 {
+		data := c.recvColl(c.rank-1, tagScan)
+		in, err := BytesToFloat64s(data)
+		if err != nil {
+			return nil, err
+		}
+		if len(in) != len(acc) {
+			return nil, fmt.Errorf("mpi: Scan length mismatch %d vs %d", len(in), len(acc))
+		}
+		// acc = op(prefix, own): order matters only for
+		// non-commutative ops, which Op does not include.
+		op.apply(acc, in)
+	}
+	if c.rank < c.Size()-1 {
+		c.sendColl(c.rank+1, tagScan, Float64sToBytes(acc))
+	}
+	return acc, nil
+}
+
+// ReduceScatter reduces rank-indexed blocks across all ranks and
+// scatters the result: each rank passes one block per destination rank
+// and receives the element-wise op-combination of the blocks addressed
+// to it.
+func (c *Comm) ReduceScatter(op Op, blocks [][]float64) ([]float64, error) {
+	n := c.Size()
+	if len(blocks) != n {
+		return nil, fmt.Errorf("mpi: ReduceScatter needs %d blocks, got %d", n, len(blocks))
+	}
+	parts := make([][]byte, n)
+	for r, blk := range blocks {
+		parts[r] = Float64sToBytes(blk)
+	}
+	in, err := c.Alltoall(parts)
+	if err != nil {
+		return nil, err
+	}
+	var acc []float64
+	for r, buf := range in {
+		v, err := BytesToFloat64s(buf)
+		if err != nil {
+			return nil, err
+		}
+		if acc == nil {
+			acc = v
+			continue
+		}
+		if len(v) != len(acc) {
+			return nil, fmt.Errorf("mpi: ReduceScatter block from rank %d has %d elements, want %d",
+				r, len(v), len(acc))
+		}
+		op.apply(acc, v)
+	}
+	return acc, nil
+}
+
+// Alltoall sends parts[i] to rank i and returns the buffers received
+// from every rank (indexed by source).
+func (c *Comm) Alltoall(parts [][]byte) ([][]byte, error) {
+	n := c.Size()
+	if len(parts) != n {
+		return nil, fmt.Errorf("mpi: Alltoall needs %d parts, got %d", n, len(parts))
+	}
+	out := make([][]byte, n)
+	out[c.rank] = append([]byte(nil), parts[c.rank]...)
+	done := make(chan struct{})
+	go func() {
+		for r := 0; r < n; r++ {
+			if r != c.rank {
+				c.sendColl(r, tagAlltoall, parts[r])
+			}
+		}
+		close(done)
+	}()
+	for r := 0; r < n; r++ {
+		if r != c.rank {
+			out[r] = c.recvColl(r, tagAlltoall)
+		}
+	}
+	<-done
+	return out, nil
+}

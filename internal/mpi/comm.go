@@ -1,0 +1,285 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Comm is an intracommunicator: an ordered group of ranks with
+// point-to-point and collective operations. The zero value is not
+// usable; communicators come from World.Launch, Run, Split or Dup.
+type Comm struct {
+	world   *World
+	group   []int // comm rank -> world rank
+	rank    int   // this process's comm rank
+	p2pCtx  int   // context for user point-to-point traffic
+	collCtx int   // context for collective traffic
+}
+
+// Rank reports the calling process's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size reports the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.group) }
+
+// Host reports the host this rank is placed on.
+func (c *Comm) Host() string { return c.world.HostOf(c.group[c.rank]) }
+
+// HostOfRank reports the host of another rank in this communicator.
+func (c *Comm) HostOfRank(r int) string { return c.world.HostOf(c.group[r]) }
+
+// World returns the underlying world (shared with spawned and attached
+// applications).
+func (c *Comm) World() *World { return c.world }
+
+func (c *Comm) trace(kind string, peer, tag, bytes int, start time.Time) {
+	if c.world.tracer != nil {
+		c.world.tracer.Event(c.group[c.rank], kind, peer, tag, bytes, start, time.Now())
+	}
+}
+
+func (c *Comm) checkRank(r int) error {
+	if r < 0 || r >= len(c.group) {
+		return fmt.Errorf("mpi: rank %d out of range [0,%d)", r, len(c.group))
+	}
+	return nil
+}
+
+// Send delivers data to dst with the given tag (tag >= 0). It blocks
+// for the duration of the (shaped) transfer, like a standard-mode send
+// of a large message.
+func (c *Comm) Send(dst, tag int, data []byte) error {
+	if err := c.checkRank(dst); err != nil {
+		return err
+	}
+	if tag < 0 {
+		return fmt.Errorf("mpi: negative tag %d is reserved", tag)
+	}
+	start := time.Now()
+	c.world.transfer(c.p2pCtx, c.group[c.rank], c.group[dst], tag, data)
+	c.trace("send", dst, tag, len(data), start)
+	return nil
+}
+
+// sendColl is the internal send on the collective context.
+func (c *Comm) sendColl(dst, tag int, data []byte) {
+	start := time.Now()
+	c.world.transfer(c.collCtx, c.group[c.rank], c.group[dst], tag, data)
+	c.trace("coll-send", dst, tag, len(data), start)
+}
+
+// recvColl is the internal receive on the collective context.
+func (c *Comm) recvColl(src, tag int) []byte {
+	worldSrc := c.group[src]
+	start := time.Now()
+	msg := c.world.boxes[c.group[c.rank]].get(c.collCtx, worldSrc, tag)
+	c.trace("coll-recv", src, tag, len(msg.data), start)
+	return msg.data
+}
+
+// Message is a received point-to-point message.
+type Message struct {
+	Source int // comm rank of the sender
+	Tag    int
+	Data   []byte
+}
+
+// Recv blocks until a message matching src (or AnySource) and tag (or
+// AnyTag) arrives.
+func (c *Comm) Recv(src, tag int) (Message, error) {
+	if src != AnySource {
+		if err := c.checkRank(src); err != nil {
+			return Message{}, err
+		}
+	}
+	worldSrc := AnySource
+	if src != AnySource {
+		worldSrc = c.group[src]
+	}
+	start := time.Now()
+	msg := c.world.boxes[c.group[c.rank]].get(c.p2pCtx, worldSrc, tag)
+	commSrc := c.rankOfWorld(msg.src)
+	c.trace("recv", commSrc, msg.tag, len(msg.data), start)
+	return Message{Source: commSrc, Tag: msg.tag, Data: msg.data}, nil
+}
+
+// rankOfWorld maps a world rank back to a comm rank (-1 if the sender
+// is outside this communicator, e.g. intercomm traffic).
+func (c *Comm) rankOfWorld(w int) int {
+	for i, g := range c.group {
+		if g == w {
+			return i
+		}
+	}
+	return -1
+}
+
+// Status describes a pending message found by Probe/Iprobe.
+type Status struct {
+	Source int // comm rank of the sender (-1 if outside the comm)
+	Tag    int
+	Bytes  int
+}
+
+// Probe blocks until a message matching src/tag is available and
+// returns its status without receiving it (MPI_Probe) — the idiom the
+// RT-client uses to size buffers before pulling variable-size images.
+func (c *Comm) Probe(src, tag int) (Status, error) {
+	worldSrc := AnySource
+	if src != AnySource {
+		if err := c.checkRank(src); err != nil {
+			return Status{}, err
+		}
+		worldSrc = c.group[src]
+	}
+	s, tg, n := c.world.boxes[c.group[c.rank]].peek(c.p2pCtx, worldSrc, tag)
+	return Status{Source: c.rankOfWorld(s), Tag: tg, Bytes: n}, nil
+}
+
+// Iprobe reports whether a matching message is available, without
+// blocking (MPI_Iprobe).
+func (c *Comm) Iprobe(src, tag int) (Status, bool, error) {
+	worldSrc := AnySource
+	if src != AnySource {
+		if err := c.checkRank(src); err != nil {
+			return Status{}, false, err
+		}
+		worldSrc = c.group[src]
+	}
+	s, tg, n, ok := c.world.boxes[c.group[c.rank]].tryPeek(c.p2pCtx, worldSrc, tag)
+	if !ok {
+		return Status{}, false, nil
+	}
+	return Status{Source: c.rankOfWorld(s), Tag: tg, Bytes: n}, true, nil
+}
+
+// Sendrecv performs a combined send and receive, safe against the
+// head-to-head exchange deadlock.
+func (c *Comm) Sendrecv(dst, sendTag int, data []byte, src, recvTag int) (Message, error) {
+	errc := make(chan error, 1)
+	go func() { errc <- c.Send(dst, sendTag, data) }()
+	msg, err := c.Recv(src, recvTag)
+	if err != nil {
+		return Message{}, err
+	}
+	if err := <-errc; err != nil {
+		return Message{}, err
+	}
+	return msg, nil
+}
+
+// Request is a handle for a nonblocking operation.
+type Request struct {
+	done chan struct{}
+	msg  Message
+	err  error
+}
+
+// Wait blocks until the operation completes and returns its result.
+// The Message is meaningful for Irecv requests only.
+func (r *Request) Wait() (Message, error) {
+	<-r.done
+	return r.msg, r.err
+}
+
+// Test reports whether the operation has completed without blocking.
+func (r *Request) Test() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Isend starts a nonblocking send.
+func (c *Comm) Isend(dst, tag int, data []byte) *Request {
+	req := &Request{done: make(chan struct{})}
+	go func() {
+		req.err = c.Send(dst, tag, data)
+		close(req.done)
+	}()
+	return req
+}
+
+// Irecv starts a nonblocking receive.
+func (c *Comm) Irecv(src, tag int) *Request {
+	req := &Request{done: make(chan struct{})}
+	go func() {
+		req.msg, req.err = c.Recv(src, tag)
+		close(req.done)
+	}()
+	return req
+}
+
+// WaitAll waits for all requests and returns the first error.
+func WaitAll(reqs ...*Request) error {
+	var first error
+	for _, r := range reqs {
+		if _, err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// --- Typed helpers (the "language interoperability" face of the
+// library: a byte-oriented core with typed encodings on top). ---
+
+// Float64sToBytes encodes a float64 slice little-endian.
+func Float64sToBytes(v []float64) []byte {
+	buf := make([]byte, 8*len(v))
+	for i, f := range v {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(f))
+	}
+	return buf
+}
+
+// BytesToFloat64s decodes a little-endian float64 slice.
+func BytesToFloat64s(b []byte) ([]float64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("mpi: byte length %d not a multiple of 8", len(b))
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out, nil
+}
+
+// Float32sToBytes encodes a float32 slice little-endian.
+func Float32sToBytes(v []float32) []byte {
+	buf := make([]byte, 4*len(v))
+	for i, f := range v {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(f))
+	}
+	return buf
+}
+
+// BytesToFloat32s decodes a little-endian float32 slice.
+func BytesToFloat32s(b []byte) ([]float32, error) {
+	if len(b)%4 != 0 {
+		return nil, fmt.Errorf("mpi: byte length %d not a multiple of 4", len(b))
+	}
+	out := make([]float32, len(b)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out, nil
+}
+
+// SendFloat64s sends a float64 slice.
+func (c *Comm) SendFloat64s(dst, tag int, v []float64) error {
+	return c.Send(dst, tag, Float64sToBytes(v))
+}
+
+// RecvFloat64s receives a float64 slice.
+func (c *Comm) RecvFloat64s(src, tag int) ([]float64, error) {
+	msg, err := c.Recv(src, tag)
+	if err != nil {
+		return nil, err
+	}
+	return BytesToFloat64s(msg.Data)
+}

@@ -1,0 +1,152 @@
+package mpi
+
+import (
+	"fmt"
+)
+
+// This file implements the MPI-2 features the paper highlights for
+// metacomputing: dynamic process creation (Spawn) and the attachment of
+// independently started applications (Open/Connect/Accept), used in the
+// testbed for realtime visualization and computational steering.
+
+// Intercomm connects a local group with a remote group. Point-to-point
+// operations address ranks of the remote group.
+type Intercomm struct {
+	world  *World
+	local  []int // world ranks of the local group
+	remote []int // world ranks of the remote group
+	rank   int   // this process's rank within the local group
+	ctx    int   // shared context of the bridge
+}
+
+// Rank reports the caller's rank in the local group.
+func (ic *Intercomm) Rank() int { return ic.rank }
+
+// LocalSize reports the size of the local group.
+func (ic *Intercomm) LocalSize() int { return len(ic.local) }
+
+// RemoteSize reports the size of the remote group.
+func (ic *Intercomm) RemoteSize() int { return len(ic.remote) }
+
+// Send delivers data to remote rank dst.
+func (ic *Intercomm) Send(dst, tag int, data []byte) error {
+	if dst < 0 || dst >= len(ic.remote) {
+		return fmt.Errorf("mpi: intercomm remote rank %d out of range [0,%d)", dst, len(ic.remote))
+	}
+	if tag < 0 {
+		return fmt.Errorf("mpi: negative tag %d is reserved", tag)
+	}
+	ic.world.transfer(ic.ctx, ic.local[ic.rank], ic.remote[dst], tag, data)
+	return nil
+}
+
+// Recv blocks for a message from remote rank src (or AnySource).
+func (ic *Intercomm) Recv(src, tag int) (Message, error) {
+	worldSrc := AnySource
+	if src != AnySource {
+		if src < 0 || src >= len(ic.remote) {
+			return Message{}, fmt.Errorf("mpi: intercomm remote rank %d out of range [0,%d)", src, len(ic.remote))
+		}
+		worldSrc = ic.remote[src]
+	}
+	msg := ic.world.boxes[ic.local[ic.rank]].get(ic.ctx, worldSrc, tag)
+	commSrc := -1
+	for i, w := range ic.remote {
+		if w == msg.src {
+			commSrc = i
+			break
+		}
+	}
+	return Message{Source: commSrc, Tag: msg.tag, Data: msg.data}, nil
+}
+
+// SendFloat32s sends a float32 slice to remote rank dst — the payload
+// type of the fMRI image streams.
+func (ic *Intercomm) SendFloat32s(dst, tag int, v []float32) error {
+	return ic.Send(dst, tag, Float32sToBytes(v))
+}
+
+// RecvFloat32s receives a float32 slice from remote rank src.
+func (ic *Intercomm) RecvFloat32s(src, tag int) ([]float32, error) {
+	msg, err := ic.Recv(src, tag)
+	if err != nil {
+		return nil, err
+	}
+	return BytesToFloat32s(msg.Data)
+}
+
+// Spawn starts n new ranks running fn on the given hosts (len(hosts)
+// == n) and returns an intercommunicator to them. Only the calling
+// rank participates in the spawn (MPI_Comm_spawn with a root, reduced
+// to the root's view); the children receive their intercomm through
+// their function argument.
+func (c *Comm) Spawn(hosts []string, fn func(child *Comm, parent *Intercomm) error) (*Intercomm, error) {
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("mpi: Spawn with no hosts")
+	}
+	w := c.world
+	ctx := w.allocCtx()
+	childGroup := make([]int, len(hosts))
+	for i, h := range hosts {
+		childGroup[i] = w.addRank(h)
+	}
+	parentIc := &Intercomm{world: w, local: append([]int(nil), c.group...), remote: childGroup, rank: c.rank, ctx: ctx}
+	p2p, coll := w.allocCtx(), w.allocCtx()
+	for i := range childGroup {
+		childComm := &Comm{world: w, group: append([]int(nil), childGroup...), rank: i, p2pCtx: p2p, collCtx: coll}
+		childIc := &Intercomm{world: w, local: append([]int(nil), childGroup...), remote: append([]int(nil), c.group...), rank: i, ctx: ctx}
+		w.wg.Add(1)
+		go func() {
+			defer w.wg.Done()
+			w.setErr(fn(childComm, childIc))
+		}()
+	}
+	return parentIc, nil
+}
+
+// OpenPort publishes a named port owned by this communicator, like
+// MPI_Open_port + MPI_Publish_name: independently started applications
+// can then Connect to it by name. Opening an already-open name errors.
+func (c *Comm) OpenPort(name string) error {
+	w := c.world
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, exists := w.ports[name]; exists {
+		return fmt.Errorf("mpi: port %q already open", name)
+	}
+	w.ports[name] = &port{serverGroup: append([]int(nil), c.group...), connect: make(chan *Intercomm)}
+	return nil
+}
+
+// Accept blocks until a client connects to the named port and returns
+// the server-side intercommunicator.
+func (c *Comm) Accept(name string) (*Intercomm, error) {
+	c.world.mu.Lock()
+	p, ok := c.world.ports[name]
+	c.world.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("mpi: port %q not open", name)
+	}
+	// The client builds both halves; the server's half arrives here.
+	ic := <-p.connect
+	ic.rank = c.rank
+	return ic, nil
+}
+
+// Connect attaches this communicator to the named port, returning the
+// client-side intercommunicator. It blocks until the port owner calls
+// Accept. This is how the testbed attached visualization front-ends to
+// running simulations.
+func (c *Comm) Connect(name string) (*Intercomm, error) {
+	c.world.mu.Lock()
+	p, ok := c.world.ports[name]
+	c.world.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("mpi: port %q not open", name)
+	}
+	ctx := c.world.allocCtx()
+	server := &Intercomm{world: c.world, local: p.serverGroup, remote: append([]int(nil), c.group...), ctx: ctx}
+	client := &Intercomm{world: c.world, local: append([]int(nil), c.group...), remote: p.serverGroup, rank: c.rank, ctx: ctx}
+	p.connect <- server
+	return client, nil
+}

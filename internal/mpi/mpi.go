@@ -1,0 +1,258 @@
+// Package mpi is a metacomputing-aware message-passing library modeled
+// on the MPI subset Pallas implemented for the Gigabit Testbed West:
+// point-to-point communication (blocking and nonblocking), the usual
+// collectives, communicator splitting, and the MPI-2 features the paper
+// singles out as useful for metacomputing — dynamic process creation
+// (Spawn) and attachment of independently started applications
+// (Open/Connect/Accept), used there for realtime visualization and
+// computational steering.
+//
+// "Metacomputing-aware" means the library distinguishes intra-machine
+// from inter-machine communication: every rank is placed on a named
+// host, and messages that cross hosts pass through a configurable
+// Shaper that imposes the WAN's latency/bandwidth. Inside a host,
+// delivery is immediate (Go channels). Applications therefore observe
+// the same two-level cost structure the testbed had.
+//
+// Ranks are goroutines; the library is usable as a real concurrency
+// tool, not only as a simulation artifact.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Wildcards for Recv.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Shaper models the network between hosts. Delay returns how long a
+// message of the given size occupies the path; the library sleeps that
+// long (wall clock) before delivery for inter-host messages.
+type Shaper interface {
+	Delay(bytes int) time.Duration
+}
+
+// LinkShaper is the standard latency + bandwidth shaper.
+type LinkShaper struct {
+	Latency time.Duration
+	Bps     float64 // payload bandwidth in bit/s; 0 = infinite
+}
+
+// Delay implements Shaper.
+func (s LinkShaper) Delay(bytes int) time.Duration {
+	d := s.Latency
+	if s.Bps > 0 {
+		d += time.Duration(float64(bytes) * 8 / s.Bps * 1e9)
+	}
+	return d
+}
+
+// Tracer receives communication events (see package mpitrace for the
+// VAMPIR-style consumer). Implementations must be safe for concurrent
+// use.
+type Tracer interface {
+	Event(rank int, kind string, peer, tag, bytes int, start, end time.Time)
+}
+
+// message is an in-flight point-to-point message. ctx is the
+// communication context: each communicator owns separate contexts for
+// point-to-point and collective traffic, so wildcard receives never
+// capture messages of another communicator or of a collective.
+type message struct {
+	ctx      int
+	src, tag int
+	data     []byte
+}
+
+// mailbox is one rank's receive queue with MPI matching semantics.
+type mailbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    []message
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(msg message) {
+	m.mu.Lock()
+	m.q = append(m.q, msg)
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// get blocks until a message matching (ctx, src, tag) is present and
+// removes it (FIFO among matches).
+func (m *mailbox) get(ctx, src, tag int) message {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, msg := range m.q {
+			if msg.ctx == ctx && (src == AnySource || msg.src == src) && (tag == AnyTag || msg.tag == tag) {
+				m.q = append(m.q[:i], m.q[i+1:]...)
+				return msg
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
+// peek blocks until a matching message is present and returns its
+// metadata without removing it (MPI_Probe).
+func (m *mailbox) peek(ctx, src, tag int) (msgSrc, msgTag, msgLen int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for _, msg := range m.q {
+			if msg.ctx == ctx && (src == AnySource || msg.src == src) && (tag == AnyTag || msg.tag == tag) {
+				return msg.src, msg.tag, len(msg.data)
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
+// tryPeek is the nonblocking variant (MPI_Iprobe).
+func (m *mailbox) tryPeek(ctx, src, tag int) (msgSrc, msgTag, msgLen int, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, msg := range m.q {
+		if msg.ctx == ctx && (src == AnySource || msg.src == src) && (tag == AnyTag || msg.tag == tag) {
+			return msg.src, msg.tag, len(msg.data), true
+		}
+	}
+	return 0, 0, 0, false
+}
+
+// World owns the global rank space of one metacomputer run.
+type World struct {
+	mu      sync.Mutex
+	boxes   []*mailbox
+	hosts   []string
+	nextCtx int
+	shaper  Shaper
+	tracer  Tracer
+	ports   map[string]*port
+	wg      sync.WaitGroup
+	errMu   sync.Mutex
+	err     error
+}
+
+// port is a published connection point for MPI-2 Connect/Accept.
+type port struct {
+	serverGroup []int
+	connect     chan *Intercomm
+}
+
+// NewWorld creates an empty world with the given inter-host shaper
+// (nil = free networking) and optional tracer.
+func NewWorld(shaper Shaper, tracer Tracer) *World {
+	return &World{shaper: shaper, tracer: tracer, ports: make(map[string]*port)}
+}
+
+// addRank allocates a world rank on a host.
+func (w *World) addRank(host string) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.boxes = append(w.boxes, newMailbox())
+	w.hosts = append(w.hosts, host)
+	return len(w.boxes) - 1
+}
+
+// HostOf reports the host of a world rank.
+func (w *World) HostOf(worldRank int) string { return w.hosts[worldRank] }
+
+// allocCtx reserves a fresh communication context.
+func (w *World) allocCtx() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.nextCtx++
+	return w.nextCtx
+}
+
+// transfer moves a message between world ranks, applying the WAN
+// shaper when the endpoints are on different hosts.
+func (w *World) transfer(ctx, src, dst, tag int, data []byte) {
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	if w.shaper != nil && w.hosts[src] != w.hosts[dst] {
+		if d := w.shaper.Delay(len(buf)); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	w.boxes[dst].put(message{ctx: ctx, src: src, tag: tag, data: buf})
+}
+
+func (w *World) setErr(err error) {
+	if err == nil {
+		return
+	}
+	w.errMu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.errMu.Unlock()
+}
+
+// Err returns the first error any rank reported.
+func (w *World) Err() error {
+	w.errMu.Lock()
+	defer w.errMu.Unlock()
+	return w.err
+}
+
+// Wait blocks until every launched rank (including spawned ones) has
+// returned, then reports the first error.
+func (w *World) Wait() error {
+	w.wg.Wait()
+	return w.Err()
+}
+
+// Launch starts fn as rank len(group) of a fresh communicator whose
+// ranks live on the given hosts (one rank per entry). It returns the
+// communicator's world ranks.
+func (w *World) Launch(hosts []string, fn func(c *Comm) error) []int {
+	group := make([]int, len(hosts))
+	for i, h := range hosts {
+		group[i] = w.addRank(h)
+	}
+	p2p, coll := w.allocCtx(), w.allocCtx()
+	for i := range group {
+		c := &Comm{world: w, group: append([]int(nil), group...), rank: i, p2pCtx: p2p, collCtx: coll}
+		w.wg.Add(1)
+		go func() {
+			defer w.wg.Done()
+			w.setErr(fn(c))
+		}()
+	}
+	return group
+}
+
+// Run is the common entry point: n ranks on one host ("local"), wait
+// for completion.
+func Run(n int, fn func(c *Comm) error) error {
+	hosts := make([]string, n)
+	for i := range hosts {
+		hosts[i] = "local"
+	}
+	return RunHosts(hosts, nil, nil, fn)
+}
+
+// RunHosts places rank i on hosts[i], with inter-host traffic passing
+// through shaper, and waits for completion.
+func RunHosts(hosts []string, shaper Shaper, tracer Tracer, fn func(c *Comm) error) error {
+	if len(hosts) == 0 {
+		return fmt.Errorf("mpi: no ranks")
+	}
+	w := NewWorld(shaper, tracer)
+	w.Launch(hosts, fn)
+	return w.Wait()
+}

@@ -1,0 +1,722 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPingPong(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		switch c.Rank() {
+		case 0:
+			if err := c.Send(1, 5, []byte("ping")); err != nil {
+				return err
+			}
+			msg, err := c.Recv(1, 5)
+			if err != nil {
+				return err
+			}
+			if string(msg.Data) != "pong" || msg.Source != 1 {
+				return fmt.Errorf("got %q from %d", msg.Data, msg.Source)
+			}
+		case 1:
+			msg, err := c.Recv(0, 5)
+			if err != nil {
+				return err
+			}
+			if string(msg.Data) != "ping" {
+				return fmt.Errorf("got %q", msg.Data)
+			}
+			return c.Send(0, 5, []byte("pong"))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagMatching(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			// Send tags out of order; receiver picks by tag.
+			c.Send(1, 7, []byte("seven"))
+			c.Send(1, 3, []byte("three"))
+			return nil
+		}
+		m3, err := c.Recv(0, 3)
+		if err != nil {
+			return err
+		}
+		m7, err := c.Recv(0, 7)
+		if err != nil {
+			return err
+		}
+		if string(m3.Data) != "three" || string(m7.Data) != "seven" {
+			return fmt.Errorf("tag matching broken: %q %q", m3.Data, m7.Data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnySourceAnyTag(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		if c.Rank() == 0 {
+			seen := map[int]bool{}
+			for i := 0; i < 2; i++ {
+				msg, err := c.Recv(AnySource, AnyTag)
+				if err != nil {
+					return err
+				}
+				seen[msg.Source] = true
+			}
+			if !seen[1] || !seen[2] {
+				return fmt.Errorf("wildcard recv missed a source: %v", seen)
+			}
+			return nil
+		}
+		return c.Send(0, c.Rank(), []byte{byte(c.Rank())})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeTagRejected(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, -3, nil); err == nil {
+				return fmt.Errorf("negative tag accepted")
+			}
+			// Unblock rank 1.
+			return c.Send(1, 0, nil)
+		}
+		_, err := c.Recv(0, 0)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendrecvNoDeadlock(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		peer := 1 - c.Rank()
+		data := []byte{byte(c.Rank())}
+		msg, err := c.Sendrecv(peer, 1, data, peer, 1)
+		if err != nil {
+			return err
+		}
+		if msg.Data[0] != byte(peer) {
+			return fmt.Errorf("exchanged wrong data")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsendIrecvWaitTest(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			req := c.Isend(1, 2, []byte("async"))
+			_, err := req.Wait()
+			return err
+		}
+		req := c.Irecv(0, 2)
+		msg, err := req.Wait()
+		if err != nil {
+			return err
+		}
+		if !req.Test() {
+			return fmt.Errorf("Test false after Wait")
+		}
+		if string(msg.Data) != "async" {
+			return fmt.Errorf("got %q", msg.Data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	var mu sync.Mutex
+	var phase1, phase2 int
+	err := Run(8, func(c *Comm) error {
+		mu.Lock()
+		phase1++
+		mu.Unlock()
+		c.Barrier()
+		mu.Lock()
+		if phase1 != 8 {
+			mu.Unlock()
+			return fmt.Errorf("rank %d passed barrier with only %d arrivals", c.Rank(), phase1)
+		}
+		phase2++
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phase2 != 8 {
+		t.Fatalf("phase2 = %d", phase2)
+	}
+}
+
+func TestBcastAllSizesAndRoots(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8} {
+		for root := 0; root < n; root += 2 {
+			payload := []byte(fmt.Sprintf("bcast-%d-%d", n, root))
+			err := Run(n, func(c *Comm) error {
+				var data []byte
+				if c.Rank() == root {
+					data = payload
+				}
+				got, err := c.Bcast(root, data)
+				if err != nil {
+					return err
+				}
+				if string(got) != string(payload) {
+					return fmt.Errorf("rank %d/%d root %d got %q", c.Rank(), n, root, got)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("n=%d root=%d: %v", n, root, err)
+			}
+		}
+	}
+}
+
+func TestReduceAndAllreduce(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		err := Run(n, func(c *Comm) error {
+			vec := []float64{float64(c.Rank() + 1), 1}
+			sum, err := c.Reduce(0, OpSum, vec)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				want := float64(n*(n+1)) / 2
+				if sum[0] != want || sum[1] != float64(n) {
+					return fmt.Errorf("Reduce = %v, want [%v %v]", sum, want, n)
+				}
+			} else if sum != nil {
+				return fmt.Errorf("non-root got %v", sum)
+			}
+			all, err := c.Allreduce(OpMax, []float64{float64(c.Rank())})
+			if err != nil {
+				return err
+			}
+			if all[0] != float64(n-1) {
+				return fmt.Errorf("Allreduce max = %v, want %d", all[0], n-1)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestReduceOps(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		v := float64(c.Rank() + 1) // 1..4
+		min, err := c.Allreduce(OpMin, []float64{v})
+		if err != nil {
+			return err
+		}
+		prod, err := c.Allreduce(OpProd, []float64{v})
+		if err != nil {
+			return err
+		}
+		if min[0] != 1 || prod[0] != 24 {
+			return fmt.Errorf("min=%v prod=%v", min[0], prod[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherScatterAllgatherAlltoall(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		// Gather.
+		parts, err := c.Gather(2, []byte{byte(c.Rank())})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 2 {
+			for r, p := range parts {
+				if len(p) != 1 || p[0] != byte(r) {
+					return fmt.Errorf("Gather part %d = %v", r, p)
+				}
+			}
+		}
+		// Scatter.
+		var toScatter [][]byte
+		if c.Rank() == 1 {
+			toScatter = [][]byte{{10}, {11}, {12}, {13}}
+		}
+		mine, err := c.Scatter(1, toScatter)
+		if err != nil {
+			return err
+		}
+		if len(mine) != 1 || mine[0] != byte(10+c.Rank()) {
+			return fmt.Errorf("Scatter got %v", mine)
+		}
+		// Allgather.
+		all, err := c.Allgather([]byte{byte(100 + c.Rank())})
+		if err != nil {
+			return err
+		}
+		for r, p := range all {
+			if len(p) != 1 || p[0] != byte(100+r) {
+				return fmt.Errorf("Allgather part %d = %v", r, p)
+			}
+		}
+		// Alltoall.
+		out := make([][]byte, 4)
+		for r := range out {
+			out[r] = []byte{byte(10*c.Rank() + r)}
+		}
+		in, err := c.Alltoall(out)
+		if err != nil {
+			return err
+		}
+		for r, p := range in {
+			if len(p) != 1 || p[0] != byte(10*r+c.Rank()) {
+				return fmt.Errorf("Alltoall from %d = %v", r, p)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanPrefix(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 8} {
+		err := Run(n, func(c *Comm) error {
+			got, err := c.Scan(OpSum, []float64{float64(c.Rank() + 1)})
+			if err != nil {
+				return err
+			}
+			r := c.Rank() + 1
+			want := float64(r*(r+1)) / 2
+			if got[0] != want {
+				return fmt.Errorf("rank %d prefix sum = %v, want %v", c.Rank(), got[0], want)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestReduceScatter(t *testing.T) {
+	const n = 4
+	err := Run(n, func(c *Comm) error {
+		// Rank r contributes block b = [r*10 + b] for destination b.
+		blocks := make([][]float64, n)
+		for b := range blocks {
+			blocks[b] = []float64{float64(10*c.Rank() + b)}
+		}
+		got, err := c.ReduceScatter(OpSum, blocks)
+		if err != nil {
+			return err
+		}
+		// Destination d receives sum over r of (10r + d) = 60 + 4d.
+		want := float64(60 + 4*c.Rank())
+		if len(got) != 1 || got[0] != want {
+			return fmt.Errorf("rank %d got %v, want %v", c.Rank(), got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceScatterValidation(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if _, err := c.ReduceScatter(OpSum, [][]float64{{1}}); err == nil {
+			return fmt.Errorf("wrong block count accepted")
+		}
+		// Both ranks must still converge: run a correct call after.
+		blocks := [][]float64{{1}, {2}}
+		_, err := c.ReduceScatter(OpSum, blocks)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	err := Run(6, func(c *Comm) error {
+		color := c.Rank() % 2
+		sub, err := c.Split(color, c.Rank())
+		if err != nil {
+			return err
+		}
+		if sub.Size() != 3 {
+			return fmt.Errorf("sub size = %d", sub.Size())
+		}
+		// Sum the original ranks within the subgroup: evens 0+2+4=6,
+		// odds 1+3+5=9.
+		sum, err := sub.Allreduce(OpSum, []float64{float64(c.Rank())})
+		if err != nil {
+			return err
+		}
+		want := 6.0
+		if color == 1 {
+			want = 9.0
+		}
+		if sum[0] != want {
+			return fmt.Errorf("subgroup sum = %v, want %v", sum[0], want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitOptOut(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		color := 0
+		if c.Rank() == 3 {
+			color = -1
+		}
+		sub, err := c.Split(color, 0)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 3 {
+			if sub != nil {
+				return fmt.Errorf("opt-out rank got a communicator")
+			}
+			return nil
+		}
+		if sub.Size() != 3 {
+			return fmt.Errorf("sub size = %d", sub.Size())
+		}
+		sub.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDupIsolatesTraffic(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		dup, err := c.Dup()
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			// Same tag on both communicators; receiver must get the
+			// right payload from each.
+			if err := c.Send(1, 9, []byte("orig")); err != nil {
+				return err
+			}
+			return dup.Send(1, 9, []byte("dup"))
+		}
+		md, err := dup.Recv(0, 9)
+		if err != nil {
+			return err
+		}
+		mo, err := c.Recv(0, 9)
+		if err != nil {
+			return err
+		}
+		if string(md.Data) != "dup" || string(mo.Data) != "orig" {
+			return fmt.Errorf("dup isolation broken: %q %q", md.Data, mo.Data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpawnIntercomm(t *testing.T) {
+	err := Run(1, func(c *Comm) error {
+		ic, err := c.Spawn([]string{"viz", "viz"}, func(child *Comm, parent *Intercomm) error {
+			// Children compute rank sums and report to the parent.
+			sum, err := child.Allreduce(OpSum, []float64{float64(child.Rank() + 1)})
+			if err != nil {
+				return err
+			}
+			if child.Rank() == 0 {
+				return parent.Send(0, 1, Float64sToBytes(sum))
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if ic.RemoteSize() != 2 || ic.LocalSize() != 1 {
+			return fmt.Errorf("intercomm sizes %d/%d", ic.LocalSize(), ic.RemoteSize())
+		}
+		msg, err := ic.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		v, err := BytesToFloat64s(msg.Data)
+		if err != nil {
+			return err
+		}
+		if v[0] != 3 {
+			return fmt.Errorf("children sum = %v, want 3", v[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnectAccept(t *testing.T) {
+	w := NewWorld(nil, nil)
+	// Server application.
+	w.Launch([]string{"t3e"}, func(c *Comm) error {
+		if err := c.OpenPort("fire-viz"); err != nil {
+			return err
+		}
+		ic, err := c.Accept("fire-viz")
+		if err != nil {
+			return err
+		}
+		msg, err := ic.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		if string(msg.Data) != "attach" {
+			return fmt.Errorf("server got %q", msg.Data)
+		}
+		return ic.Send(0, 2, []byte("welcome"))
+	})
+	// Independently launched client (e.g. a visualization front-end).
+	w.Launch([]string{"onyx2"}, func(c *Comm) error {
+		// Wait for the port to appear (the server races us).
+		var ic *Intercomm
+		var err error
+		for i := 0; i < 100; i++ {
+			ic, err = c.Connect("fire-viz")
+			if err == nil {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if err != nil {
+			return err
+		}
+		if err := ic.Send(0, 1, []byte("attach")); err != nil {
+			return err
+		}
+		msg, err := ic.Recv(0, 2)
+		if err != nil {
+			return err
+		}
+		if string(msg.Data) != "welcome" {
+			return fmt.Errorf("client got %q", msg.Data)
+		}
+		return nil
+	})
+	if err := w.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWANShaperSlowsInterHostOnly(t *testing.T) {
+	shaper := LinkShaper{Latency: 30 * time.Millisecond}
+	hosts := []string{"juelich", "juelich", "staugustin"}
+	var intraDur, interDur time.Duration
+	err := RunHosts(hosts, shaper, nil, func(c *Comm) error {
+		switch c.Rank() {
+		case 0:
+			start := time.Now()
+			c.Send(1, 1, make([]byte, 1000)) // same host
+			intraDur = time.Since(start)
+			start = time.Now()
+			c.Send(2, 1, make([]byte, 1000)) // cross host
+			interDur = time.Since(start)
+		case 1, 2:
+			_, err := c.Recv(0, 1)
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if interDur < 25*time.Millisecond {
+		t.Errorf("inter-host send took %v, want >= ~30ms", interDur)
+	}
+	if intraDur > 10*time.Millisecond {
+		t.Errorf("intra-host send took %v, want fast", intraDur)
+	}
+}
+
+func TestLinkShaperDelay(t *testing.T) {
+	s := LinkShaper{Latency: time.Millisecond, Bps: 8e6} // 1 MB/s
+	d := s.Delay(1000)                                   // 1 ms latency + 1 ms serialization
+	if math.Abs(d.Seconds()-0.002) > 1e-9 {
+		t.Errorf("Delay = %v", d)
+	}
+	free := LinkShaper{Latency: time.Millisecond}
+	if free.Delay(1<<30) != time.Millisecond {
+		t.Error("zero-Bps shaper should charge latency only")
+	}
+}
+
+func TestFloatConversions(t *testing.T) {
+	v64 := []float64{1.5, -2.25, 3e10}
+	got64, err := BytesToFloat64s(Float64sToBytes(v64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v64 {
+		if got64[i] != v64[i] {
+			t.Fatalf("float64 roundtrip[%d]", i)
+		}
+	}
+	v32 := []float32{0.5, -7, 1e10}
+	got32, err := BytesToFloat32s(Float32sToBytes(v32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v32 {
+		if got32[i] != v32[i] {
+			t.Fatalf("float32 roundtrip[%d]", i)
+		}
+	}
+	if _, err := BytesToFloat64s(make([]byte, 7)); err == nil {
+		t.Error("ragged float64 bytes accepted")
+	}
+	if _, err := BytesToFloat32s(make([]byte, 5)); err == nil {
+		t.Error("ragged float32 bytes accepted")
+	}
+}
+
+func TestProbeAndIprobe(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			// Nothing pending yet.
+			if _, ok, err := c.Iprobe(1, 5); err != nil || ok {
+				return fmt.Errorf("Iprobe on empty box: ok=%v err=%v", ok, err)
+			}
+			// Tell rank 1 to send, then probe for the payload.
+			if err := c.Send(1, 1, nil); err != nil {
+				return err
+			}
+			st, err := c.Probe(1, 5)
+			if err != nil {
+				return err
+			}
+			if st.Source != 1 || st.Tag != 5 || st.Bytes != 300 {
+				return fmt.Errorf("probe status %+v", st)
+			}
+			// Probe must not consume: the receive still works.
+			msg, err := c.Recv(1, 5)
+			if err != nil {
+				return err
+			}
+			if len(msg.Data) != 300 {
+				return fmt.Errorf("recv after probe got %d bytes", len(msg.Data))
+			}
+			// Iprobe sees an empty box again.
+			if _, ok, _ := c.Iprobe(1, 5); ok {
+				return fmt.Errorf("message not consumed by Recv")
+			}
+			return nil
+		}
+		if _, err := c.Recv(0, 1); err != nil {
+			return err
+		}
+		return c.Send(0, 5, make([]byte, 300))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbeValidation(t *testing.T) {
+	err := Run(1, func(c *Comm) error {
+		if _, err := c.Probe(5, 0); err == nil {
+			return fmt.Errorf("out-of-range probe src accepted")
+		}
+		if _, _, err := c.Iprobe(-4, 0); err == nil {
+			return fmt.Errorf("out-of-range iprobe src accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankValidation(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() != 0 {
+			return nil
+		}
+		if err := c.Send(5, 0, nil); err == nil {
+			return fmt.Errorf("out-of-range dst accepted")
+		}
+		if _, err := c.Recv(-2, 0); err == nil {
+			return fmt.Errorf("out-of-range src accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrorsPropagate(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return fmt.Errorf("rank 1 failed")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "rank 1 failed" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHostPlacement(t *testing.T) {
+	hosts := []string{"cray-t3e", "ibm-sp2"}
+	err := RunHosts(hosts, nil, nil, func(c *Comm) error {
+		if c.Host() != hosts[c.Rank()] {
+			return fmt.Errorf("rank %d on %q", c.Rank(), c.Host())
+		}
+		if c.HostOfRank(1) != "ibm-sp2" {
+			return fmt.Errorf("HostOfRank wrong")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RunHosts(nil, nil, nil, func(*Comm) error { return nil }); err == nil {
+		t.Error("empty host list accepted")
+	}
+}

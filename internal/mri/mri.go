@@ -1,0 +1,262 @@
+// Package mri simulates the 1.5 Tesla Siemens Vision MRI scanner of the
+// Institute of Medicine: a phantom head with tissue contrast, BOLD
+// activation synthesized by convolving a stimulation time course with a
+// hemodynamic response function (HRF), Gaussian thermal noise, slow
+// baseline drift, and rigid subject motion. It also models the
+// acquisition timing (repetition time TR, and the ~1.5 s delay before a
+// 64x64x16 image is available at the RT-server).
+//
+// The ground truth (which voxels activate, with what delay/dispersion)
+// is retained so the FIRE analysis chain can be validated end to end.
+package mri
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/volume"
+)
+
+// HRF is a gamma-variate hemodynamic response model parameterized the
+// way the paper's reference-vector optimization treats it: by the delay
+// and dispersion (duration) of the blood-flow response to neuronal
+// activation.
+type HRF struct {
+	// Delay is the time-to-peak of the response in seconds.
+	Delay float64
+	// Dispersion controls the width (duration) of the response in
+	// seconds.
+	Dispersion float64
+}
+
+// DefaultHRF is the canonical response: ~6 s to peak, ~1 s dispersion
+// scale.
+var DefaultHRF = HRF{Delay: 6.0, Dispersion: 1.0}
+
+// Eval returns the response at t seconds after a unit impulse.
+// The kernel is the gamma-variate (t/d)^a exp(-(t-d)/b) with shape
+// a = Delay/Dispersion and scale b = Dispersion, peaking at t = Delay.
+func (h HRF) Eval(t float64) float64 {
+	if t <= 0 || h.Delay <= 0 || h.Dispersion <= 0 {
+		return 0
+	}
+	a := h.Delay / h.Dispersion
+	return math.Pow(t/h.Delay, a) * math.Exp(-(t-h.Delay)/h.Dispersion)
+}
+
+// Convolve returns the stimulus time course (sampled every tr seconds)
+// convolved with the HRF, normalized to zero mean and unit variance —
+// the paper's "reference vector". A constant (all-zero or all-one)
+// stimulus yields a zero vector.
+func (h HRF) Convolve(stim []float64, tr float64) []float64 {
+	n := len(stim)
+	out := make([]float64, n)
+	// Discretize the kernel out to where it has decayed (~delay+10*disp).
+	klen := int((h.Delay+10*h.Dispersion)/tr) + 1
+	kernel := make([]float64, klen)
+	for i := range kernel {
+		kernel[i] = h.Eval(float64(i) * tr)
+	}
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j <= i && j < klen; j++ {
+			s += kernel[j] * stim[i-j]
+		}
+		out[i] = s
+	}
+	normalize(out)
+	return out
+}
+
+// normalize demeans and scales to unit variance in place (no-op for
+// constant vectors).
+func normalize(v []float64) {
+	var mean float64
+	for _, x := range v {
+		mean += x
+	}
+	mean /= float64(len(v))
+	var ss float64
+	for i := range v {
+		v[i] -= mean
+		ss += v[i] * v[i]
+	}
+	if ss == 0 {
+		return
+	}
+	inv := 1 / math.Sqrt(ss/float64(len(v)))
+	for i := range v {
+		v[i] *= inv
+	}
+}
+
+// BlockStimulus builds the classic block-design stimulation time
+// course: alternating rest/task blocks of blockScans scans each,
+// starting with rest, for nScans scans.
+func BlockStimulus(nScans, blockScans int) []float64 {
+	s := make([]float64, nScans)
+	for i := range s {
+		if (i/blockScans)%2 == 1 {
+			s[i] = 1
+		}
+	}
+	return s
+}
+
+// Activation is a spherical activation site with its own hemodynamics.
+type Activation struct {
+	CX, CY, CZ float64 // center, voxel units
+	Radius     float64 // voxels
+	Amplitude  float64 // fractional BOLD signal change (e.g. 0.03)
+	HRF        HRF
+}
+
+// Phantom is a synthetic head: an anatomical baseline plus activation
+// sites.
+type Phantom struct {
+	Anatomy     *volume.Volume
+	BrainMask   []bool // true where tissue signal is meaningful
+	Activations []Activation
+}
+
+// NewPhantom builds an ellipsoidal head with a brain interior, a skull
+// shell, and the given activation sites. Dimensions follow the paper's
+// standard 64x64x16 acquisition unless changed by the caller.
+func NewPhantom(nx, ny, nz int, acts []Activation) *Phantom {
+	v := volume.New(nx, ny, nz)
+	mask := make([]bool, v.Voxels())
+	cx, cy, cz := float64(nx-1)/2, float64(ny-1)/2, float64(nz-1)/2
+	rx, ry, rz := float64(nx)*0.42, float64(ny)*0.42, float64(nz)*0.46
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				ex := (float64(x) - cx) / rx
+				ey := (float64(y) - cy) / ry
+				ez := (float64(z) - cz) / rz
+				r := ex*ex + ey*ey + ez*ez
+				idx := v.Idx(x, y, z)
+				switch {
+				case r < 0.75: // brain tissue with mild spatial texture
+					v.Data[idx] = float32(800 + 150*math.Sin(float64(x)*0.4)*math.Cos(float64(y)*0.3) + 50*math.Sin(float64(z)))
+					mask[idx] = true
+				case r < 1.0: // skull/scalp shell
+					v.Data[idx] = 300
+				default: // air
+					v.Data[idx] = 0
+				}
+			}
+		}
+	}
+	return &Phantom{Anatomy: v, BrainMask: mask, Activations: acts}
+}
+
+// ActivationWeight reports the activation envelope of site a at voxel
+// (x, y, z): 1 at the center falling smoothly to 0 at the radius.
+func (a Activation) ActivationWeight(x, y, z int) float64 {
+	dx := float64(x) - a.CX
+	dy := float64(y) - a.CY
+	dz := float64(z) - a.CZ
+	d := math.Sqrt(dx*dx+dy*dy+dz*dz) / a.Radius
+	if d >= 1 {
+		return 0
+	}
+	return 0.5 * (1 + math.Cos(math.Pi*d))
+}
+
+// ScanConfig configures a simulated acquisition run.
+type ScanConfig struct {
+	NX, NY, NZ   int
+	TR           float64 // repetition time, seconds (paper: up to 2 s)
+	NScans       int
+	Stimulus     []float64 // len NScans; nil = block design 8-scan blocks
+	NoiseStd     float64   // thermal noise std dev in signal units
+	DriftPerScan float64   // linear baseline drift in signal units/scan
+	// Motion is an optional per-scan rigid translation (voxels);
+	// index t gives the subject displacement during scan t.
+	Motion []Shift
+	Seed   int64
+}
+
+// Shift is a rigid translation in voxel units.
+type Shift struct{ DX, DY, DZ float64 }
+
+// Scanner generates the EPI time series for a phantom.
+type Scanner struct {
+	Phantom *Phantom
+	Cfg     ScanConfig
+	refs    [][]float64 // per-activation expected responses
+	rng     *rand.Rand
+	t       int
+}
+
+// NewScanner prepares an acquisition of cfg.NScans volumes.
+func NewScanner(ph *Phantom, cfg ScanConfig) *Scanner {
+	if cfg.Stimulus == nil {
+		cfg.Stimulus = BlockStimulus(cfg.NScans, 8)
+	}
+	s := &Scanner{Phantom: ph, Cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed + 1))}
+	for _, a := range ph.Activations {
+		s.refs = append(s.refs, a.HRF.Convolve(cfg.Stimulus, cfg.TR))
+	}
+	return s
+}
+
+// ScansDone reports how many volumes have been generated so far.
+func (s *Scanner) ScansDone() int { return s.t }
+
+// Next synthesizes the next volume in the series, or returns nil when
+// the acquisition is complete.
+func (s *Scanner) Next() *volume.Volume {
+	if s.t >= s.Cfg.NScans {
+		return nil
+	}
+	ph := s.Phantom
+	base := ph.Anatomy
+	out := volume.New(base.NX, base.NY, base.NZ)
+	drift := s.Cfg.DriftPerScan * float64(s.t)
+	for z := 0; z < base.NZ; z++ {
+		for y := 0; y < base.NY; y++ {
+			for x := 0; x < base.NX; x++ {
+				idx := base.Idx(x, y, z)
+				sig := float64(base.Data[idx])
+				if ph.BrainMask[idx] {
+					for ai, a := range ph.Activations {
+						w := a.ActivationWeight(x, y, z)
+						if w > 0 {
+							sig *= 1 + a.Amplitude*w*s.refs[ai][s.t]
+						}
+					}
+					sig += drift
+				}
+				if s.Cfg.NoiseStd > 0 {
+					sig += s.rng.NormFloat64() * s.Cfg.NoiseStd
+				}
+				out.Data[idx] = float32(sig)
+			}
+		}
+	}
+	if s.Cfg.Motion != nil && s.t < len(s.Cfg.Motion) {
+		m := s.Cfg.Motion[s.t]
+		if m.DX != 0 || m.DY != 0 || m.DZ != 0 {
+			out = out.Shift(m.DX, m.DY, m.DZ)
+		}
+	}
+	s.t++
+	return out
+}
+
+// Reference returns the normalized expected response of activation i —
+// what an ideal analysis should correlate against.
+func (s *Scanner) Reference(i int) []float64 { return s.refs[i] }
+
+// Timing constants from section 4 of the paper.
+const (
+	// AvailabilityDelay is the time after a scan completes before the
+	// raw 64x64x16 image is available at the RT-server (~1.5 s).
+	AvailabilityDelay = 1.5
+	// TypicalTR is the repetition time used in most experiments (s).
+	TypicalTR = 2.0
+	// SafeTR is the repetition rate the unpipelined system sustains
+	// (the paper operates the scanner at 3 s).
+	SafeTR = 3.0
+)

@@ -1,0 +1,460 @@
+// Package netsim is a packet-level, store-and-forward network simulator
+// built on the internal/sim kernel. It models the Gigabit Testbed West
+// topology: hosts and switches joined by duplex links, each link with a
+// bandwidth, propagation delay, MTU and a link-layer framer (ATM/AAL5,
+// HiPPI, or raw), finite drop-tail output queues, per-hop forwarding
+// costs for IP gateways, and host I/O rate caps (the SP2 microchannel
+// bottleneck).
+//
+// netsim carries opaque packets; TCP dynamics live in internal/tcpsim,
+// which drives this package.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// NodeID identifies a node within one Network.
+type NodeID int
+
+// Framer converts an IP-level packet size into an on-the-wire size for
+// a given link layer.
+type Framer interface {
+	// WireSize reports the number of bytes the link is occupied by
+	// when carrying an n-byte network-layer packet.
+	WireSize(n int) int
+	// Name returns a short identifier for diagnostics.
+	Name() string
+}
+
+// RawFramer is a transparent link layer (wire size == payload size).
+type RawFramer struct{}
+
+// WireSize implements Framer.
+func (RawFramer) WireSize(n int) int { return n }
+
+// Name implements Framer.
+func (RawFramer) Name() string { return "raw" }
+
+// Node is a host, gateway or switch in the network.
+type Node struct {
+	ID   NodeID
+	Name string
+
+	// ForwardCost is the per-packet store-and-forward cost applied
+	// when this node relays a packet (zero for pure end hosts,
+	// sub-microsecond for ATM switches, tens of microseconds for the
+	// workstation IP gateways).
+	ForwardCost time.Duration
+
+	// ForwardBps caps the relay copy bandwidth in bit/s
+	// (0 = unlimited). Together with ForwardCost this models the
+	// HiPPI-ATM gateway workstations.
+	ForwardBps float64
+
+	// HostBps caps this node's end-host injection and delivery rate
+	// in bit/s (0 = unlimited). It models NIC/bus limits such as the
+	// SP2 microchannel.
+	HostBps float64
+
+	net     *Network
+	ifaces  []*Iface
+	routes  []int // dest NodeID -> iface index, -1 unreachable
+	txFree  sim.Time
+	rxFree  sim.Time
+	fwdFree sim.Time
+	dropped int64
+}
+
+// Iface is one direction-pair attachment of a node to a link.
+type Iface struct {
+	node *Node
+	link *Link
+	peer *Iface // other end
+
+	// Output queue state (directed: this node -> peer).
+	queue    []*Packet
+	queued   int64 // bytes in queue
+	busy     bool
+	capBytes int64
+	drops    int64
+}
+
+// Link joins two nodes. It is full duplex: each direction has its own
+// queue and serialization.
+type Link struct {
+	Name   string
+	Bps    float64       // payload-level serialization uses WireSize/Bps
+	Delay  time.Duration // propagation delay
+	MTU    int           // network-layer MTU
+	Framer Framer
+
+	a, b *Iface
+
+	// wireBytes counts bytes serialized onto the link (both
+	// directions, after framing).
+	wireBytes int64
+	// busyTime accumulates serialization time across both directions.
+	busyTime time.Duration
+}
+
+// WireBytes reports total framed bytes carried (both directions).
+func (l *Link) WireBytes() int64 { return l.wireBytes }
+
+// Utilization reports the fraction of the interval [0, now] during
+// which the link was serializing, summed over both directions (so a
+// saturated duplex link reads 2.0).
+func (l *Link) Utilization(now sim.Time) float64 {
+	if now <= 0 {
+		return 0
+	}
+	return l.busyTime.Seconds() / now.Seconds()
+}
+
+// LinkConfig configures Connect.
+type LinkConfig struct {
+	Name string
+	// Bps is the link bandwidth in bit/s at the layer the Framer
+	// expands to (e.g. the SDH payload rate for ATM links).
+	Bps float64
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// MTU is the network-layer MTU (default 9180 if zero).
+	MTU int
+	// Framer is the link layer (default RawFramer).
+	Framer Framer
+	// QueueBytes is the per-direction output queue capacity
+	// (default 8 MiB).
+	QueueBytes int64
+}
+
+// Packet is a network-layer datagram.
+type Packet struct {
+	Src, Dst NodeID
+	Bytes    int
+	Meta     any
+	// OnDeliver fires (in kernel context) when the packet reaches
+	// Dst, after any host-rate drain.
+	OnDeliver func(*Packet)
+	// OnDrop fires if the packet is lost to a full queue.
+	OnDrop func(*Packet)
+
+	hops int
+}
+
+// Network is a collection of nodes and links bound to a simulation
+// kernel.
+type Network struct {
+	K     *sim.Kernel
+	nodes []*Node
+}
+
+// New creates an empty network on kernel k.
+func New(k *sim.Kernel) *Network {
+	return &Network{K: k}
+}
+
+// AddNode creates a node. The variadic options mutate the node before
+// it is returned.
+func (n *Network) AddNode(name string, opts ...func(*Node)) *Node {
+	nd := &Node{ID: NodeID(len(n.nodes)), Name: name, net: n}
+	for _, o := range opts {
+		o(nd)
+	}
+	n.nodes = append(n.nodes, nd)
+	return nd
+}
+
+// WithForwardCost sets per-packet forwarding cost and copy bandwidth
+// cap, for gateways and switches.
+func WithForwardCost(perPacket time.Duration, bps float64) func(*Node) {
+	return func(nd *Node) { nd.ForwardCost = perPacket; nd.ForwardBps = bps }
+}
+
+// WithHostBps caps the node's end-host I/O rate in bit/s.
+func WithHostBps(bps float64) func(*Node) {
+	return func(nd *Node) { nd.HostBps = bps }
+}
+
+// Node returns the node with the given id.
+func (n *Network) Node(id NodeID) *Node { return n.nodes[id] }
+
+// Nodes reports the number of nodes.
+func (n *Network) Nodes() int { return len(n.nodes) }
+
+// Connect joins two nodes with a duplex link.
+func (n *Network) Connect(a, b *Node, cfg LinkConfig) *Link {
+	if cfg.MTU == 0 {
+		cfg.MTU = 9180
+	}
+	if cfg.Framer == nil {
+		cfg.Framer = RawFramer{}
+	}
+	if cfg.QueueBytes == 0 {
+		cfg.QueueBytes = 8 << 20
+	}
+	if cfg.Bps <= 0 {
+		panic(fmt.Sprintf("netsim: link %q has non-positive bandwidth", cfg.Name))
+	}
+	l := &Link{Name: cfg.Name, Bps: cfg.Bps, Delay: cfg.Delay, MTU: cfg.MTU, Framer: cfg.Framer}
+	ia := &Iface{node: a, link: l, capBytes: cfg.QueueBytes}
+	ib := &Iface{node: b, link: l, capBytes: cfg.QueueBytes}
+	ia.peer, ib.peer = ib, ia
+	l.a, l.b = ia, ib
+	a.ifaces = append(a.ifaces, ia)
+	b.ifaces = append(b.ifaces, ib)
+	return l
+}
+
+// ComputeRoutes builds static shortest-path (hop count) routes between
+// all node pairs. Call after the topology is final; Connect after
+// ComputeRoutes requires another call.
+func (n *Network) ComputeRoutes() {
+	for _, src := range n.nodes {
+		src.routes = make([]int, len(n.nodes))
+		for i := range src.routes {
+			src.routes[i] = -1
+		}
+		// BFS from src.
+		type hop struct {
+			node     *Node
+			firstIfc int
+		}
+		visited := make([]bool, len(n.nodes))
+		visited[src.ID] = true
+		var frontier []hop
+		for i, ifc := range src.ifaces {
+			peer := ifc.peer.node
+			if !visited[peer.ID] {
+				visited[peer.ID] = true
+				src.routes[peer.ID] = i
+				frontier = append(frontier, hop{peer, i})
+			}
+		}
+		for len(frontier) > 0 {
+			var next []hop
+			for _, h := range frontier {
+				for _, ifc := range h.node.ifaces {
+					peer := ifc.peer.node
+					if !visited[peer.ID] {
+						visited[peer.ID] = true
+						src.routes[peer.ID] = h.firstIfc
+						next = append(next, hop{peer, h.firstIfc})
+					}
+				}
+			}
+			frontier = next
+		}
+	}
+}
+
+// PathMTU reports the smallest MTU along the route from src to dst, or
+// an error if dst is unreachable.
+func (n *Network) PathMTU(src, dst NodeID) (int, error) {
+	if src == dst {
+		return 1 << 30, nil
+	}
+	mtu := 1 << 30
+	cur := n.nodes[src]
+	for cur.ID != dst {
+		if cur.routes == nil {
+			return 0, fmt.Errorf("netsim: routes not computed")
+		}
+		idx := cur.routes[dst]
+		if idx < 0 {
+			return 0, fmt.Errorf("netsim: %s unreachable from %s", n.nodes[dst].Name, n.nodes[src].Name)
+		}
+		ifc := cur.ifaces[idx]
+		if ifc.link.MTU < mtu {
+			mtu = ifc.link.MTU
+		}
+		cur = ifc.peer.node
+	}
+	return mtu, nil
+}
+
+// PathRTT reports the zero-load round-trip time for a packet of n bytes
+// and its (small) ACK between src and dst: serialization at every hop
+// plus propagation, forwarding and host costs, both ways.
+func (n *Network) PathRTT(src, dst NodeID, bytes, ackBytes int) (time.Duration, error) {
+	fwd, err := n.PathDelay(src, dst, bytes)
+	if err != nil {
+		return 0, err
+	}
+	back, err := n.PathDelay(dst, src, ackBytes)
+	if err != nil {
+		return 0, err
+	}
+	return fwd + back, nil
+}
+
+// PathDelay reports the zero-load one-way delay for a single packet of
+// the given size from src to dst.
+func (n *Network) PathDelay(src, dst NodeID, bytes int) (time.Duration, error) {
+	if src == dst {
+		return 0, nil
+	}
+	var total time.Duration
+	cur := n.nodes[src]
+	// Host injection.
+	if cur.HostBps > 0 {
+		total += time.Duration(float64(bytes) * 8 / cur.HostBps * 1e9)
+	}
+	for cur.ID != dst {
+		if cur.routes == nil {
+			return 0, fmt.Errorf("netsim: routes not computed")
+		}
+		idx := cur.routes[dst]
+		if idx < 0 {
+			return 0, fmt.Errorf("netsim: %s unreachable from %s", n.nodes[dst].Name, n.nodes[src].Name)
+		}
+		ifc := cur.ifaces[idx]
+		l := ifc.link
+		wire := l.Framer.WireSize(bytes)
+		total += time.Duration(float64(wire)*8/l.Bps*1e9) + l.Delay
+		next := ifc.peer.node
+		if next.ID != dst {
+			total += next.relayCost(bytes)
+		}
+		cur = next
+	}
+	dstNode := n.nodes[dst]
+	if dstNode.HostBps > 0 {
+		total += time.Duration(float64(bytes) * 8 / dstNode.HostBps * 1e9)
+	}
+	return total, nil
+}
+
+func (nd *Node) relayCost(bytes int) time.Duration {
+	c := nd.ForwardCost
+	if nd.ForwardBps > 0 {
+		c += time.Duration(float64(bytes) * 8 / nd.ForwardBps * 1e9)
+	}
+	return c
+}
+
+// Drops reports packets dropped at full queues on this node's egress
+// interfaces.
+func (nd *Node) Drops() int64 {
+	total := nd.dropped
+	for _, ifc := range nd.ifaces {
+		total += ifc.drops
+	}
+	return total
+}
+
+// Send injects a packet at p.Src. It must be called in kernel context
+// (from an event callback or a process holding the virtual CPU).
+func (n *Network) Send(p *Packet) {
+	src := n.nodes[p.Src]
+	if p.Src == p.Dst {
+		// Loopback: deliver at the current instant.
+		n.K.At(n.K.Now(), func() { n.deliver(p) })
+		return
+	}
+	// Host injection serialization.
+	delay := time.Duration(0)
+	if src.HostBps > 0 {
+		start := n.K.Now()
+		if src.txFree > start {
+			start = src.txFree
+		}
+		dur := time.Duration(float64(p.Bytes) * 8 / src.HostBps * 1e9)
+		src.txFree = start.Add(dur)
+		delay = src.txFree.Sub(n.K.Now())
+	}
+	n.K.After(delay, func() { n.forward(src, p) })
+}
+
+// forward routes packet p out of node nd.
+func (n *Network) forward(nd *Node, p *Packet) {
+	idx := nd.routes[p.Dst]
+	if idx < 0 {
+		nd.dropped++
+		if p.OnDrop != nil {
+			p.OnDrop(p)
+		}
+		return
+	}
+	ifc := nd.ifaces[idx]
+	if ifc.queued+int64(p.Bytes) > ifc.capBytes {
+		ifc.drops++
+		if p.OnDrop != nil {
+			p.OnDrop(p)
+		}
+		return
+	}
+	ifc.queue = append(ifc.queue, p)
+	ifc.queued += int64(p.Bytes)
+	if !ifc.busy {
+		n.transmitNext(ifc)
+	}
+}
+
+// transmitNext serializes the head-of-line packet on ifc.
+func (n *Network) transmitNext(ifc *Iface) {
+	if len(ifc.queue) == 0 {
+		ifc.busy = false
+		return
+	}
+	ifc.busy = true
+	p := ifc.queue[0]
+	copy(ifc.queue, ifc.queue[1:])
+	ifc.queue[len(ifc.queue)-1] = nil
+	ifc.queue = ifc.queue[:len(ifc.queue)-1]
+	ifc.queued -= int64(p.Bytes)
+
+	l := ifc.link
+	wire := l.Framer.WireSize(p.Bytes)
+	txTime := time.Duration(float64(wire) * 8 / l.Bps * 1e9)
+	l.wireBytes += int64(wire)
+	l.busyTime += txTime
+	// Link free after serialization; next packet may start then.
+	n.K.After(txTime, func() { n.transmitNext(ifc) })
+	// Packet arrives at the peer after serialization + propagation.
+	n.K.After(txTime+l.Delay, func() { n.arrive(ifc.peer.node, p) })
+}
+
+// arrive handles a packet reaching node nd.
+func (n *Network) arrive(nd *Node, p *Packet) {
+	p.hops++
+	if p.hops > 64 {
+		nd.dropped++ // routing loop guard
+		if p.OnDrop != nil {
+			p.OnDrop(p)
+		}
+		return
+	}
+	if nd.ID == p.Dst {
+		// Host delivery drain.
+		delay := time.Duration(0)
+		if nd.HostBps > 0 {
+			start := n.K.Now()
+			if nd.rxFree > start {
+				start = nd.rxFree
+			}
+			dur := time.Duration(float64(p.Bytes) * 8 / nd.HostBps * 1e9)
+			nd.rxFree = start.Add(dur)
+			delay = nd.rxFree.Sub(n.K.Now())
+		}
+		n.K.After(delay, func() { n.deliver(p) })
+		return
+	}
+	// Relay: the forwarding CPU is a serial resource; packets queue
+	// on it in arrival order.
+	start := n.K.Now()
+	if nd.fwdFree > start {
+		start = nd.fwdFree
+	}
+	nd.fwdFree = start.Add(nd.relayCost(p.Bytes))
+	n.K.At(nd.fwdFree, func() { n.forward(nd, p) })
+}
+
+func (n *Network) deliver(p *Packet) {
+	if p.OnDeliver != nil {
+		p.OnDeliver(p)
+	}
+}

@@ -1,0 +1,301 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// twoHosts builds a -- b with the given link config and computed routes.
+func twoHosts(cfg LinkConfig) (*Network, *Node, *Node) {
+	k := sim.NewKernel()
+	n := New(k)
+	a := n.AddNode("a")
+	b := n.AddNode("b")
+	n.Connect(a, b, cfg)
+	n.ComputeRoutes()
+	return n, a, b
+}
+
+func TestSinglePacketDelay(t *testing.T) {
+	n, a, b := twoHosts(LinkConfig{Bps: 1e9, Delay: time.Millisecond, MTU: 65536})
+	var arrived sim.Time
+	n.K.At(0, func() {
+		n.Send(&Packet{Src: a.ID, Dst: b.ID, Bytes: 125000, // 1 ms serialization at 1 Gbit/s
+			OnDeliver: func(*Packet) { arrived = n.K.Now() }})
+	})
+	n.K.Run()
+	want := sim.Time(2 * time.Millisecond) // 1 ms tx + 1 ms prop
+	if arrived != want {
+		t.Errorf("arrival at %v, want %v", arrived, want)
+	}
+}
+
+func TestPathDelayMatchesSimulation(t *testing.T) {
+	n, a, b := twoHosts(LinkConfig{Bps: 622e6, Delay: 500 * time.Microsecond, MTU: 9180})
+	analytic, err := n.PathDelay(a.ID, b.ID, 9180)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arrived sim.Time
+	n.K.At(0, func() {
+		n.Send(&Packet{Src: a.ID, Dst: b.ID, Bytes: 9180,
+			OnDeliver: func(*Packet) { arrived = n.K.Now() }})
+	})
+	n.K.Run()
+	if got := arrived.Sub(0); got != analytic {
+		t.Errorf("simulated %v != analytic %v", got, analytic)
+	}
+}
+
+func TestFloodSaturatesLink(t *testing.T) {
+	n, a, b := twoHosts(LinkConfig{Bps: 100e6, Delay: time.Millisecond, MTU: 65536, QueueBytes: 256 << 20})
+	res := Flood(n, a.ID, b.ID, 62500, 200) // 100 Mbit total / 0.5 Mbit pkts
+	if res.Delivered != 200 || res.Dropped != 0 {
+		t.Fatalf("delivered %d dropped %d", res.Delivered, res.Dropped)
+	}
+	bps := res.ThroughputBps(0)
+	if math.Abs(bps-100e6)/100e6 > 0.02 {
+		t.Errorf("flood throughput = %.1f Mbit/s, want ~100", bps/1e6)
+	}
+}
+
+func TestQueueDropsWhenFull(t *testing.T) {
+	n, a, b := twoHosts(LinkConfig{Bps: 1e6, Delay: time.Millisecond, MTU: 65536, QueueBytes: 100000})
+	res := Flood(n, a.ID, b.ID, 10000, 100) // 1 MB into a 100 KB queue on a slow link
+	if res.Dropped == 0 {
+		t.Error("expected drops on overfilled queue")
+	}
+	if res.Delivered+res.Dropped != res.Sent {
+		t.Errorf("delivered %d + dropped %d != sent %d", res.Delivered, res.Dropped, res.Sent)
+	}
+	if a.Drops() != int64(res.Dropped) {
+		t.Errorf("node drop counter %d, want %d", a.Drops(), res.Dropped)
+	}
+}
+
+func TestHostRateCap(t *testing.T) {
+	// A 33 MByte/s host (SP2 microchannel model) on a 622 Mbit/s
+	// link: throughput must be capped by the host, not the link.
+	k := sim.NewKernel()
+	n := New(k)
+	a := n.AddNode("t3e")
+	b := n.AddNode("sp2", WithHostBps(264e6))
+	n.Connect(a, b, LinkConfig{Bps: 622e6, Delay: time.Millisecond, MTU: 65536, QueueBytes: 1 << 30})
+	n.ComputeRoutes()
+	res := Flood(n, a.ID, b.ID, 65536, 500)
+	bps := res.ThroughputBps(0)
+	if bps > 270e6 || bps < 250e6 {
+		t.Errorf("capped throughput = %.1f Mbit/s, want ~264", bps/1e6)
+	}
+}
+
+func TestGatewayForwardingCost(t *testing.T) {
+	// a -- gw -- b where the gateway adds 50 us + copy time per hop.
+	k := sim.NewKernel()
+	n := New(k)
+	a := n.AddNode("a")
+	gw := n.AddNode("gw", WithForwardCost(50*time.Microsecond, 2.6e9))
+	b := n.AddNode("b")
+	n.Connect(a, gw, LinkConfig{Bps: 800e6, Delay: 10 * time.Microsecond, MTU: 65536})
+	n.Connect(gw, b, LinkConfig{Bps: 622e6, Delay: 10 * time.Microsecond, MTU: 65536})
+	n.ComputeRoutes()
+
+	direct, err := n.PathDelay(a.ID, b.ID, 65536)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must include both serializations, both propagations and the
+	// relay cost.
+	bits := float64(65536 * 8)
+	ser1 := time.Duration(bits / 800e6 * 1e9)
+	ser2 := time.Duration(bits / 622e6 * 1e9)
+	relay := 50*time.Microsecond + time.Duration(bits/2.6e9*1e9)
+	want := ser1 + ser2 + 20*time.Microsecond + relay
+	if diff := (direct - want).Abs(); diff > time.Microsecond {
+		t.Errorf("PathDelay = %v, want %v", direct, want)
+	}
+}
+
+func TestRoutingMultiHop(t *testing.T) {
+	// chain a - s1 - s2 - b
+	k := sim.NewKernel()
+	n := New(k)
+	a := n.AddNode("a")
+	s1 := n.AddNode("s1")
+	s2 := n.AddNode("s2")
+	b := n.AddNode("b")
+	n.Connect(a, s1, LinkConfig{Bps: 1e9, MTU: 65536})
+	n.Connect(s1, s2, LinkConfig{Bps: 1e9, MTU: 9180})
+	n.Connect(s2, b, LinkConfig{Bps: 1e9, MTU: 65536})
+	n.ComputeRoutes()
+
+	mtu, err := n.PathMTU(a.ID, b.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mtu != 9180 {
+		t.Errorf("path MTU = %d, want 9180 (narrowest link)", mtu)
+	}
+
+	delivered := false
+	n.K.At(0, func() {
+		n.Send(&Packet{Src: a.ID, Dst: b.ID, Bytes: 1000,
+			OnDeliver: func(*Packet) { delivered = true }})
+	})
+	n.K.Run()
+	if !delivered {
+		t.Error("multi-hop packet not delivered")
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k)
+	a := n.AddNode("a")
+	b := n.AddNode("b") // not connected
+	n.ComputeRoutes()
+	if _, err := n.PathMTU(a.ID, b.ID); err == nil {
+		t.Error("PathMTU to unreachable node should error")
+	}
+	dropped := false
+	n.K.At(0, func() {
+		n.Send(&Packet{Src: a.ID, Dst: b.ID, Bytes: 100,
+			OnDrop: func(*Packet) { dropped = true }})
+	})
+	n.K.Run()
+	if !dropped {
+		t.Error("packet to unreachable node should drop")
+	}
+}
+
+func TestLoopbackDelivers(t *testing.T) {
+	n, a, _ := twoHosts(LinkConfig{Bps: 1e9, MTU: 65536})
+	got := false
+	n.K.At(0, func() {
+		n.Send(&Packet{Src: a.ID, Dst: a.ID, Bytes: 100,
+			OnDeliver: func(*Packet) { got = true }})
+	})
+	n.K.Run()
+	if !got {
+		t.Error("loopback packet not delivered")
+	}
+}
+
+func TestPing(t *testing.T) {
+	n, a, b := twoHosts(LinkConfig{Bps: 622e6, Delay: 500 * time.Microsecond, MTU: 9180})
+	rtt := Ping(n, a.ID, b.ID, 64, 64)
+	// Dominated by 2x500us propagation.
+	if rtt < time.Millisecond || rtt > 1100*time.Microsecond {
+		t.Errorf("RTT = %v, want ~1 ms", rtt)
+	}
+}
+
+func TestFIFOOrderPreserved(t *testing.T) {
+	n, a, b := twoHosts(LinkConfig{Bps: 10e6, Delay: time.Millisecond, MTU: 65536, QueueBytes: 64 << 20})
+	var order []int
+	n.K.At(0, func() {
+		for i := 0; i < 50; i++ {
+			i := i
+			n.Send(&Packet{Src: a.ID, Dst: b.ID, Bytes: 1000 + i,
+				OnDeliver: func(*Packet) { order = append(order, i) }})
+		}
+	})
+	n.K.Run()
+	if len(order) != 50 {
+		t.Fatalf("delivered %d", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("reordering detected at %d: %v", i, v)
+		}
+	}
+}
+
+func TestCrossTrafficOfferedLoad(t *testing.T) {
+	n, a, b := twoHosts(LinkConfig{Bps: 622e6, Delay: time.Millisecond, MTU: 9180, QueueBytes: 64 << 20})
+	ct := &CrossTraffic{Net: n, Src: a.ID, Dst: b.ID, Bps: 100e6, Seed: 3}
+	ct.Start(2 * time.Second)
+	n.K.Run()
+	sent, delivered, dropped := ct.Stats()
+	if sent == 0 || delivered == 0 {
+		t.Fatal("no traffic generated")
+	}
+	if dropped != 0 {
+		t.Errorf("%d drops on an uncongested link", dropped)
+	}
+	// Offered load over 2 s at 100 Mbit/s with 9180-byte packets:
+	// ~2723 packets; Poisson spread allows +-10%.
+	want := 100e6 * 2 / (9180 * 8)
+	if float64(sent) < want*0.9 || float64(sent) > want*1.1 {
+		t.Errorf("sent %d packets, want ~%.0f", sent, want)
+	}
+}
+
+func TestCrossTrafficAddsQueueingDelay(t *testing.T) {
+	// A probe packet through an 80%-loaded link sees more delay than
+	// through an idle one.
+	probe := func(loadBps float64) time.Duration {
+		n, a, b := twoHosts(LinkConfig{Bps: 155e6, Delay: time.Millisecond, MTU: 9180, QueueBytes: 64 << 20})
+		if loadBps > 0 {
+			ct := &CrossTraffic{Net: n, Src: a.ID, Dst: b.ID, Bps: loadBps, Seed: 5}
+			ct.Start(500 * time.Millisecond)
+		}
+		var sum time.Duration
+		samples := 50
+		for i := 0; i < samples; i++ {
+			i := i
+			sendAt := sim.Time(i) * sim.Time(10*time.Millisecond)
+			n.K.At(sendAt, func() {
+				n.Send(&Packet{Src: a.ID, Dst: b.ID, Bytes: 1000,
+					OnDeliver: func(*Packet) { sum += n.K.Now().Sub(sendAt) }})
+			})
+		}
+		n.K.Run()
+		return sum / time.Duration(samples)
+	}
+	idle := probe(0)
+	loaded := probe(124e6) // 80% of 155 Mbit/s
+	if loaded <= idle {
+		t.Errorf("loaded delay %v not above idle %v", loaded, idle)
+	}
+}
+
+func TestLinkUtilizationAccounting(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k)
+	a := n.AddNode("a")
+	b := n.AddNode("b")
+	l := n.Connect(a, b, LinkConfig{Bps: 100e6, Delay: time.Millisecond, MTU: 65536, QueueBytes: 64 << 20})
+	n.ComputeRoutes()
+	// 100 packets of 62500 B at 100 Mbit/s: 5 ms serialization each,
+	// 500 ms total busy time.
+	Flood(n, a.ID, b.ID, 62500, 100)
+	if got := l.WireBytes(); got != 100*62500 {
+		t.Errorf("wire bytes = %d", got)
+	}
+	// The link was busy essentially the whole run (packets back to
+	// back), so utilization ~1.
+	u := l.Utilization(k.Now())
+	if u < 0.9 || u > 1.01 {
+		t.Errorf("utilization = %.3f, want ~1 for a saturated one-way flood", u)
+	}
+	if l.Utilization(0) != 0 {
+		t.Error("utilization at t=0 should be 0")
+	}
+}
+
+func TestBadLinkPanics(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k)
+	a := n.AddNode("a")
+	b := n.AddNode("b")
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-bandwidth link did not panic")
+		}
+	}()
+	n.Connect(a, b, LinkConfig{})
+}

@@ -1,0 +1,67 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// CrossTraffic is an open-loop background load generator: packets of a
+// fixed size with exponentially distributed inter-arrival times
+// (Poisson arrivals), injected from src toward dst at a target average
+// rate. It models the uncoordinated campus traffic that shared the
+// testbed with the experiments, and lets jitter-under-load behaviour be
+// studied.
+type CrossTraffic struct {
+	Net      *Network
+	Src, Dst NodeID
+	// Bps is the target average offered load in bit/s.
+	Bps float64
+	// PktBytes is the packet size (default 9180).
+	PktBytes int
+	// Seed makes the arrival process reproducible.
+	Seed int64
+
+	sent      int64
+	delivered int64
+	dropped   int64
+	stopped   bool
+}
+
+// Start begins injecting packets at the current virtual time and keeps
+// going until Stop is called or the kernel runs dry of other events
+// plus `horizon` (packets self-schedule; the generator stops itself at
+// the horizon to let simulations terminate).
+func (ct *CrossTraffic) Start(horizon time.Duration) {
+	if ct.PktBytes == 0 {
+		ct.PktBytes = 9180
+	}
+	rng := rand.New(rand.NewSource(ct.Seed + 7))
+	end := ct.Net.K.Now().Add(horizon)
+	meanGap := float64(ct.PktBytes*8) / ct.Bps // seconds
+	var inject func()
+	inject = func() {
+		if ct.stopped || ct.Net.K.Now() > end {
+			return
+		}
+		ct.sent++
+		ct.Net.Send(&Packet{
+			Src: ct.Src, Dst: ct.Dst, Bytes: ct.PktBytes,
+			OnDeliver: func(*Packet) { ct.delivered++ },
+			OnDrop:    func(*Packet) { ct.dropped++ },
+		})
+		gap := -math.Log(1-rng.Float64()) * meanGap
+		ct.Net.K.After(sim.Duration(gap), inject)
+	}
+	ct.Net.K.At(ct.Net.K.Now(), inject)
+}
+
+// Stop halts injection.
+func (ct *CrossTraffic) Stop() { ct.stopped = true }
+
+// Stats reports sent/delivered/dropped packet counts.
+func (ct *CrossTraffic) Stats() (sent, delivered, dropped int64) {
+	return ct.sent, ct.delivered, ct.dropped
+}

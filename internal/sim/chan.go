@@ -1,0 +1,100 @@
+package sim
+
+// Chan is a FIFO message channel operating in virtual time. A Chan with
+// capacity 0 is unbounded: Send never blocks. A positive capacity makes
+// Send block (in virtual time) while the buffer is full, which models
+// finite staging buffers.
+//
+// Chan is the rendezvous primitive used by the metacomputing MPI model
+// and the application couplers when they run under the simulator.
+type Chan[T any] struct {
+	k     *Kernel
+	cap   int // 0 = unbounded
+	buf   []T
+	recvq []*Proc
+	sendq []*Proc
+}
+
+// NewChan creates a channel on kernel k. capacity 0 means unbounded.
+func NewChan[T any](k *Kernel, capacity int) *Chan[T] {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Chan[T]{k: k, cap: capacity}
+}
+
+// Len reports the number of buffered messages.
+func (c *Chan[T]) Len() int { return len(c.buf) }
+
+// Send enqueues v. If the channel is bounded and full, the calling
+// process blocks in virtual time until space is available.
+func (c *Chan[T]) Send(p *Proc, v T) {
+	for c.cap > 0 && len(c.buf) >= c.cap {
+		c.sendq = append(c.sendq, p)
+		p.waitExternal()
+	}
+	c.buf = append(c.buf, v)
+	c.wakeOneRecv()
+}
+
+// TrySend enqueues v without blocking and reports whether it was
+// accepted. It may be called from event callbacks (non-process context).
+func (c *Chan[T]) TrySend(v T) bool {
+	if c.cap > 0 && len(c.buf) >= c.cap {
+		return false
+	}
+	c.buf = append(c.buf, v)
+	c.wakeOneRecv()
+	return true
+}
+
+// Recv dequeues the oldest message, blocking the calling process in
+// virtual time until one is available.
+func (c *Chan[T]) Recv(p *Proc) T {
+	for len(c.buf) == 0 {
+		c.recvq = append(c.recvq, p)
+		p.waitExternal()
+	}
+	v := c.buf[0]
+	// Shift rather than reslice so the backing array does not pin
+	// delivered messages.
+	copy(c.buf, c.buf[1:])
+	c.buf[len(c.buf)-1] = *new(T)
+	c.buf = c.buf[:len(c.buf)-1]
+	c.wakeOneSend()
+	return v
+}
+
+// TryRecv dequeues a message if one is buffered.
+func (c *Chan[T]) TryRecv() (T, bool) {
+	if len(c.buf) == 0 {
+		var zero T
+		return zero, false
+	}
+	v := c.buf[0]
+	copy(c.buf, c.buf[1:])
+	c.buf[len(c.buf)-1] = *new(T)
+	c.buf = c.buf[:len(c.buf)-1]
+	c.wakeOneSend()
+	return v, true
+}
+
+func (c *Chan[T]) wakeOneRecv() {
+	if len(c.recvq) == 0 {
+		return
+	}
+	p := c.recvq[0]
+	copy(c.recvq, c.recvq[1:])
+	c.recvq = c.recvq[:len(c.recvq)-1]
+	p.resumeNow()
+}
+
+func (c *Chan[T]) wakeOneSend() {
+	if len(c.sendq) == 0 {
+		return
+	}
+	p := c.sendq[0]
+	copy(c.sendq, c.sendq[1:])
+	c.sendq = c.sendq[:len(c.sendq)-1]
+	p.resumeNow()
+}

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestChanFIFO(t *testing.T) {
+	k := NewKernel()
+	c := NewChan[int](k, 0)
+	var got []int
+	k.Go("recv", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, c.Recv(p))
+		}
+	})
+	k.Go("send", func(p *Proc) {
+		for i := 1; i <= 3; i++ {
+			c.Send(p, i)
+			p.Sleep(time.Millisecond)
+		}
+	})
+	k.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("received %v, want [1 2 3]", got)
+	}
+}
+
+func TestChanRecvBlocksUntilSend(t *testing.T) {
+	k := NewKernel()
+	c := NewChan[string](k, 0)
+	var recvAt Time
+	k.Go("recv", func(p *Proc) {
+		c.Recv(p)
+		recvAt = p.Now()
+	})
+	k.Go("send", func(p *Proc) {
+		p.Sleep(3 * time.Second)
+		c.Send(p, "hi")
+	})
+	k.Run()
+	if recvAt != Time(3*time.Second) {
+		t.Errorf("Recv completed at %v, want 3s", recvAt)
+	}
+}
+
+func TestChanBoundedSendBlocks(t *testing.T) {
+	k := NewKernel()
+	c := NewChan[int](k, 1)
+	var sentSecondAt Time
+	k.Go("send", func(p *Proc) {
+		c.Send(p, 1) // fills buffer
+		c.Send(p, 2) // must wait for the receive at t=5s
+		sentSecondAt = p.Now()
+	})
+	k.Go("recv", func(p *Proc) {
+		p.Sleep(5 * time.Second)
+		c.Recv(p)
+		c.Recv(p)
+	})
+	k.Run()
+	if sentSecondAt != Time(5*time.Second) {
+		t.Errorf("second Send completed at %v, want 5s", sentSecondAt)
+	}
+}
+
+func TestChanTrySendTryRecv(t *testing.T) {
+	k := NewKernel()
+	c := NewChan[int](k, 1)
+	if _, ok := c.TryRecv(); ok {
+		t.Error("TryRecv on empty chan succeeded")
+	}
+	if !c.TrySend(7) {
+		t.Error("TrySend on empty bounded chan failed")
+	}
+	if c.TrySend(8) {
+		t.Error("TrySend on full chan succeeded")
+	}
+	v, ok := c.TryRecv()
+	if !ok || v != 7 {
+		t.Errorf("TryRecv = %d,%v want 7,true", v, ok)
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len = %d, want 0", c.Len())
+	}
+}
+
+func TestChanManyMessagesOrdered(t *testing.T) {
+	k := NewKernel()
+	c := NewChan[int](k, 0)
+	const n = 1000
+	var got []int
+	k.Go("recv", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			got = append(got, c.Recv(p))
+		}
+	})
+	k.Go("send", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			c.Send(p, i)
+		}
+	})
+	k.Run()
+	if len(got) != n {
+		t.Fatalf("received %d, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("message %d out of order: %d", i, v)
+		}
+	}
+}

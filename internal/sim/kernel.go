@@ -1,0 +1,194 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel drives a virtual clock measured in integer nanoseconds.
+// Work is expressed either as timed callbacks (Event) or as cooperative
+// processes (Proc) that block in virtual time on sleeps, channels and
+// resources. At most one process runs at any instant, and events with
+// equal timestamps fire in scheduling order, so simulations are fully
+// deterministic and independent of the host scheduler.
+//
+// The kernel underpins the network model (internal/netsim), the machine
+// cost models (internal/machine) and every experiment driver in this
+// repository.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is an absolute virtual timestamp in nanoseconds since the start
+// of the simulation.
+type Time int64
+
+// Seconds reports the timestamp in seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Add returns the timestamp shifted by d.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and u (t - u).
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Duration converts a floating-point number of seconds to a
+// time.Duration, saturating instead of overflowing for huge values.
+func Duration(seconds float64) time.Duration {
+	const maxSec = float64(1<<62) / 1e9
+	if seconds > maxSec {
+		return time.Duration(1 << 62)
+	}
+	if seconds < 0 {
+		return 0
+	}
+	return time.Duration(seconds * 1e9)
+}
+
+func (t Time) String() string {
+	return fmt.Sprintf("%.6fs", t.Seconds())
+}
+
+// Event is a scheduled callback. Events are created with Kernel.At or
+// Kernel.After and may be cancelled before they fire.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	index    int // heap index, -1 once fired or cancelled
+	canceled bool
+}
+
+// When reports the virtual time the event is scheduled for.
+func (e *Event) When() Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulation engine. The zero value is not
+// usable; create kernels with NewKernel.
+type Kernel struct {
+	now      Time
+	seq      uint64
+	events   eventHeap
+	ctl      chan struct{} // handshake: proc -> kernel (parked or exited)
+	procs    int           // live (started, not yet finished) processes
+	panicVal any
+	stopped  bool
+}
+
+// NewKernel returns a kernel with the clock at zero and no pending
+// events.
+func NewKernel() *Kernel {
+	return &Kernel{ctl: make(chan struct{})}
+}
+
+// Now reports the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// At schedules fn to run at virtual time t. Scheduling in the past is an
+// error and panics: the caller has violated causality.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: event scheduled at %v before now %v", t, k.now))
+	}
+	k.seq++
+	e := &Event{at: t, seq: k.seq, fn: fn}
+	heap.Push(&k.events, e)
+	return e
+}
+
+// After schedules fn to run d after the current virtual time. Negative
+// durations are treated as zero.
+func (k *Kernel) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now.Add(d), fn)
+}
+
+// Cancel removes a pending event. Cancelling an event that already fired
+// or was already cancelled is a no-op.
+func (k *Kernel) Cancel(e *Event) {
+	if e == nil || e.index < 0 || e.canceled {
+		return
+	}
+	e.canceled = true
+	heap.Remove(&k.events, e.index)
+}
+
+// Pending reports the number of events waiting to fire.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// Step fires the single earliest pending event, advancing the clock to
+// its timestamp. It reports whether an event was fired.
+func (k *Kernel) Step() bool {
+	if len(k.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.events).(*Event)
+	k.now = e.at
+	e.fn()
+	if k.panicVal != nil {
+		v := k.panicVal
+		k.panicVal = nil
+		panic(v)
+	}
+	return true
+}
+
+// Run fires events until none remain or Stop is called. It returns the
+// final virtual time.
+func (k *Kernel) Run() Time {
+	k.stopped = false
+	for !k.stopped && k.Step() {
+	}
+	return k.now
+}
+
+// RunUntil fires events with timestamps <= t, then sets the clock to t
+// (if it is not already past it) and returns.
+func (k *Kernel) RunUntil(t Time) Time {
+	k.stopped = false
+	for !k.stopped && len(k.events) > 0 && k.events[0].at <= t {
+		k.Step()
+	}
+	if k.now < t {
+		k.now = t
+	}
+	return k.now
+}
+
+// Stop makes the innermost Run or RunUntil return after the current
+// event completes. It may be called from inside event callbacks or
+// processes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Procs reports the number of live processes (started and not yet
+// returned).
+func (k *Kernel) Procs() int { return k.procs }

@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	k.After(3*time.Second, func() { got = append(got, 3) })
+	k.After(1*time.Second, func() { got = append(got, 1) })
+	k.After(2*time.Second, func() { got = append(got, 2) })
+	end := k.Run()
+	if want := Time(3 * time.Second); end != want {
+		t.Errorf("Run ended at %v, want %v", end, want)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("events fired in order %v, want [1 2 3]", got)
+	}
+}
+
+func TestEqualTimestampsFIFO(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(Time(time.Second), func() { got = append(got, i) })
+	}
+	k.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("equal-time events fired out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	e := k.After(time.Second, func() { fired = true })
+	k.Cancel(e)
+	k.Cancel(e) // double-cancel is a no-op
+	k.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if k.Now() != 0 {
+		t.Errorf("clock advanced to %v with no live events", k.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		k.At(Time(i)*Time(time.Second), func() { count++ })
+	}
+	k.RunUntil(Time(3 * time.Second))
+	if count != 3 {
+		t.Errorf("RunUntil(3s) fired %d events, want 3", count)
+	}
+	if k.Now() != Time(3*time.Second) {
+		t.Errorf("clock at %v, want 3s", k.Now())
+	}
+	k.Run()
+	if count != 5 {
+		t.Errorf("Run fired %d events total, want 5", count)
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	k := NewKernel()
+	k.RunUntil(Time(7 * time.Second))
+	if k.Now() != Time(7*time.Second) {
+		t.Errorf("idle RunUntil left clock at %v, want 7s", k.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		k.At(Time(i), func() {
+			count++
+			if count == 2 {
+				k.Stop()
+			}
+		})
+	}
+	k.Run()
+	if count != 2 {
+		t.Errorf("Stop after 2 events, but %d fired", count)
+	}
+	k.Run() // resume
+	if count != 5 {
+		t.Errorf("resumed Run fired %d events total, want 5", count)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	k := NewKernel()
+	k.After(time.Second, func() {})
+	k.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("At in the past did not panic")
+		}
+	}()
+	k.At(0, func() {})
+}
+
+func TestNegativeAfterClampsToNow(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	k.After(-5*time.Second, func() { fired = true })
+	k.Run()
+	if !fired || k.Now() != 0 {
+		t.Errorf("negative After: fired=%v now=%v, want true, 0", fired, k.Now())
+	}
+}
+
+// Property: for arbitrary sets of non-negative delays, events fire in
+// nondecreasing time order and the clock ends at the max delay.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(delays []uint32) bool {
+		k := NewKernel()
+		var fireTimes []Time
+		var max Time
+		for _, d := range delays {
+			at := Time(d)
+			if at > max {
+				max = at
+			}
+			k.At(at, func() { fireTimes = append(fireTimes, k.Now()) })
+		}
+		k.Run()
+		if len(fireTimes) != len(delays) {
+			return false
+		}
+		if !sort.SliceIsSorted(fireTimes, func(i, j int) bool { return fireTimes[i] < fireTimes[j] }) {
+			return false
+		}
+		return len(delays) == 0 || k.Now() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Determinism: the same randomized schedule produces the same firing
+// sequence on every run.
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []int {
+		rng := rand.New(rand.NewSource(seed))
+		k := NewKernel()
+		var got []int
+		for i := 0; i < 500; i++ {
+			i := i
+			k.At(Time(rng.Intn(100)), func() { got = append(got, i) })
+		}
+		k.Run()
+		return got
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatal("different lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDurationHelper(t *testing.T) {
+	if d := Duration(1.5); d != 1500*time.Millisecond {
+		t.Errorf("Duration(1.5) = %v", d)
+	}
+	if d := Duration(-1); d != 0 {
+		t.Errorf("Duration(-1) = %v, want 0", d)
+	}
+	if d := Duration(1e300); d <= 0 {
+		t.Errorf("Duration(1e300) overflowed to %v", d)
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	tm := Time(2500 * time.Millisecond)
+	if s := tm.Seconds(); s != 2.5 {
+		t.Errorf("Seconds = %v", s)
+	}
+	if u := tm.Add(500 * time.Millisecond); u != Time(3*time.Second) {
+		t.Errorf("Add = %v", u)
+	}
+	if d := tm.Sub(Time(time.Second)); d != 1500*time.Millisecond {
+		t.Errorf("Sub = %v", d)
+	}
+	if tm.String() == "" {
+		t.Error("empty String()")
+	}
+}

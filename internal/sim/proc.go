@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Proc is a cooperative simulation process: a goroutine whose blocking
+// operations (Sleep, channel receives, resource acquisition) advance
+// virtual rather than wall-clock time. Exactly one process runs at any
+// moment; a process keeps the CPU until it blocks, so sequences of
+// ordinary Go code between blocking calls are atomic in virtual time.
+type Proc struct {
+	k    *Kernel
+	name string
+	wake chan struct{}
+	done bool
+}
+
+// Kernel returns the kernel this process belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Name returns the diagnostic name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Go starts fn as a new simulation process. The process begins running
+// at the current virtual time, once the kernel reaches the scheduling
+// event (so Go may be called before Run). A panic inside fn is
+// propagated out of the kernel's Run/Step.
+func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{k: k, name: name, wake: make(chan struct{})}
+	k.procs++
+	go func() {
+		<-p.wake // wait for the kernel to hand us the virtual CPU
+		defer func() {
+			p.done = true
+			k.procs--
+			if r := recover(); r != nil {
+				k.panicVal = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+			}
+			k.ctl <- struct{}{} // return the CPU for good
+		}()
+		fn(p)
+	}()
+	k.At(k.now, func() { k.resume(p) })
+	return p
+}
+
+// resume hands the virtual CPU to p and blocks until p parks or exits.
+// It must only be called from the kernel goroutine (i.e. from event
+// callbacks).
+func (k *Kernel) resume(p *Proc) {
+	if p.done {
+		return
+	}
+	p.wake <- struct{}{}
+	<-k.ctl
+}
+
+// park returns the virtual CPU to the kernel and blocks until another
+// event resumes this process.
+func (p *Proc) park() {
+	p.k.ctl <- struct{}{}
+	<-p.wake
+}
+
+// Sleep blocks the process for d of virtual time. Non-positive
+// durations yield the CPU to other events scheduled at the current
+// instant and continue.
+func (p *Proc) Sleep(d time.Duration) {
+	p.k.After(d, func() { p.k.resume(p) })
+	p.park()
+}
+
+// WaitUntil blocks the process until virtual time t. Times in the past
+// behave like Sleep(0).
+func (p *Proc) WaitUntil(t Time) {
+	if t < p.k.now {
+		t = p.k.now
+	}
+	p.k.At(t, func() { p.k.resume(p) })
+	p.park()
+}
+
+// waitExternal parks the process until resume() is invoked by whatever
+// mechanism the caller registered beforehand (channel wait lists,
+// resource queues, ...). The registered mechanism must eventually call
+// the returned resume exactly once, from kernel context.
+func (p *Proc) waitExternal() { p.park() }
+
+// resumeNow schedules p to be resumed at the current virtual instant.
+func (p *Proc) resumeNow() {
+	p.k.At(p.k.now, func() { p.k.resume(p) })
+}

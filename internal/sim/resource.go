@@ -1,0 +1,98 @@
+package sim
+
+import "fmt"
+
+// Resource is a counting semaphore in virtual time. It models anything
+// with finite concurrent capacity: gateway CPUs, NIC DMA engines,
+// rendering pipes, scanner front-ends.
+type Resource struct {
+	k        *Kernel
+	capacity int
+	inUse    int
+	waitq    []*Proc
+}
+
+// NewResource creates a resource with the given capacity (>= 1).
+func NewResource(k *Kernel, capacity int) *Resource {
+	if capacity < 1 {
+		panic(fmt.Sprintf("sim: resource capacity %d < 1", capacity))
+	}
+	return &Resource{k: k, capacity: capacity}
+}
+
+// InUse reports the number of currently held units.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Capacity reports the total capacity.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// Acquire blocks the process in virtual time until a unit is available,
+// then holds it.
+func (r *Resource) Acquire(p *Proc) {
+	for r.inUse >= r.capacity {
+		r.waitq = append(r.waitq, p)
+		p.waitExternal()
+	}
+	r.inUse++
+}
+
+// TryAcquire takes a unit if one is free, reporting success. It is safe
+// from event-callback context.
+func (r *Resource) TryAcquire() bool {
+	if r.inUse >= r.capacity {
+		return false
+	}
+	r.inUse++
+	return true
+}
+
+// Release returns a unit and wakes one waiter, if any. Releasing an
+// unheld resource panics: it indicates a bookkeeping bug in the caller.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: Release of un-acquired resource")
+	}
+	r.inUse--
+	if len(r.waitq) > 0 {
+		p := r.waitq[0]
+		copy(r.waitq, r.waitq[1:])
+		r.waitq = r.waitq[:len(r.waitq)-1]
+		p.resumeNow()
+	}
+}
+
+// Gate is a broadcast condition in virtual time: processes Wait until
+// some event Opens the gate, at which point all current waiters resume.
+// It models barrier-style coordination (e.g. "scanner frame ready").
+type Gate struct {
+	k     *Kernel
+	open  bool
+	waitq []*Proc
+}
+
+// NewGate creates a closed gate.
+func NewGate(k *Kernel) *Gate { return &Gate{k: k} }
+
+// Wait blocks until the gate is open. If the gate is already open it
+// returns immediately.
+func (g *Gate) Wait(p *Proc) {
+	for !g.open {
+		g.waitq = append(g.waitq, p)
+		p.waitExternal()
+	}
+}
+
+// Open opens the gate and resumes all waiters.
+func (g *Gate) Open() {
+	g.open = true
+	for _, p := range g.waitq {
+		p.resumeNow()
+	}
+	g.waitq = nil
+}
+
+// Close closes the gate again; subsequent Wait calls block.
+func (g *Gate) Close() { g.open = false }
+
+// IsOpen reports whether the gate is open.
+func (g *Gate) IsOpen() bool { return g.open }

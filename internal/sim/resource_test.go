@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestResourceSerializes(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, 1)
+	var finish []Time
+	for i := 0; i < 3; i++ {
+		k.Go("worker", func(p *Proc) {
+			r.Acquire(p)
+			p.Sleep(time.Second)
+			r.Release()
+			finish = append(finish, p.Now())
+		})
+	}
+	k.Run()
+	if len(finish) != 3 {
+		t.Fatalf("%d workers finished", len(finish))
+	}
+	want := []Time{Time(time.Second), Time(2 * time.Second), Time(3 * time.Second)}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Errorf("worker %d finished at %v, want %v", i, finish[i], want[i])
+		}
+	}
+}
+
+func TestResourceCapacityTwo(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, 2)
+	var finish []Time
+	for i := 0; i < 4; i++ {
+		k.Go("worker", func(p *Proc) {
+			r.Acquire(p)
+			p.Sleep(time.Second)
+			r.Release()
+			finish = append(finish, p.Now())
+		})
+	}
+	k.Run()
+	// Two run in [0,1], two in [1,2].
+	if finish[0] != Time(time.Second) || finish[1] != Time(time.Second) {
+		t.Errorf("first pair finished at %v,%v want 1s,1s", finish[0], finish[1])
+	}
+	if finish[2] != Time(2*time.Second) || finish[3] != Time(2*time.Second) {
+		t.Errorf("second pair finished at %v,%v want 2s,2s", finish[2], finish[3])
+	}
+}
+
+func TestResourceTryAcquire(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, 1)
+	if !r.TryAcquire() {
+		t.Fatal("TryAcquire on free resource failed")
+	}
+	if r.TryAcquire() {
+		t.Fatal("TryAcquire on busy resource succeeded")
+	}
+	r.Release()
+	if r.InUse() != 0 || r.Capacity() != 1 {
+		t.Errorf("InUse=%d Capacity=%d", r.InUse(), r.Capacity())
+	}
+}
+
+func TestResourceReleaseUnheldPanics(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Release of unheld resource did not panic")
+		}
+	}()
+	r.Release()
+}
+
+func TestBadCapacityPanics(t *testing.T) {
+	k := NewKernel()
+	defer func() {
+		if recover() == nil {
+			t.Error("NewResource(0) did not panic")
+		}
+	}()
+	NewResource(k, 0)
+}
+
+func TestGate(t *testing.T) {
+	k := NewKernel()
+	g := NewGate(k)
+	var through []Time
+	for i := 0; i < 3; i++ {
+		k.Go("waiter", func(p *Proc) {
+			g.Wait(p)
+			through = append(through, p.Now())
+		})
+	}
+	k.Go("opener", func(p *Proc) {
+		p.Sleep(4 * time.Second)
+		g.Open()
+	})
+	k.Run()
+	if len(through) != 3 {
+		t.Fatalf("%d waiters passed", len(through))
+	}
+	for _, tm := range through {
+		if tm != Time(4*time.Second) {
+			t.Errorf("waiter passed at %v, want 4s", tm)
+		}
+	}
+	if !g.IsOpen() {
+		t.Error("gate not open")
+	}
+	g.Close()
+	if g.IsOpen() {
+		t.Error("gate still open after Close")
+	}
+	// An open gate admits immediately.
+	g.Open()
+	passed := false
+	k.Go("late", func(p *Proc) {
+		g.Wait(p)
+		passed = true
+	})
+	k.Run()
+	if !passed {
+		t.Error("late waiter blocked on open gate")
+	}
+}

@@ -1,0 +1,91 @@
+package tcpsim
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Flow is a handle on an in-progress transfer, allowing several
+// transfers to share the network concurrently (e.g. filling the OC-48
+// backbone with parallel streams, or running bulk data against a video
+// stream). Start schedules the flow; WaitAll drives the kernel.
+type Flow struct {
+	s *sender
+}
+
+// Start schedules a TCP transfer without running the kernel.
+func Start(n *netsim.Network, src, dst netsim.NodeID, nbytes int64, cfg Config) (*Flow, error) {
+	cfg.fill()
+	mss := cfg.MSS
+	if mss == 0 {
+		mtu, err := n.PathMTU(src, dst)
+		if err != nil {
+			return nil, err
+		}
+		mss = mtu - HeaderBytes
+	}
+	if mss <= 0 {
+		return nil, fmt.Errorf("tcpsim: non-positive MSS %d", mss)
+	}
+	s := &sender{
+		n: n, src: src, dst: dst, cfg: cfg, total: nbytes,
+		mss:      mss,
+		cwnd:     float64(cfg.InitialCwndSegs * mss),
+		ssthresh: float64(cfg.WindowBytes),
+		sendTS:   make(map[int64]sim.Time),
+		start:    n.K.Now(),
+	}
+	n.K.At(n.K.Now(), func() { s.pump() })
+	return &Flow{s: s}, nil
+}
+
+// Done reports whether the flow has completed successfully.
+func (f *Flow) Done() bool { return f.s.done }
+
+// Err reports a terminal flow error, if any.
+func (f *Flow) Err() error { return f.s.err }
+
+// Result returns the transfer outcome. It errors if the flow has not
+// completed.
+func (f *Flow) Result() (Result, error) {
+	if f.s.err != nil {
+		return Result{}, f.s.err
+	}
+	if !f.s.done {
+		return Result{}, fmt.Errorf("tcpsim: flow still in progress (%d/%d bytes)", f.s.ackSeq, f.s.total)
+	}
+	dur := f.s.finish.Sub(f.s.start)
+	res := Result{
+		Bytes: f.s.total, Duration: dur, MSS: f.s.mss,
+		Retransmits: f.s.rtx, SRTT: f.s.srtt,
+	}
+	if dur > 0 {
+		res.ThroughputBps = float64(f.s.total) * 8 / dur.Seconds()
+	}
+	return res, nil
+}
+
+// WaitAll runs the kernel until every flow has completed (or one
+// stalls with no pending events).
+func WaitAll(n *netsim.Network, flows ...*Flow) error {
+	for {
+		n.K.Run()
+		pending := 0
+		for _, f := range flows {
+			if f.s.err != nil {
+				return f.s.err
+			}
+			if !f.s.done {
+				pending++
+			}
+		}
+		if pending == 0 {
+			return nil
+		}
+		if n.K.Pending() == 0 {
+			return fmt.Errorf("tcpsim: %d flows stalled with no pending events", pending)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package tcpsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Property: for arbitrary (bounded) link rates, windows and MTUs, a
+// completed transfer never exceeds the link's payload capacity, and
+// always makes progress.
+func TestThroughputNeverExceedsCapacity(t *testing.T) {
+	f := func(rateRaw, winRaw, mtuRaw uint16) bool {
+		bps := 10e6 + float64(rateRaw)*10e3 // 10..665 Mbit/s
+		win := 64<<10 + int(winRaw)*16      // 64KiB..1.1MiB
+		mtu := 1500 + int(mtuRaw)%64000     // 1500..65500
+		k := sim.NewKernel()
+		n := netsim.New(k)
+		a := n.AddNode("a")
+		b := n.AddNode("b")
+		n.Connect(a, b, netsim.LinkConfig{
+			Bps: bps, Delay: time.Millisecond, MTU: mtu, QueueBytes: 32 << 20,
+		})
+		n.ComputeRoutes()
+		res, err := Transfer(n, a.ID, b.ID, 4<<20, Config{WindowBytes: win})
+		if err != nil {
+			return false
+		}
+		if res.ThroughputBps <= 0 {
+			return false
+		}
+		// Goodput strictly below raw link rate (headers + ACK RTTs).
+		return res.ThroughputBps < bps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: throughput is monotone (non-strictly) in window size on a
+// long-RTT path, up to the BDP.
+func TestWindowMonotonicity(t *testing.T) {
+	measure := func(win int) float64 {
+		k := sim.NewKernel()
+		n := netsim.New(k)
+		a := n.AddNode("a")
+		b := n.AddNode("b")
+		n.Connect(a, b, netsim.LinkConfig{
+			Bps: 622e6, Delay: 5 * time.Millisecond, MTU: 65536, QueueBytes: 64 << 20,
+		})
+		n.ComputeRoutes()
+		res, err := Transfer(n, a.ID, b.ID, 32<<20, Config{WindowBytes: win})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ThroughputBps
+	}
+	prev := 0.0
+	for _, win := range []int{64 << 10, 256 << 10, 1 << 20, 4 << 20} {
+		cur := measure(win)
+		if cur < prev*0.98 { // allow 2% numerical slack
+			t.Errorf("window %d KiB: throughput %.1f Mbit/s dropped below %.1f",
+				win>>10, cur/1e6, prev/1e6)
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,286 @@
+// Package tcpsim models TCP bulk transfers over the internal/netsim
+// packet network: slow start, congestion avoidance, cumulative ACKs,
+// fast retransmit and RTO-based go-back-N recovery. The model's purpose
+// is faithful *throughput shaping* — window limits, MTU effects (the
+// paper's 64 KByte MTU vs. Classical-IP defaults), bandwidth-delay
+// products over the 100 km WAN, and the interaction with gateway and
+// host-I/O bottlenecks — not byte-accurate protocol emulation.
+package tcpsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// HeaderBytes is the TCP/IP header size assumed for every segment.
+const HeaderBytes = 40
+
+// AckBytes is the wire size of a pure ACK at the network layer.
+const AckBytes = 40
+
+// Config tunes a Transfer.
+type Config struct {
+	// MSS overrides the maximum segment size. Zero derives it from
+	// the path MTU minus HeaderBytes.
+	MSS int
+	// WindowBytes is the send/receive window (socket buffer). Zero
+	// defaults to 1 MiB — a typical well-tuned 1999 configuration.
+	WindowBytes int
+	// InitialCwndSegs is the initial congestion window in segments
+	// (default 2).
+	InitialCwndSegs int
+	// RTOMin floors the retransmission timeout (default 200 ms).
+	RTOMin time.Duration
+	// MaxRetries bounds consecutive RTO retransmissions of the same
+	// data before the transfer errors out (default 8).
+	MaxRetries int
+}
+
+func (c *Config) fill() {
+	if c.WindowBytes == 0 {
+		c.WindowBytes = 1 << 20
+	}
+	if c.InitialCwndSegs == 0 {
+		c.InitialCwndSegs = 2
+	}
+	if c.RTOMin == 0 {
+		c.RTOMin = 200 * time.Millisecond
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 8
+	}
+}
+
+// Result reports the outcome of a Transfer.
+type Result struct {
+	Bytes         int64
+	Duration      time.Duration
+	ThroughputBps float64 // goodput: payload bits per second
+	MSS           int
+	Retransmits   int
+	SRTT          time.Duration // smoothed RTT estimate at completion
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%d bytes in %v = %.1f Mbit/s (mss %d, %d rtx)",
+		r.Bytes, r.Duration.Round(time.Microsecond), r.ThroughputBps/1e6, r.MSS, r.Retransmits)
+}
+
+type sender struct {
+	n        *netsim.Network
+	src, dst netsim.NodeID
+	cfg      Config
+	total    int64
+
+	mss      int
+	ackSeq   int64 // cumulative bytes acknowledged (sender view)
+	rcvNext  int64 // highest contiguous byte received (receiver view)
+	nextSeq  int64 // next byte to send
+	cwnd     float64
+	ssthresh float64
+	dupAcks  int
+	rtx      int
+	retries  int
+
+	srtt   time.Duration
+	rttvar time.Duration
+	sendTS map[int64]sim.Time // seq -> send time, for RTT samples
+
+	rtoEv  *sim.Event
+	done   bool
+	start  sim.Time
+	finish sim.Time
+	err    error
+}
+
+// Transfer simulates a one-directional TCP bulk transfer of nbytes from
+// src to dst and runs the kernel until it completes (or stalls). Other
+// traffic already scheduled on the kernel proceeds concurrently. For
+// several simultaneous transfers, use Start + WaitAll.
+func Transfer(n *netsim.Network, src, dst netsim.NodeID, nbytes int64, cfg Config) (Result, error) {
+	f, err := Start(n, src, dst, nbytes, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := WaitAll(n, f); err != nil {
+		return Result{}, err
+	}
+	return f.Result()
+}
+
+// window reports the current effective window in bytes.
+func (s *sender) window() int64 {
+	w := s.cwnd
+	if float64(s.cfg.WindowBytes) < w {
+		w = float64(s.cfg.WindowBytes)
+	}
+	return int64(w)
+}
+
+// pump sends as many segments as the window allows.
+func (s *sender) pump() {
+	if s.done || s.err != nil {
+		return
+	}
+	for s.nextSeq < s.total && s.nextSeq-s.ackSeq+int64(s.mss) <= s.window() {
+		s.sendSegment(s.nextSeq)
+		seg := int64(s.mss)
+		if s.nextSeq+seg > s.total {
+			seg = s.total - s.nextSeq
+		}
+		s.nextSeq += seg
+	}
+	s.armRTO()
+}
+
+// sendSegment transmits the segment starting at seq.
+func (s *sender) sendSegment(seq int64) {
+	payload := int64(s.mss)
+	if seq+payload > s.total {
+		payload = s.total - seq
+	}
+	end := seq + payload
+	if _, ok := s.sendTS[seq]; !ok {
+		s.sendTS[seq] = s.n.K.Now()
+	}
+	pkt := &netsim.Packet{
+		Src: s.src, Dst: s.dst, Bytes: int(payload) + HeaderBytes,
+		OnDeliver: func(*netsim.Packet) { s.onDataArrive(seq, end) },
+		// Data loss is recovered by RTO; nothing to do eagerly.
+	}
+	s.n.Send(pkt)
+}
+
+// onDataArrive runs at the receiver: generate a cumulative ACK.
+// The simulated network preserves per-path FIFO order, so the receiver
+// only needs the highest contiguous byte; holes appear solely through
+// drops, which go-back-N recovery fills by resending from ackSeq.
+func (s *sender) onDataArrive(seq, end int64) {
+	if seq <= s.rcvNext && end > s.rcvNext {
+		s.rcvNext = end
+	}
+	ackNo := s.rcvNext
+	ack := &netsim.Packet{
+		Src: s.dst, Dst: s.src, Bytes: AckBytes,
+		OnDeliver: func(*netsim.Packet) { s.onAck(ackNo) },
+	}
+	s.n.Send(ack)
+}
+
+// onAck runs at the sender.
+func (s *sender) onAck(ackNo int64) {
+	if s.done || s.err != nil {
+		return
+	}
+	if ackNo > s.ackSeq {
+		// RTT sample from the oldest outstanding segment.
+		if ts, ok := s.sendTS[s.ackSeq]; ok {
+			s.rttSample(s.n.K.Now().Sub(ts))
+		}
+		for seq := range s.sendTS {
+			if seq < ackNo {
+				delete(s.sendTS, seq)
+			}
+		}
+		acked := ackNo - s.ackSeq
+		s.ackSeq = ackNo
+		s.dupAcks = 0
+		s.retries = 0
+		// Congestion window growth.
+		if s.cwnd < s.ssthresh {
+			s.cwnd += float64(acked) // slow start
+		} else {
+			s.cwnd += float64(s.mss) * float64(acked) / s.cwnd // CA
+		}
+		if s.ackSeq >= s.total {
+			s.complete()
+			return
+		}
+		s.pump()
+		return
+	}
+	// Duplicate ACK.
+	s.dupAcks++
+	if s.dupAcks == 3 {
+		// Fast retransmit + multiplicative decrease.
+		s.ssthresh = maxf(float64(s.nextSeq-s.ackSeq)/2, float64(2*s.mss))
+		s.cwnd = s.ssthresh
+		s.rtx++
+		s.goBackN()
+	}
+}
+
+// goBackN rewinds the send pointer to the cumulative ACK and resumes.
+func (s *sender) goBackN() {
+	s.nextSeq = s.ackSeq
+	clear(s.sendTS)
+	s.pump()
+}
+
+func (s *sender) rttSample(d time.Duration) {
+	if s.srtt == 0 {
+		s.srtt = d
+		s.rttvar = d / 2
+		return
+	}
+	diff := s.srtt - d
+	if diff < 0 {
+		diff = -diff
+	}
+	s.rttvar = (3*s.rttvar + diff) / 4
+	s.srtt = (7*s.srtt + d) / 8
+}
+
+func (s *sender) rto() time.Duration {
+	r := s.srtt + 4*s.rttvar
+	if r < s.cfg.RTOMin {
+		r = s.cfg.RTOMin
+	}
+	return r
+}
+
+func (s *sender) armRTO() {
+	if s.rtoEv != nil {
+		s.n.K.Cancel(s.rtoEv)
+		s.rtoEv = nil
+	}
+	if s.done || s.ackSeq >= s.nextSeq {
+		return // nothing outstanding
+	}
+	s.rtoEv = s.n.K.After(s.rto(), func() { s.onRTO() })
+}
+
+func (s *sender) onRTO() {
+	if s.done || s.err != nil {
+		return
+	}
+	s.retries++
+	if s.retries > s.cfg.MaxRetries {
+		s.err = fmt.Errorf("tcpsim: %d consecutive RTOs, giving up at %d/%d bytes",
+			s.retries, s.ackSeq, s.total)
+		return
+	}
+	s.rtx++
+	s.ssthresh = maxf(float64(s.nextSeq-s.ackSeq)/2, float64(2*s.mss))
+	s.cwnd = float64(s.mss) // restart from slow start
+	s.goBackN()
+}
+
+func (s *sender) complete() {
+	s.done = true
+	s.finish = s.n.K.Now()
+	if s.rtoEv != nil {
+		s.n.K.Cancel(s.rtoEv)
+		s.rtoEv = nil
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,160 @@
+package tcpsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/atm"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// atmFramer adapts CLIP-over-AAL5 framing to netsim.
+type atmFramer struct{}
+
+func (atmFramer) WireSize(n int) int { return atm.CLIPWireBytes(n) }
+func (atmFramer) Name() string       { return "atm-clip" }
+
+func wanPair(mtu int, hostBps float64) (*netsim.Network, netsim.NodeID, netsim.NodeID) {
+	k := sim.NewKernel()
+	n := netsim.New(k)
+	a := n.AddNode("juelich")
+	var b *netsim.Node
+	if hostBps > 0 {
+		b = n.AddNode("staugustin", netsim.WithHostBps(hostBps))
+	} else {
+		b = n.AddNode("staugustin")
+	}
+	// OC-12 payload rate, 100 km of fiber (~0.5 ms one way).
+	n.Connect(a, b, netsim.LinkConfig{
+		Bps: atm.OC12.PayloadRate(), Delay: 500 * time.Microsecond,
+		MTU: mtu, Framer: atmFramer{}, QueueBytes: 16 << 20,
+	})
+	n.ComputeRoutes()
+	return n, a.ID, b.ID
+}
+
+func TestBulkTransferNearLinkRate(t *testing.T) {
+	n, a, b := wanPair(65536, 0)
+	res, err := Transfer(n, a, b, 256<<20, Config{WindowBytes: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// OC-12 ATM payload is ~542 Mbit/s; minus AAL5/LLC/TCP overhead
+	// a big-window 64K-MTU transfer should land between 500 and 542.
+	if res.ThroughputBps < 500e6 || res.ThroughputBps > 545e6 {
+		t.Errorf("throughput = %.1f Mbit/s, want ~500-545", res.ThroughputBps/1e6)
+	}
+	if res.Retransmits != 0 {
+		t.Errorf("%d retransmits on a clean path", res.Retransmits)
+	}
+}
+
+func TestSmallMTUHurtsThroughput(t *testing.T) {
+	big, a, b := wanPair(65536, 0)
+	resBig, err := Transfer(big, a, b, 64<<20, Config{WindowBytes: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, c, d := wanPair(1500, 0)
+	resSmall, err := Transfer(small, c, d, 64<<20, Config{WindowBytes: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resSmall.ThroughputBps >= resBig.ThroughputBps {
+		t.Errorf("1500-MTU (%.1f) should be slower than 64K-MTU (%.1f) Mbit/s",
+			resSmall.ThroughputBps/1e6, resBig.ThroughputBps/1e6)
+	}
+	if resSmall.MSS != 1460 || resBig.MSS != 65496 {
+		t.Errorf("MSS derivation: got %d and %d", resSmall.MSS, resBig.MSS)
+	}
+}
+
+func TestWindowLimitsThroughput(t *testing.T) {
+	// With a tiny window, throughput ~= W/RTT regardless of link rate.
+	n, a, b := wanPair(65536, 0)
+	res, err := Transfer(n, a, b, 16<<20, Config{WindowBytes: 128 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtt := res.SRTT.Seconds()
+	if rtt <= 0 {
+		t.Fatal("no RTT estimate")
+	}
+	predicted := float64(128<<10) * 8 / rtt
+	ratio := res.ThroughputBps / predicted
+	if ratio < 0.5 || ratio > 1.2 {
+		t.Errorf("window-limited: got %.1f Mbit/s, W/RTT predicts %.1f (ratio %.2f)",
+			res.ThroughputBps/1e6, predicted/1e6, ratio)
+	}
+}
+
+func TestHostIOCapsTransfer(t *testing.T) {
+	// SP2 microchannel model: 264 Mbit/s host cap on a 599 Mbit/s
+	// link — the paper's ">260 Mbit/s T3E to SP2" observation.
+	n, a, b := wanPair(65536, 264e6)
+	res, err := Transfer(n, a, b, 128<<20, Config{WindowBytes: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThroughputBps > 266e6 || res.ThroughputBps < 240e6 {
+		t.Errorf("host-capped throughput = %.1f Mbit/s, want ~250-265", res.ThroughputBps/1e6)
+	}
+}
+
+func TestTinyTransfer(t *testing.T) {
+	n, a, b := wanPair(65536, 0)
+	res, err := Transfer(n, a, b, 100, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != 100 {
+		t.Errorf("bytes = %d", res.Bytes)
+	}
+	// One segment + ACK: duration ~ 1 RTT.
+	if res.Duration < time.Millisecond || res.Duration > 5*time.Millisecond {
+		t.Errorf("100-byte transfer took %v, want ~1 ms RTT", res.Duration)
+	}
+}
+
+func TestRecoveryFromDrops(t *testing.T) {
+	// Constrain the queue so slow start overshoots and drops, then
+	// verify the transfer still completes with retransmits.
+	k := sim.NewKernel()
+	n := netsim.New(k)
+	a := n.AddNode("a")
+	b := n.AddNode("b")
+	n.Connect(a, b, netsim.LinkConfig{
+		Bps: 100e6, Delay: 2 * time.Millisecond, MTU: 9180,
+		QueueBytes: 64 << 10, // only ~7 packets of buffer
+	})
+	n.ComputeRoutes()
+	res, err := Transfer(n, a.ID, b.ID, 16<<20, Config{WindowBytes: 2 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retransmits == 0 {
+		t.Error("expected drops and retransmits with a 64 KiB queue")
+	}
+	if res.ThroughputBps <= 0 {
+		t.Error("no forward progress")
+	}
+}
+
+func TestUnreachableErrors(t *testing.T) {
+	k := sim.NewKernel()
+	n := netsim.New(k)
+	a := n.AddNode("a")
+	b := n.AddNode("b")
+	n.ComputeRoutes()
+	if _, err := Transfer(n, a.ID, b.ID, 1000, Config{}); err == nil {
+		t.Error("transfer to unreachable host should error")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Bytes: 1 << 20, Duration: time.Second, ThroughputBps: 8e6, MSS: 1460}
+	if r.String() == "" {
+		t.Error("empty String")
+	}
+}

@@ -1,0 +1,114 @@
+package video
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/atm"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// productionNet builds N source sites feeding a mixer through a shared
+// backbone of the given payload rate; each source has its own 622
+// attach (the dark-fibre extension topology).
+func productionNet(nSources int, backboneBps float64) (*netsim.Network, []netsim.NodeID, netsim.NodeID) {
+	k := sim.NewKernel()
+	n := netsim.New(k)
+	swA := n.AddNode("sw-sources", netsim.WithForwardCost(5*time.Microsecond, 16e9))
+	swB := n.AddNode("sw-studio", netsim.WithForwardCost(5*time.Microsecond, 16e9))
+	n.Connect(swA, swB, netsim.LinkConfig{
+		Bps: backboneBps, Delay: 200 * time.Microsecond, MTU: 9180,
+		Framer: clipFramer{}, QueueBytes: 64 << 20,
+	})
+	var sources []netsim.NodeID
+	for i := 0; i < nSources; i++ {
+		src := n.AddNode("camera")
+		n.Connect(src, swA, netsim.LinkConfig{
+			Bps: atm.OC12.PayloadRate(), Delay: 50 * time.Microsecond, MTU: 9180,
+			Framer: clipFramer{}, QueueBytes: 32 << 20,
+		})
+		sources = append(sources, src.ID)
+	}
+	mixer := n.AddNode("mixer")
+	n.Connect(mixer, swB, netsim.LinkConfig{
+		Bps: atm.OC48.PayloadRate(), Delay: 50 * time.Microsecond, MTU: 9180,
+		Framer: clipFramer{}, QueueBytes: 64 << 20,
+	})
+	n.ComputeRoutes()
+	return n, sources, mixer.ID
+}
+
+func TestProductionTwoSourcesOnOC48(t *testing.T) {
+	// Two 270 Mbit/s feeds (540 total) over an OC-48 backbone:
+	// everything composites on time with tight sync.
+	n, sources, mixer := productionNet(2, atm.OC48.PayloadRate())
+	res, err := Produce(n, sources, mixer, ProductionConfig{Sources: 2, Frames: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OnTime != 40 || res.LostPackets != 0 {
+		t.Errorf("OC-48 production: %d/%d on time, %d lost", res.OnTime, res.Frames, res.LostPackets)
+	}
+	if res.PeakSkew > 5*time.Millisecond {
+		t.Errorf("peak source skew %v, want tight sync", res.PeakSkew)
+	}
+}
+
+func TestProductionTwoSourcesBarelyFitOC12(t *testing.T) {
+	// Two framed 270 Mbit/s feeds occupy 598.7 of the 599.04 Mbit/s
+	// OC-12 payload — the production runs at the absolute edge of the
+	// pre-upgrade backbone (one reason the dark-fibre extensions were
+	// needed for TV production).
+	n, sources, mixer := productionNet(2, atm.OC12.PayloadRate())
+	res, err := Produce(n, sources, mixer, ProductionConfig{Sources: 2, Frames: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LostPackets != 0 {
+		t.Errorf("edge-of-capacity production lost %d packets", res.LostPackets)
+	}
+	if res.OnTime+res.Late != res.Frames {
+		t.Errorf("frame accounting broken: %d + %d != %d", res.OnTime, res.Late, res.Frames)
+	}
+}
+
+func TestProductionThreeSourcesOverloadOC12(t *testing.T) {
+	// Three 270 Mbit/s feeds (810 + cell tax) clearly exceed the
+	// 599 Mbit/s OC-12 payload: frames fall behind or drop.
+	n, sources, mixer := productionNet(3, atm.OC12.PayloadRate())
+	res, err := Produce(n, sources, mixer, ProductionConfig{Sources: 3, Frames: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OnTime > 10 {
+		t.Errorf("OC-12 carried %d/%d composite frames on time; it should be overloaded", res.OnTime, res.Frames)
+	}
+}
+
+func TestProductionThreeSourcesOnOC48(t *testing.T) {
+	n, sources, mixer := productionNet(3, atm.OC48.PayloadRate())
+	res, err := Produce(n, sources, mixer, ProductionConfig{Sources: 3, Frames: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OnTime != 25 {
+		t.Errorf("3-source production: %d/25 on time", res.OnTime)
+	}
+	if res.MeanSkew > res.PeakSkew {
+		t.Error("mean skew exceeds peak skew")
+	}
+}
+
+func TestProductionValidation(t *testing.T) {
+	n, sources, mixer := productionNet(2, atm.OC48.PayloadRate())
+	if _, err := Produce(n, sources, mixer, ProductionConfig{Sources: 1, Frames: 5}); err == nil {
+		t.Error("single source accepted")
+	}
+	if _, err := Produce(n, sources[:1], mixer, ProductionConfig{Sources: 2, Frames: 5}); err == nil {
+		t.Error("missing source nodes accepted")
+	}
+	if _, err := Produce(n, sources, mixer, ProductionConfig{Sources: 2}); err == nil {
+		t.Error("zero frames accepted")
+	}
+}

@@ -1,0 +1,149 @@
+package viz
+
+import (
+	"bytes"
+	"image/png"
+	"math"
+	"testing"
+
+	"repro/internal/atm"
+	"repro/internal/volume"
+)
+
+func testVolumes() (*volume.Volume, *volume.Volume) {
+	anat := volume.New(16, 16, 8)
+	corr := volume.New(16, 16, 8)
+	for z := 0; z < 8; z++ {
+		for y := 0; y < 16; y++ {
+			for x := 0; x < 16; x++ {
+				anat.Set(x, y, z, float32(100+10*x))
+			}
+		}
+	}
+	corr.Set(8, 8, 4, 0.9)
+	corr.Set(9, 8, 4, -0.85)
+	corr.Set(2, 2, 4, 0.3) // below clip
+	return anat, corr
+}
+
+func TestRenderOverlayColorsActivation(t *testing.T) {
+	anat, corr := testVolumes()
+	img, err := RenderOverlay(anat, corr, 4, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Activated positive voxel: warm color (red channel saturated).
+	c := img.RGBAAt(8, 8)
+	if c.R != 255 || c.B != 0 {
+		t.Errorf("positive activation color = %+v", c)
+	}
+	// Negative: cold color.
+	c = img.RGBAAt(9, 8)
+	if c.B != 255 || c.R != 0 {
+		t.Errorf("negative activation color = %+v", c)
+	}
+	// Sub-clip voxel stays gray (R==G==B).
+	c = img.RGBAAt(2, 2)
+	if c.R != c.G || c.G != c.B {
+		t.Errorf("sub-clip voxel colored: %+v", c)
+	}
+}
+
+func TestRenderOverlayValidation(t *testing.T) {
+	anat, corr := testVolumes()
+	if _, err := RenderOverlay(anat, volume.New(4, 4, 4), 0, 0.5); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	if _, err := RenderOverlay(anat, corr, 99, 0.5); err == nil {
+		t.Error("bad slice accepted")
+	}
+}
+
+func TestWritePNGProducesDecodableImage(t *testing.T) {
+	anat, corr := testVolumes()
+	img, err := RenderOverlay(anat, corr, 4, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePNG(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Bounds().Dx() != 16 {
+		t.Error("decoded size wrong")
+	}
+}
+
+func TestMergeFunctionalUpsamples(t *testing.T) {
+	corr := volume.New(8, 8, 4)
+	corr.Set(4, 4, 2, 1.0)
+	anatHi := volume.New(32, 32, 16)
+	up := MergeFunctional(anatHi, corr)
+	if !up.SameShape(anatHi) {
+		t.Fatal("merged shape mismatch")
+	}
+	// The peak should appear near the corresponding upsampled
+	// location (4/7 of the way -> ~x=17-18).
+	peakX := int(math.Round(4.0 / 7.0 * 31))
+	peakZ := int(math.Round(2.0 / 3.0 * 15))
+	if up.At(peakX, peakX, peakZ) < 0.5 {
+		t.Errorf("upsampled peak value %v at (%d,%d,%d)", up.At(peakX, peakX, peakZ), peakX, peakX, peakZ)
+	}
+	// Far corner untouched.
+	if up.At(0, 0, 0) != 0 {
+		t.Error("far corner should be 0")
+	}
+}
+
+func TestRenderMIPHighlightsActivation(t *testing.T) {
+	anat, corr := testVolumes()
+	hi := MergeFunctional(anat, corr) // same shape here
+	img, err := RenderMIP(anat, hi, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := img.RGBAAt(8, 8)
+	if c.R != 255 {
+		t.Errorf("activated column not highlighted: %+v", c)
+	}
+	c = img.RGBAAt(0, 0)
+	if c.R != c.G || c.G != c.B {
+		t.Errorf("inactive column colored: %+v", c)
+	}
+	if _, err := RenderMIP(anat, volume.New(2, 2, 2), 0.5); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestWorkbenchArithmetic(t *testing.T) {
+	// 2 planes x stereo x 1024x768 x 24 bit = 9.4 MByte per frame.
+	if WorkbenchFrameBytes != 2*2*1024*768*3 {
+		t.Errorf("WorkbenchFrameBytes = %d", WorkbenchFrameBytes)
+	}
+	// The headline claim: fewer than 8 frames/s over 622 Mbit/s ATM
+	// with classical IP.
+	fps := WorkbenchFPS(atm.OC12.PayloadRate(), atm.DefaultCLIPMTU)
+	if fps >= 8 {
+		t.Errorf("OC-12 classical-IP workbench rate = %.2f fps, paper says < 8", fps)
+	}
+	if fps < 6 {
+		t.Errorf("OC-12 rate = %.2f fps, implausibly low", fps)
+	}
+	// OC-48 would lift it fourfold.
+	fps48 := WorkbenchFPS(atm.OC48.PayloadRate(), atm.DefaultCLIPMTU)
+	if fps48 < 3.9*fps || fps48 > 4.1*fps {
+		t.Errorf("OC-48/OC-12 ratio = %.2f, want ~4", fps48/fps)
+	}
+	// Degenerate MTU.
+	if WorkbenchFPS(atm.OC12.PayloadRate(), 40) != 0 {
+		t.Error("degenerate MTU should yield 0")
+	}
+	// A larger MTU improves the rate (less header tax).
+	if WorkbenchFPS(atm.OC12.PayloadRate(), atm.MaxCLIPMTU) <= fps {
+		t.Error("64K MTU should beat the default CLIP MTU")
+	}
+}

@@ -1,0 +1,215 @@
+// Package volume provides the 3-D image type shared by the MRI scanner
+// simulator, the FIRE analysis modules and the visualization pipeline:
+// float32 voxel grids with trilinear resampling, rigid shifts, gradient
+// computation and slab domain decomposition (the decomposition FIRE
+// uses on the T3E).
+package volume
+
+import (
+	"fmt"
+	"math"
+)
+
+// Volume is a dense 3-D scalar field, indexed x fastest (x + NX*(y + NY*z)).
+type Volume struct {
+	NX, NY, NZ int
+	Data       []float32
+}
+
+// New allocates a zeroed volume.
+func New(nx, ny, nz int) *Volume {
+	if nx <= 0 || ny <= 0 || nz <= 0 {
+		panic(fmt.Sprintf("volume: bad dims %dx%dx%d", nx, ny, nz))
+	}
+	return &Volume{NX: nx, NY: ny, NZ: nz, Data: make([]float32, nx*ny*nz)}
+}
+
+// Voxels reports the number of voxels.
+func (v *Volume) Voxels() int { return v.NX * v.NY * v.NZ }
+
+// Bytes reports the in-memory (and on-the-wire) size at 4 bytes/voxel.
+func (v *Volume) Bytes() int { return v.Voxels() * 4 }
+
+// Idx converts (x, y, z) to a linear index.
+func (v *Volume) Idx(x, y, z int) int { return x + v.NX*(y+v.NY*z) }
+
+// At returns the voxel at (x, y, z).
+func (v *Volume) At(x, y, z int) float32 { return v.Data[v.Idx(x, y, z)] }
+
+// Set assigns the voxel at (x, y, z).
+func (v *Volume) Set(x, y, z int, val float32) { v.Data[v.Idx(x, y, z)] = val }
+
+// Clone returns a deep copy.
+func (v *Volume) Clone() *Volume {
+	c := New(v.NX, v.NY, v.NZ)
+	copy(c.Data, v.Data)
+	return c
+}
+
+// SameShape reports whether u has identical dimensions.
+func (v *Volume) SameShape(u *Volume) bool {
+	return v.NX == u.NX && v.NY == u.NY && v.NZ == u.NZ
+}
+
+// Fill sets every voxel to val.
+func (v *Volume) Fill(val float32) {
+	for i := range v.Data {
+		v.Data[i] = val
+	}
+}
+
+// MinMax returns the smallest and largest voxel values.
+func (v *Volume) MinMax() (min, max float32) {
+	min, max = v.Data[0], v.Data[0]
+	for _, x := range v.Data {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Mean returns the mean voxel value.
+func (v *Volume) Mean() float64 {
+	var s float64
+	for _, x := range v.Data {
+		s += float64(x)
+	}
+	return s / float64(len(v.Data))
+}
+
+// Std returns the population standard deviation of the voxel values.
+func (v *Volume) Std() float64 {
+	m := v.Mean()
+	var s float64
+	for _, x := range v.Data {
+		d := float64(x) - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(v.Data)))
+}
+
+// clamp restricts i to [0, n-1].
+func clamp(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// Trilinear samples the volume at a fractional coordinate with edge
+// clamping.
+func (v *Volume) Trilinear(x, y, z float64) float32 {
+	x0 := int(math.Floor(x))
+	y0 := int(math.Floor(y))
+	z0 := int(math.Floor(z))
+	fx := x - float64(x0)
+	fy := y - float64(y0)
+	fz := z - float64(z0)
+	x1, y1, z1 := x0+1, y0+1, z0+1
+	x0, y0, z0 = clamp(x0, v.NX), clamp(y0, v.NY), clamp(z0, v.NZ)
+	x1, y1, z1 = clamp(x1, v.NX), clamp(y1, v.NY), clamp(z1, v.NZ)
+
+	c000 := float64(v.At(x0, y0, z0))
+	c100 := float64(v.At(x1, y0, z0))
+	c010 := float64(v.At(x0, y1, z0))
+	c110 := float64(v.At(x1, y1, z0))
+	c001 := float64(v.At(x0, y0, z1))
+	c101 := float64(v.At(x1, y0, z1))
+	c011 := float64(v.At(x0, y1, z1))
+	c111 := float64(v.At(x1, y1, z1))
+
+	c00 := c000*(1-fx) + c100*fx
+	c10 := c010*(1-fx) + c110*fx
+	c01 := c001*(1-fx) + c101*fx
+	c11 := c011*(1-fx) + c111*fx
+	c0 := c00*(1-fy) + c10*fy
+	c1 := c01*(1-fy) + c11*fy
+	return float32(c0*(1-fz) + c1*fz)
+}
+
+// Shift returns the volume rigidly translated by (dx, dy, dz) voxels
+// (fractional allowed), resampled trilinearly with edge clamping. The
+// result at (x,y,z) is the input at (x-dx, y-dy, z-dz).
+func (v *Volume) Shift(dx, dy, dz float64) *Volume {
+	out := New(v.NX, v.NY, v.NZ)
+	for z := 0; z < v.NZ; z++ {
+		for y := 0; y < v.NY; y++ {
+			for x := 0; x < v.NX; x++ {
+				out.Set(x, y, z, v.Trilinear(float64(x)-dx, float64(y)-dy, float64(z)-dz))
+			}
+		}
+	}
+	return out
+}
+
+// Gradient returns central-difference spatial gradients (gx, gy, gz) at
+// voxel (x, y, z), using one-sided differences at the boundary.
+func (v *Volume) Gradient(x, y, z int) (gx, gy, gz float64) {
+	sample := func(a, b float32, h float64) float64 { return float64(a-b) / h }
+	xm, xp := clamp(x-1, v.NX), clamp(x+1, v.NX)
+	ym, yp := clamp(y-1, v.NY), clamp(y+1, v.NY)
+	zm, zp := clamp(z-1, v.NZ), clamp(z+1, v.NZ)
+	gx = sample(v.At(xp, y, z), v.At(xm, y, z), float64(xp-xm))
+	gy = sample(v.At(x, yp, z), v.At(x, ym, z), float64(yp-ym))
+	gz = sample(v.At(x, y, zp), v.At(x, y, zm), float64(zp-zm))
+	if xp == xm {
+		gx = 0
+	}
+	if yp == ym {
+		gy = 0
+	}
+	if zp == zm {
+		gz = 0
+	}
+	return gx, gy, gz
+}
+
+// Slab is a contiguous range of z-slices [Z0, Z1).
+type Slab struct{ Z0, Z1 int }
+
+// Slices reports the number of slices in the slab.
+func (s Slab) Slices() int { return s.Z1 - s.Z0 }
+
+// SlabDecomp splits nz slices across p parts as evenly as possible,
+// mirroring FIRE's domain decomposition of the brain. Parts may be
+// empty when p > nz (the extra PEs idle — the source of the imbalance
+// the cost model charges for).
+func SlabDecomp(nz, p int) []Slab {
+	if p <= 0 {
+		panic("volume: SlabDecomp with p <= 0")
+	}
+	out := make([]Slab, p)
+	base := nz / p
+	rem := nz % p
+	z := 0
+	for i := 0; i < p; i++ {
+		n := base
+		if i < rem {
+			n++
+		}
+		out[i] = Slab{z, z + n}
+		z += n
+	}
+	return out
+}
+
+// MaxSlabVoxels reports the largest per-part voxel count when an
+// nx x ny x nz volume is slab-decomposed p ways — the load-balance
+// denominator for parallel-time modeling.
+func MaxSlabVoxels(nx, ny, nz, p int) int {
+	slabs := SlabDecomp(nz, p)
+	max := 0
+	for _, s := range slabs {
+		if v := s.Slices() * nx * ny; v > max {
+			max = v
+		}
+	}
+	return max
+}

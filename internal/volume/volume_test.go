@@ -1,0 +1,253 @@
+package volume
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestIndexRoundTrip(t *testing.T) {
+	v := New(4, 5, 6)
+	n := 0
+	for z := 0; z < 6; z++ {
+		for y := 0; y < 5; y++ {
+			for x := 0; x < 4; x++ {
+				if v.Idx(x, y, z) != n {
+					t.Fatalf("Idx(%d,%d,%d) = %d, want %d", x, y, z, v.Idx(x, y, z), n)
+				}
+				n++
+			}
+		}
+	}
+	if v.Voxels() != 120 || v.Bytes() != 480 {
+		t.Errorf("Voxels=%d Bytes=%d", v.Voxels(), v.Bytes())
+	}
+}
+
+func TestSetAtCloneFill(t *testing.T) {
+	v := New(3, 3, 3)
+	v.Set(1, 2, 0, 7)
+	if v.At(1, 2, 0) != 7 {
+		t.Error("Set/At")
+	}
+	c := v.Clone()
+	c.Set(1, 2, 0, 9)
+	if v.At(1, 2, 0) != 7 {
+		t.Error("Clone aliases")
+	}
+	v.Fill(2)
+	if v.At(0, 0, 0) != 2 || v.At(2, 2, 2) != 2 {
+		t.Error("Fill")
+	}
+	if !v.SameShape(c) {
+		t.Error("SameShape")
+	}
+	if v.SameShape(New(3, 3, 4)) {
+		t.Error("SameShape false positive")
+	}
+}
+
+func TestStats(t *testing.T) {
+	v := New(2, 1, 1)
+	v.Data[0], v.Data[1] = 1, 3
+	if m := v.Mean(); m != 2 {
+		t.Errorf("Mean = %v", m)
+	}
+	if s := v.Std(); s != 1 {
+		t.Errorf("Std = %v", s)
+	}
+	min, max := v.MinMax()
+	if min != 1 || max != 3 {
+		t.Errorf("MinMax = %v,%v", min, max)
+	}
+}
+
+func TestTrilinearAtGridPoints(t *testing.T) {
+	v := New(3, 3, 3)
+	for i := range v.Data {
+		v.Data[i] = float32(i)
+	}
+	for z := 0; z < 3; z++ {
+		for y := 0; y < 3; y++ {
+			for x := 0; x < 3; x++ {
+				got := v.Trilinear(float64(x), float64(y), float64(z))
+				if got != v.At(x, y, z) {
+					t.Fatalf("Trilinear at grid (%d,%d,%d) = %v, want %v", x, y, z, got, v.At(x, y, z))
+				}
+			}
+		}
+	}
+}
+
+func TestTrilinearMidpoint(t *testing.T) {
+	v := New(2, 2, 2)
+	for i := range v.Data {
+		v.Data[i] = float32(i) // 0..7
+	}
+	got := v.Trilinear(0.5, 0.5, 0.5)
+	if math.Abs(float64(got)-3.5) > 1e-6 {
+		t.Errorf("center sample = %v, want 3.5", got)
+	}
+}
+
+// Property: trilinear interpolation of a linear field is exact.
+func TestTrilinearReproducesLinearField(t *testing.T) {
+	v := New(8, 8, 8)
+	for z := 0; z < 8; z++ {
+		for y := 0; y < 8; y++ {
+			for x := 0; x < 8; x++ {
+				v.Set(x, y, z, float32(2*x-3*y+z))
+			}
+		}
+	}
+	f := func(a, b, c uint8) bool {
+		// Interior fractional points only.
+		x := 0.5 + 6*float64(a)/256
+		y := 0.5 + 6*float64(b)/256
+		z := 0.5 + 6*float64(c)/256
+		want := 2*x - 3*y + z
+		got := float64(v.Trilinear(x, y, z))
+		return math.Abs(got-want) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShiftRecoversIntegerTranslation(t *testing.T) {
+	v := New(8, 8, 8)
+	v.Set(4, 4, 4, 100)
+	s := v.Shift(2, 1, -1)
+	if s.At(6, 5, 3) != 100 {
+		t.Errorf("shifted peak at wrong place: %v", s.At(6, 5, 3))
+	}
+}
+
+func TestGradientOfLinearField(t *testing.T) {
+	v := New(6, 6, 6)
+	for z := 0; z < 6; z++ {
+		for y := 0; y < 6; y++ {
+			for x := 0; x < 6; x++ {
+				v.Set(x, y, z, float32(3*x+5*y-2*z))
+			}
+		}
+	}
+	gx, gy, gz := v.Gradient(3, 3, 3)
+	if gx != 3 || gy != 5 || gz != -2 {
+		t.Errorf("gradient = (%v,%v,%v), want (3,5,-2)", gx, gy, gz)
+	}
+	// Boundary gradients use one-sided differences but stay exact for
+	// linear fields.
+	gx, gy, gz = v.Gradient(0, 0, 5)
+	if gx != 3 || gy != 5 || gz != -2 {
+		t.Errorf("boundary gradient = (%v,%v,%v)", gx, gy, gz)
+	}
+}
+
+func TestSlabDecompCoversExactly(t *testing.T) {
+	f := func(nzRaw uint8, pRaw uint16) bool {
+		nz := int(nzRaw%64) + 1
+		p := int(pRaw%300) + 1
+		slabs := SlabDecomp(nz, p)
+		if len(slabs) != p {
+			return false
+		}
+		z := 0
+		total := 0
+		for _, s := range slabs {
+			if s.Z0 != z || s.Z1 < s.Z0 {
+				return false
+			}
+			total += s.Slices()
+			z = s.Z1
+		}
+		if total != nz || z != nz {
+			return false
+		}
+		// Balance: sizes differ by at most 1.
+		min, max := slabs[0].Slices(), slabs[0].Slices()
+		for _, s := range slabs {
+			if s.Slices() < min {
+				min = s.Slices()
+			}
+			if s.Slices() > max {
+				max = s.Slices()
+			}
+		}
+		return max-min <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxSlabVoxels(t *testing.T) {
+	// 16 slices over 8 parts: 2 slices each of 64x64.
+	if got := MaxSlabVoxels(64, 64, 16, 8); got != 2*64*64 {
+		t.Errorf("MaxSlabVoxels = %d", got)
+	}
+	// 16 slices over 32 parts: the busiest part still has 1 slice.
+	if got := MaxSlabVoxels(64, 64, 16, 32); got != 64*64 {
+		t.Errorf("MaxSlabVoxels(p>nz) = %d", got)
+	}
+}
+
+// Property: a zero shift is the identity, and shifting by +d then -d
+// returns close to the original for smooth fields.
+func TestShiftProperties(t *testing.T) {
+	// A smooth field: double trilinear resampling attenuates spatial
+	// frequencies, so the round-trip bound only holds for fields slow
+	// relative to the voxel grid.
+	v := New(10, 10, 10)
+	for z := 0; z < 10; z++ {
+		for y := 0; y < 10; y++ {
+			for x := 0; x < 10; x++ {
+				v.Set(x, y, z, float32(math.Sin(float64(x)*0.25)+math.Cos(float64(y)*0.2)+float64(z)*0.1))
+			}
+		}
+	}
+	zero := v.Shift(0, 0, 0)
+	for i := range v.Data {
+		if zero.Data[i] != v.Data[i] {
+			t.Fatalf("zero shift changed voxel %d", i)
+		}
+	}
+	f := func(a, b, c int8) bool {
+		dx := float64(a) / 200 // up to +-0.64 voxels
+		dy := float64(b) / 200
+		dz := float64(c) / 200
+		back := v.Shift(dx, dy, dz).Shift(-dx, -dy, -dz)
+		// Interior voxels restored within interpolation loss.
+		for z := 2; z < 8; z++ {
+			for y := 2; y < 8; y++ {
+				for x := 2; x < 8; x++ {
+					if math.Abs(float64(back.At(x, y, z)-v.At(x, y, z))) > 0.05 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBadDimsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0,1,1) did not panic")
+		}
+	}()
+	New(0, 1, 1)
+}
+
+func TestSlabDecompBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SlabDecomp p=0 did not panic")
+		}
+	}()
+	SlabDecomp(16, 0)
+}
