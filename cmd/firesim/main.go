@@ -1,105 +1,44 @@
-// Command firesim runs a complete realtime-fMRI session: a synthetic
-// scanner streams volumes to an RT-server, the RT-client pulls and
-// analyses them (correlation against the reference vector), and the
-// final overlay is written as a PNG — the figure-3 display.
+// Command firesim runs a complete realtime-fMRI session through the
+// "fire-rt-session" scenario: a synthetic scanner (two activation
+// sites, drift, mid-session head motion) streams volumes to an
+// RT-server over real loopback TCP, the RT-client pulls, motion-corrects
+// and correlates them, and the final overlay is written as a PNG — the
+// figure-3 display. The measurement configuration is fixed by the
+// scenario; the former -noise and -clip knobs are gone.
 //
 // Usage:
 //
-//	firesim [-scans 48] [-noise 3] [-clip 0.5] [-out overlay.png]
+//	firesim [-scans 48] [-out overlay.png]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"net"
 	"os"
 
-	"repro/internal/fire"
-	"repro/internal/mri"
-	"repro/internal/viz"
+	gtw "repro"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("firesim: ")
 	scans := flag.Int("scans", 48, "number of scans in the measurement")
-	noise := flag.Float64("noise", 3, "scanner noise std dev")
-	clip := flag.Float64("clip", 0.5, "overlay clip level")
 	out := flag.String("out", "overlay.png", "output PNG path")
 	flag.Parse()
 
-	// Phantom with two activation sites with different hemodynamics.
-	acts := []mri.Activation{
-		{CX: 32, CY: 28, CZ: 8, Radius: 5, Amplitude: 0.05, HRF: mri.DefaultHRF},
-		{CX: 20, CY: 40, CZ: 10, Radius: 4, Amplitude: 0.04, HRF: mri.HRF{Delay: 8, Dispersion: 1.5}},
-	}
-	ph := mri.NewPhantom(64, 64, 16, acts)
-	sc := mri.NewScanner(ph, mri.ScanConfig{
-		NX: 64, NY: 64, NZ: 16, TR: 2, NScans: *scans,
-		NoiseStd: *noise, DriftPerScan: 0.3, Seed: 7,
-	})
-	srv := &fire.RTServer{Scanner: sc}
-
-	l, err := net.Listen("tcp", "127.0.0.1:0")
+	rep, err := gtw.Run(context.Background(), "fire-rt-session", gtw.WithFrames(*scans))
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer l.Close()
-	go func() {
-		if _, err := srv.ListenAndServe(l); err != nil {
-			log.Fatalf("RT-server: %v", err)
-		}
-	}()
-
-	client, err := fire.DialRT(l.Addr().String())
-	if err != nil {
+	sess, ok := rep.(*gtw.RTSessionReport)
+	if !ok {
+		log.Fatalf("unexpected report type %T", rep)
+	}
+	fmt.Print(sess.Text())
+	if err := os.WriteFile(*out, sess.PNG, 0o644); err != nil {
 		log.Fatal(err)
 	}
-	defer client.Close()
-
-	corr := fire.NewCorrelator(sc.Reference(0), 64, 64, 16)
-	frames := 0
-	for {
-		msg, err := client.NextImage()
-		if err != nil {
-			log.Fatal(err)
-		}
-		if msg.Type == fire.MsgDone {
-			break
-		}
-		if err := corr.Add(msg.Image); err != nil {
-			log.Fatal(err)
-		}
-		frames++
-		if frames%8 == 0 {
-			m, err := corr.Map()
-			if err == nil {
-				n := 0
-				for _, v := range m.Data {
-					if float64(v) >= *clip {
-						n++
-					}
-				}
-				fmt.Printf("scan %2d: %d voxels above clip %.2f\n", frames, n, *clip)
-			}
-		}
-	}
-	m, err := corr.Map()
-	if err != nil {
-		log.Fatal(err)
-	}
-	img, err := viz.RenderOverlay(ph.Anatomy, m, 8, *clip)
-	if err != nil {
-		log.Fatal(err)
-	}
-	f, err := os.Create(*out)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer f.Close()
-	if err := viz.WritePNG(f, img); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("session complete: %d scans analysed, overlay written to %s\n", frames, *out)
+	fmt.Printf("session complete: %d scans analysed, overlay written to %s\n", sess.Scans, *out)
 }

@@ -1,148 +1,95 @@
 // Command gtwbench regenerates every table and figure of the paper as
 // text, printing the paper's value next to the reproduced one. It is
-// the human-readable twin of the root-package benchmarks.
+// the human-readable twin of the root-package benchmarks, implemented
+// over the scenario registry (cmd/gtwrun is the generic CLI over the
+// same engine).
 //
 // Usage:
 //
-//	gtwbench [-experiment all|table1|f1|f2|f3|f4|a1]
+//	gtwbench [-experiment all|table1|f1|f2|f3|f4|a1|u1|b1|d1|<scenario-name>]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
-	"repro/internal/atm"
-	"repro/internal/core"
-	"repro/internal/fire"
+	gtw "repro"
 )
+
+// shorthand maps the historical experiment keys to scenario names.
+var shorthand = map[string][]string{
+	"table1": {"table1-model"},
+	"f1":     {"figure1-throughput"},
+	"f2":     {"figure2-endtoend"},
+	"f3":     {"figure3-overlay"},
+	"f4":     {"figure4-workbench"},
+	"a1":     {"section3-applications"},
+	"u1":     {"backbone-aggregate", "mixed-traffic"},
+	"b1":     {"future-work"},
+	"d1":     {"fmri-dataflow"},
+}
+
+// paperOrder is the presentation order for -experiment all.
+var paperOrder = []string{"table1", "f1", "f2", "f3", "f4", "a1", "u1", "b1", "d1"}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gtwbench: ")
-	exp := flag.String("experiment", "all", "which experiment to run (all, table1, f1, f2, f3, f4, a1, u1, b1)")
+	exp := flag.String("experiment", "all",
+		"which experiment to run (all, table1, f1, f2, f3, f4, a1, u1, b1, d1, or a scenario name)")
 	flag.Parse()
 
-	run := func(name string, fn func() error) {
-		if *exp != "all" && *exp != name {
-			return
-		}
-		if err := fn(); err != nil {
-			log.Fatalf("%s: %v", name, err)
+	ctx := context.Background()
+	runNames := func(names []string, opts ...gtw.Option) {
+		for _, name := range names {
+			rep, err := gtw.Run(ctx, name, opts...)
+			if err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+			fmt.Print(rep.Text())
 		}
 		fmt.Println()
 	}
-
-	run("table1", func() error {
-		model := fire.DefaultT3E600()
-		rows := model.ModelTable1()
-		fmt.Println("T1: FIRE processing times on the Cray T3E-600, 64x64x16 image")
-		fmt.Println("      (model vs. paper; times in seconds)")
-		fmt.Println("  PEs   filter        motion        RVO            total          speedup")
-		for i, r := range rows {
-			p := fire.PaperTable1[i]
-			fmt.Printf("  %3d   %5.3f/%5.2f   %5.3f/%5.2f   %7.2f/%7.2f  %7.2f/%7.2f  %6.1f/%6.1f\n",
-				r.PEs, r.Filter, p.Filter, r.Motion, p.Motion, r.RVO, p.RVO, r.Total, p.Total,
-				r.Speedup, p.Speedup)
-		}
-		return nil
-	})
-
-	run("f1", func() error {
-		rows, err := core.Figure1Throughput()
-		if err != nil {
-			return err
-		}
-		fmt.Print(core.FormatFigure1(rows))
-		return nil
-	})
-
-	run("f2", func() error {
-		r, err := core.Figure2EndToEnd(256, 30)
-		if err != nil {
-			return err
-		}
-		fmt.Print(core.FormatFigure2(r))
-		return nil
-	})
-
-	run("f3", func() error {
-		r, err := core.Figure3Overlay()
-		if err != nil {
-			return err
-		}
-		fmt.Print(core.FormatFigure3(r))
-		return nil
-	})
-
-	run("f4", func() error {
-		r, err := core.Figure4Workbench()
-		if err != nil {
-			return err
-		}
-		fmt.Print(core.FormatFigure4(r))
-		return nil
-	})
-
-	run("a1", func() error {
-		rows, err := core.Section3Applications()
-		if err != nil {
-			return err
-		}
-		fmt.Print(core.FormatSection3(rows))
-		return nil
-	})
-
-	run("u1", func() error {
-		var aggs []core.AggregateRow
-		for _, wan := range []atm.OC{atm.OC12, atm.OC48} {
-			row, err := core.BackboneAggregate(wan, 4)
-			if err != nil {
-				return err
+	runKey := func(key string) {
+		// The d1 sweep shows two partition sizes under one header,
+		// like the old output.
+		if key == "d1" {
+			for i, pes := range []int{64, 256} {
+				rep, err := gtw.Run(ctx, "fmri-dataflow", gtw.WithPEs(pes), gtw.WithFrames(10))
+				if err != nil {
+					log.Fatalf("fmri-dataflow: %v", err)
+				}
+				d1 := rep.(*gtw.FMRIDataflowReport)
+				if i == 0 {
+					fmt.Print(d1.Header())
+				}
+				fmt.Print(d1.Row())
 			}
-			aggs = append(aggs, row)
+			fmt.Println()
+			return
 		}
-		var mixes []core.MixedTrafficResult
-		for _, wan := range []atm.OC{atm.OC12, atm.OC48} {
-			m, err := core.MixedTraffic(wan)
-			if err != nil {
-				return err
-			}
-			mixes = append(mixes, m)
-		}
-		fmt.Print(core.FormatUpgrade(aggs, mixes))
-		return nil
-	})
+		runNames(shorthand[key], gtw.WithFlows(4))
+	}
 
-	run("b1", func() error {
-		r, err := core.FutureWorkAnalysis()
-		if err != nil {
-			return err
+	switch {
+	case *exp == "all":
+		for _, key := range paperOrder {
+			runKey(key)
 		}
-		fmt.Print(core.FormatFutureWork(r))
-		return nil
-	})
-
-	run("d1", func() error {
-		fmt.Println("D1: fully derived fMRI dataflow (DES over the testbed)")
-		for _, pes := range []int{64, 256} {
-			r, err := core.RunFMRIScenario(core.FMRIScenario{PEs: pes, TR: 4.0, Frames: 10})
-			if err != nil {
-				return err
-			}
-			fmt.Printf("  %3d PEs: GUI delay %.2f s mean / %.2f s max, VR path %.2f s, wire %.0f ms/frame\n",
-				pes, r.MeanGUIDelay, r.MaxGUIDelay, r.MeanVRDelay, r.WireSeconds*1000)
-		}
-		return nil
-	})
-
-	if *exp != "all" {
-		switch *exp {
-		case "table1", "f1", "f2", "f3", "f4", "a1", "u1", "b1", "d1":
-		default:
+	case shorthand[*exp] != nil:
+		runKey(*exp)
+	default:
+		if _, ok := gtw.Lookup(*exp); !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 			os.Exit(2)
 		}
+		// Same flows as the shorthand path, so the u1 scenarios print
+		// the same numbers however they are named. (The d1 shorthand
+		// additionally sweeps PE counts at 10 frames; a by-name
+		// fmri-dataflow run uses the engine defaults instead.)
+		runNames([]string{*exp}, gtw.WithFlows(4))
 	}
 }

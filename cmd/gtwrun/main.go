@@ -1,0 +1,139 @@
+// Command gtwrun lists and runs any registered scenario through the
+// unified run engine — the generic replacement for per-experiment
+// plumbing in the older commands.
+//
+// Usage:
+//
+//	gtwrun -list
+//	gtwrun [flags] all
+//	gtwrun [flags] scenario [scenario ...]
+//
+// Flags:
+//
+//	-wan oc12|oc48   backbone generation for engine-built testbeds
+//	-extensions      include the section-5 extension sites
+//	-pes N           T3E partition size (fMRI scenarios)
+//	-frames N        volumes/frames/scans to acquire
+//	-flows N         concurrent backbone flows
+//	-workers N       engine worker pool size
+//	-shared          run every scenario on ONE shared, contended testbed
+//	-json            print each report as JSON instead of text
+//	-timeout D       cancel the whole run after D (e.g. 30s)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	gtw "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gtwrun: ")
+	def := gtw.DefaultOptions()
+	defWAN := "oc48"
+	if def.WAN == gtw.OC12 {
+		defWAN = "oc12"
+	}
+	list := flag.Bool("list", false, "list registered scenarios and exit")
+	wan := flag.String("wan", defWAN,
+		"backbone generation for engine-built testbeds: oc12 or oc48 (carrier-sweep scenarios ignore it)")
+	ext := flag.Bool("extensions", false, "include the section-5 extension sites")
+	pes := flag.Int("pes", def.PEs, "T3E partition size")
+	frames := flag.Int("frames", def.Frames, "volumes/frames/scans to acquire")
+	flows := flag.Int("flows", def.Flows, "concurrent backbone flows")
+	workers := flag.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS)")
+	shared := flag.Bool("shared", false,
+		"run scenarios on one shared testbed (scenarios that drive their own simulation kernel still run privately)")
+	asJSON := flag.Bool("json", false, "print each report as JSON instead of text")
+	timeout := flag.Duration("timeout", 0, "cancel the whole run after this duration (0 = none)")
+	flag.Parse()
+
+	if *list {
+		for _, s := range gtw.Scenarios() {
+			fmt.Printf("  %-24s %s\n", s.Name(), s.Description())
+		}
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: gtwrun [-list] [flags] all|scenario...")
+		os.Exit(2)
+	}
+	var names []string // nil = every registered scenario
+	if !(len(args) == 1 && args[0] == "all") {
+		names = args
+	}
+
+	opts := []gtw.Option{
+		gtw.WithPEs(*pes),
+		gtw.WithFrames(*frames),
+		gtw.WithFlows(*flows),
+		gtw.WithWorkers(*workers),
+	}
+	if *ext {
+		opts = append(opts, gtw.WithExtensions())
+	}
+	var oc gtw.OC
+	switch *wan {
+	case "oc12":
+		oc = gtw.OC12
+	case "oc48":
+		oc = gtw.OC48
+	default:
+		log.Fatalf("unknown -wan %q (want oc12 or oc48)", *wan)
+	}
+	opts = append(opts, gtw.WithWAN(oc))
+	if *shared {
+		opts = append(opts, gtw.WithTestbed(gtw.NewTestbed(gtw.Config{WAN: oc, Extensions: *ext})))
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	start := time.Now()
+	results, err := gtw.RunAll(ctx, names, opts...)
+	if err != nil && len(results) == 0 {
+		log.Fatal(err)
+	}
+	failed := 0
+	for _, r := range results {
+		if r.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "%-24s FAILED after %s: %v\n",
+				r.Name, r.Elapsed.Round(time.Millisecond), r.Err)
+			continue
+		}
+		if *asJSON {
+			b, jerr := r.Report.JSON()
+			if jerr != nil {
+				failed++
+				fmt.Fprintf(os.Stderr, "%-24s marshal: %v\n", r.Name, jerr)
+				continue
+			}
+			fmt.Printf("{\"scenario\":%q,\"elapsed_ms\":%d,\"report\":%s}\n",
+				r.Name, r.Elapsed.Milliseconds(), b)
+		} else {
+			fmt.Printf("=== %s (%s)\n", r.Name, r.Elapsed.Round(time.Millisecond))
+			fmt.Print(r.Report.Text())
+			fmt.Println()
+		}
+	}
+	if !*asJSON {
+		fmt.Printf("ran %d scenario(s) in %s, %d failed\n",
+			len(results), time.Since(start).Round(time.Millisecond), failed)
+	}
+	if failed > 0 || err != nil {
+		os.Exit(1)
+	}
+}

@@ -1,6 +1,6 @@
 // Command gtwtop prints and validates the testbed topology: hosts,
 // machine models, path MTUs and round-trip times — a textual rendering
-// of Figure 1.
+// of Figure 1, built on the public gtw API.
 //
 // Usage:
 //
@@ -12,8 +12,7 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/atm"
-	"repro/internal/core"
+	gtw "repro"
 )
 
 func main() {
@@ -23,11 +22,11 @@ func main() {
 	oc12 := flag.Bool("oc12", false, "use the 1997/98 OC-12 backbone instead of OC-48")
 	flag.Parse()
 
-	cfg := core.Config{Extensions: *ext}
+	cfg := gtw.Config{Extensions: *ext}
 	if *oc12 {
-		cfg.WAN = atm.OC12
+		cfg.WAN = gtw.OC12
 	}
-	tb := core.New(cfg)
+	tb := gtw.NewTestbed(cfg)
 
 	fmt.Printf("Gigabit Testbed West — backbone %v (payload %.0f Mbit/s)\n",
 		tb.Cfg.WAN, tb.Cfg.WAN.PayloadRate()/1e6)
@@ -43,10 +42,10 @@ func main() {
 
 	fmt.Println("\npath checks:")
 	pairs := [][2]string{
-		{core.HostT3E600, core.HostT3E1200},
-		{core.HostT3E600, core.HostSP2},
-		{core.HostWSJuelich, core.HostWSGMD},
-		{core.HostOnyx2, core.HostWSJuelich},
+		{gtw.HostT3E600, gtw.HostT3E1200},
+		{gtw.HostT3E600, gtw.HostSP2},
+		{gtw.HostWSJuelich, gtw.HostWSGMD},
+		{gtw.HostOnyx2, gtw.HostWSJuelich},
 	}
 	for _, p := range pairs {
 		mtu, err := tb.PathMTU(p[0], p[1])
@@ -59,5 +58,10 @@ func main() {
 		}
 		fmt.Printf("  %-14s -> %-14s  MTU %5d  RTT %8.3f ms\n",
 			p[0], p[1], mtu, rtt.Seconds()*1000)
+	}
+
+	fmt.Println("\nregistered scenarios:")
+	for _, s := range gtw.Scenarios() {
+		fmt.Printf("  %-24s %s\n", s.Name(), s.Description())
 	}
 }

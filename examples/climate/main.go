@@ -1,33 +1,22 @@
 // Coupled climate (section 3): ocean-ice model ("Cray T3E") and
 // atmosphere ("IBM SP2") exchanging 2-D surface fields through a
-// CSM-style flux coupler every timestep — ~1 MByte bursts over the WAN.
+// CSM-style flux coupler every timestep — ~1 MByte bursts over the WAN,
+// run through the registered "climate-coupled" scenario.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"time"
 
-	"repro/internal/climate"
-	"repro/internal/mpi"
+	gtw "repro"
 )
 
 func main() {
 	log.SetFlags(0)
-	cfg := climate.CoupledConfig{
-		OceanGrid: climate.Grid{NLat: 64, NLon: 128},
-		AtmosGrid: climate.Grid{NLat: 32, NLon: 64},
-		Dt:        3600,
-		Steps:     48, // two simulated days
-	}
-	shaper := mpi.LinkShaper{Latency: 550 * time.Microsecond, Bps: 260e6}
-	res, err := climate.RunCoupled([3]string{"cray-t3e", "ibm-sp2", "csm-coupler"}, shaper, cfg)
+	rep, err := gtw.Run(context.Background(), "climate-coupled")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("coupled %d steps of %d s; %.2f MByte exchanged per step\n",
-		res.Steps, int(cfg.Dt), float64(res.BytesPerExchange)/1e6)
-	fmt.Printf("final mean SST %.2f K (range %.1f..%.1f), ice fraction %.3f\n",
-		res.FinalMeanSST, res.MinSST, res.MaxSST, res.FinalIceFraction)
-	fmt.Println("(the paper quotes up to 1 MByte in short bursts per timestep)")
+	fmt.Print(rep.Text())
 }

@@ -1,78 +1,31 @@
 // Realtime fMRI (section 4): scanner -> RT-server -> RT-client over a
-// real TCP socket, incremental correlation analysis, motion correction,
-// and the latency/pipelining budget of the paper.
+// real TCP socket with motion correction and incremental correlation
+// (the "fire-rt-session" scenario), followed by the latency/pipelining
+// budget of the paper (the "figure2-endtoend" scenario).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"net"
 
-	"repro/internal/fire"
-	"repro/internal/mri"
+	gtw "repro"
 )
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
-	// A subject with one activation and slight head motion.
-	act := mri.Activation{CX: 32, CY: 30, CZ: 8, Radius: 5, Amplitude: 0.05, HRF: mri.DefaultHRF}
-	ph := mri.NewPhantom(64, 64, 16, []mri.Activation{act})
-	motion := make([]mri.Shift, 32)
-	for i := 16; i < 32; i++ {
-		motion[i] = mri.Shift{DX: 0.8, DY: -0.4} // subject moves mid-measurement
-	}
-	sc := mri.NewScanner(ph, mri.ScanConfig{
-		NX: 64, NY: 64, NZ: 16, TR: 2, NScans: 32,
-		NoiseStd: 2, Motion: motion, Seed: 3,
-	})
-	srv := &fire.RTServer{Scanner: sc}
-	l, err := net.Listen("tcp", "127.0.0.1:0")
+	sess, err := gtw.Run(ctx, "fire-rt-session", gtw.WithFrames(32))
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer l.Close()
-	go srv.ListenAndServe(l)
+	fmt.Print(sess.Text())
 
-	client, err := fire.DialRT(l.Addr().String())
+	budget, err := gtw.Run(ctx, "figure2-endtoend", gtw.WithPEs(256), gtw.WithFrames(30))
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer client.Close()
-
-	corr := fire.NewCorrelator(sc.Reference(0), 64, 64, 16)
-	var reference = ph.Anatomy // motion-correction reference
-	for {
-		msg, err := client.NextImage()
-		if err != nil {
-			log.Fatal(err)
-		}
-		if msg.Type == fire.MsgDone {
-			break
-		}
-		// 3-D movement correction against the anatomy.
-		fixed, shift, err := fire.MotionCorrect(reference, msg.Image, fire.MotionOptions{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		if msg.Scan == 20 {
-			fmt.Printf("scan %d: estimated subject motion (%.2f, %.2f, %.2f) voxels\n",
-				msg.Scan, shift[0], shift[1], shift[2])
-		}
-		if err := corr.Add(fixed); err != nil {
-			log.Fatal(err)
-		}
-	}
-	m, err := corr.Map()
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("correlation at activation center: %.3f\n", m.At(32, 30, 8))
-
-	// The section-4 latency budget at 256 PEs.
-	st := fire.PaperStageTimes(fire.DefaultT3E600(), 256)
-	fmt.Printf("end-to-end delay at 256 PEs: %.2f s (paper: < 5 s)\n", st.TotalDelay())
-	fmt.Printf("unpipelined period: %.2f s -> safe TR %.1f s (paper: 2.7 s -> 3 s)\n",
-		st.UnpipelinedPeriod(), fire.SafeTR(st.UnpipelinedPeriod()))
-	fmt.Printf("pipelined period would be %.2f s\n", st.PipelinedPeriod())
+	fmt.Println()
+	fmt.Print(budget.Text())
 }

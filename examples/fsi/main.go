@@ -1,35 +1,23 @@
 // MetaCISPAR (section 3): coupling of industrial structural mechanics
 // and fluid dynamics codes through the COCOLIB interface, ported to the
-// metacomputing environment. The fluid code (rank 0) and the structure
-// code (rank 1) run on different machines with non-matching interface
-// meshes; COCOLIB handles the exchange and interpolation.
+// metacomputing environment — run through the registered "fsi-cocolib"
+// scenario (fluid and structure codes on different machines with
+// non-matching interface meshes; COCOLIB interpolates the exchange).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"time"
 
-	"repro/internal/cocolib"
-	"repro/internal/mpi"
+	gtw "repro"
 )
 
 func main() {
 	log.SetFlags(0)
-	shaper := mpi.LinkShaper{Latency: 550 * time.Microsecond, Bps: 260e6}
-	res, err := cocolib.RunFSI(
-		[2]string{"gmd-fluid-code", "fzj-structure-code"},
-		shaper,
-		65, // fluid interface nodes
-		41, // structure interface nodes (non-matching)
-		2500, 0.001,
-	)
+	rep, err := gtw.Run(context.Background(), "fsi-cocolib")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("FSI coupled run: %d exchanges, %.1f KByte moved across the interface\n",
-		res.Steps, float64(res.BytesExchanged)/1024)
-	fmt.Printf("panel reached static aeroelastic equilibrium: max deflection %.4f (residual %.1e)\n",
-		res.MaxDeflection, res.TipResidual)
-	fmt.Println("(COCOLIB interpolates between the 65-node fluid and 41-node structure meshes)")
+	fmt.Print(rep.Text())
 }

@@ -1,51 +1,23 @@
 // Groundwater solute transport (section 3): TRACE (Darcy flow, "on the
 // SP2") coupled to PARTRACE (particle tracking, "on the T3E") over the
-// metacomputing MPI with WAN shaping, shipping the 3-D flow field every
-// coupling step.
+// metacomputing MPI with WAN shaping — run through the registered
+// "groundwater-coupled" scenario, whose report includes the
+// VAMPIR-style communication summary.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"time"
 
-	"repro/internal/groundwater"
-	"repro/internal/mpi"
-	"repro/internal/mpitrace"
+	gtw "repro"
 )
 
 func main() {
 	log.SetFlags(0)
-
-	flow := groundwater.FlowConfig{
-		NX: 40, NY: 16, NZ: 12, Dx: 1.0,
-		K:        groundwater.LognormalK(40, 16, 12, 1e-4, 1.0, 42),
-		HeadLeft: 12, HeadRight: 0, Porosity: 0.3,
-	}
-	cfg := groundwater.CoupledConfig{
-		Flow:      flow,
-		Track:     groundwater.TrackConfig{Dt: 2000, Steps: 25, Dispersion: 1e-4, Seed: 9},
-		Particles: 500,
-		Steps:     6,
-		HeadDrift: 0.2,
-	}
-	// WAN shaped to the measured testbed path (~260 Mbit/s, ~0.55 ms),
-	// with a VAMPIR-style trace recorder attached.
-	shaper := mpi.LinkShaper{Latency: 550 * time.Microsecond, Bps: 260e6}
-	rec := mpitrace.NewRecorder()
-
-	res, err := groundwater.RunCoupledTraced([2]string{"ibm-sp2", "cray-t3e"}, shaper, rec, cfg)
+	rep, err := gtw.Run(context.Background(), "groundwater-coupled")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("coupled run: %d steps, %.2f MByte field per step (%.1f MByte total)\n",
-		res.Steps, float64(res.BytesPerStep)/1e6, float64(res.TotalBytes)/1e6)
-	fmt.Printf("TRACE solver: %d CG iterations total\n", res.CGIterTotal)
-	fmt.Printf("PARTRACE: %d particles broke through, plume front at %.1f cells\n",
-		res.Exited, res.FinalMeanX)
-	fmt.Println("(the paper quotes up to 30 MByte/s for this field transfer)")
-	fmt.Println()
-	fmt.Println("VAMPIR-style communication summary:")
-	fmt.Print(mpitrace.FormatStats(rec.Stats()))
-	fmt.Print(rec.Gantt(64))
+	fmt.Print(rep.Text())
 }

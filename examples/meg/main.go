@@ -1,74 +1,23 @@
 // MEG analysis (section 3): pmusic estimates dipole positions in a
 // human brain with the MUSIC algorithm; the grid scan is distributed
 // over MPI ranks, and the MPP+vector metacomputing model shows the
-// superlinear-speedup argument.
+// superlinear-speedup argument — run through the registered
+// "meg-music" scenario.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math"
-	"time"
 
-	"repro/internal/machine"
-	"repro/internal/meg"
-	"repro/internal/mpi"
+	gtw "repro"
 )
 
 func main() {
 	log.SetFlags(0)
-
-	// Synthesize a measurement with one active dipole.
-	arr := meg.NewHelmetArray(64, 0.12)
-	truth := meg.Vec3{X: 0.025, Y: -0.01, Z: 0.05}
-	q := meg.Vec3{X: 1, Y: 0, Z: 0}.Cross(truth)
-	q = q.Scale(2e-8 / q.Norm())
-	nt := 120
-	course := make([]float64, nt)
-	for i := range course {
-		course[i] = math.Sin(float64(i) * 0.25)
-	}
-	x, err := meg.Synthesize(arr, []meg.Dipole{{Pos: truth, Moment: q, Course: course}}, nt, 2e-15, 11)
+	rep, err := gtw.Run(context.Background(), "meg-music")
 	if err != nil {
 		log.Fatal(err)
 	}
-	us, _, err := meg.SignalSubspace(meg.Covariance(x), 1)
-	if err != nil {
-		log.Fatal(err)
-	}
-	grid := meg.BrainGrid(0.09, 0.01)
-	fmt.Printf("scanning %d grid points on 4 MPI ranks...\n", len(grid))
-
-	var best meg.Vec3
-	var val float64
-	err = mpi.Run(4, func(c *mpi.Comm) error {
-		res, err := meg.ParallelScan(c, arr, us, grid)
-		if err != nil {
-			return err
-		}
-		if c.Rank() == 0 {
-			best, val = res.Best()
-		}
-		return nil
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	errMM := best.Sub(truth).Norm() * 1000
-	fmt.Printf("true dipole (%.0f, %.0f, %.0f) mm; MUSIC peak %.3f at (%.0f, %.0f, %.0f) mm — error %.1f mm\n",
-		truth.X*1000, truth.Y*1000, truth.Z*1000, val,
-		best.X*1000, best.Y*1000, best.Z*1000, errMM)
-
-	// The metacomputing rationale: MPP+vector beats MPP-only.
-	m := meg.DistributedModel{
-		MPP:        machine.CrayT3E600(),
-		Vector:     machine.CrayT90(),
-		WANLatency: 550 * time.Microsecond,
-		WANBps:     260e6,
-		Sensors:    148, Signals: 5, GridPoints: len(grid), Iterations: 10,
-	}
-	for _, pes := range []int{16, 64, 256} {
-		fmt.Printf("distributed vs MPP-only speedup at %3d PEs: %.2fx\n",
-			pes, m.SuperlinearSpeedup(pes))
-	}
+	fmt.Print(rep.Text())
 }

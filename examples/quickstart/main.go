@@ -1,36 +1,60 @@
-// Quickstart: build the Gigabit Testbed West, measure the two headline
-// throughputs of section 2, and co-allocate the fMRI session's hosts.
+// Quickstart: the unified scenario API. List the registry, run one
+// scenario with functional options, run several concurrently on a
+// shared contended testbed, and use the testbed facade directly for
+// the section-2 headline throughput and co-allocation.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	gtw "repro"
 )
 
 func main() {
 	log.SetFlags(0)
-	tb := gtw.NewTestbed(gtw.Config{})
+	ctx := context.Background()
 
-	// Section 2: ">430 Mbit/s within the local Cray complex".
+	// The registry: every experiment is a named scenario.
+	fmt.Println("registered scenarios:")
+	for _, s := range gtw.Scenarios() {
+		fmt.Printf("  %-24s %s\n", s.Name(), s.Description())
+	}
+
+	// Run one scenario with functional options.
+	rep, err := gtw.Run(ctx, "figure2-endtoend", gtw.WithPEs(256), gtw.WithFrames(30))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(rep.Text())
+
+	// Run several concurrently on ONE shared testbed — one facility
+	// for every experiment, as the paper's projects shared one WAN
+	// (shared co-allocation, cumulative backbone accounting).
+	tb := gtw.NewTestbed(gtw.Config{})
+	names := []string{"figure1-throughput", "figure4-workbench", "future-work"}
+	results, err := gtw.RunAll(ctx, names, gtw.WithTestbed(tb))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	for _, r := range results {
+		fmt.Printf("shared-testbed run %-24s finished in %8s (err=%v)\n",
+			r.Name, r.Elapsed.Round(time.Millisecond), r.Err)
+	}
+	fmt.Printf("backbone carried %.1f MByte across the shared run\n",
+		float64(tb.BackboneWireBytes())/1e6)
+
+	// The testbed facade remains directly usable.
 	local, err := tb.TCPTransfer(gtw.HostT3E600, gtw.HostT3E1200, 64<<20, gtw.TCPConfig{WindowBytes: 4 << 20})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("local Cray complex (HiPPI, 64K MTU): %.1f Mbit/s (paper: >430)\n",
+	fmt.Printf("\nlocal Cray complex (HiPPI, 64K MTU): %.1f Mbit/s (paper: >430)\n",
 		local.ThroughputBps/1e6)
-
-	// Section 2: ">260 Mbit/s between the Cray T3E and the IBM SP2".
-	wan, err := tb.TCPTransfer(gtw.HostT3E600, gtw.HostSP2, 64<<20, gtw.TCPConfig{WindowBytes: 4 << 20})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("WAN T3E -> SP2:                      %.1f Mbit/s (paper: >260)\n",
-		wan.ThroughputBps/1e6)
-
-	// Section 6: simultaneous resource allocation for a distributed
-	// session.
 	if err := tb.Reserve("fmri-demo", gtw.HostT3E600, gtw.HostOnyx2, gtw.HostWSJuelich); err != nil {
 		log.Fatal(err)
 	}

@@ -1,48 +1,22 @@
 // Multimedia (section 3): an uncompressed 270 Mbit/s D1 studio video
 // stream over the simulated ATM testbed, on carriers that can and
-// cannot sustain it.
+// cannot sustain it — run through the registered "video-d1" scenario
+// (OC-3 cannot carry it, OC-12 does with headroom, OC-48 trivially).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"time"
 
-	"repro/internal/atm"
-	"repro/internal/netsim"
-	"repro/internal/sim"
-	"repro/internal/video"
+	gtw "repro"
 )
-
-type clipFramer struct{}
-
-func (clipFramer) WireSize(n int) int { return atm.CLIPWireBytes(n) }
-func (clipFramer) Name() string       { return "atm-clip" }
-
-func run(oc atm.OC) {
-	k := sim.NewKernel()
-	n := netsim.New(k)
-	a := n.AddNode("studio-gmd")
-	b := n.AddNode("echtzeit-koeln")
-	n.Connect(a, b, netsim.LinkConfig{
-		Bps: oc.PayloadRate(), Delay: 500 * time.Microsecond, MTU: 9180,
-		Framer: clipFramer{}, QueueBytes: 32 << 20,
-	})
-	n.ComputeRoutes()
-	res, err := video.Stream(n, a.ID, b.ID, video.StreamConfig{Frames: 50})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("%-6v payload %6.1f Mbit/s: %2d/%2d frames on time, %d lost packets, peak jitter %6.2f ms\n",
-		oc, oc.PayloadRate()/1e6, res.OnTime, res.Frames, res.LostPackets,
-		res.PeakJitter.Seconds()*1000)
-}
 
 func main() {
 	log.SetFlags(0)
-	fmt.Printf("D1 video: %d bytes/frame at %d frames/s = %.0f Mbit/s CBR\n",
-		video.FrameBytes, video.FrameRate, video.D1Bps/1e6)
-	run(atm.OC3)  // cannot carry it
-	run(atm.OC12) // carries it with headroom
-	run(atm.OC48) // trivially
+	rep, err := gtw.Run(context.Background(), "video-d1", gtw.WithFrames(50))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.Text())
 }

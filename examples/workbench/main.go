@@ -1,20 +1,19 @@
 // 3-D visualization (section 4 / figure 4): merge the functional data
 // with the high-resolution anatomy, render a maximum-intensity
 // projection ("the light areas are regions of the brain that are
-// activated"), and evaluate the Responsive Workbench streaming rates.
+// activated"), and evaluate the Responsive Workbench streaming rates —
+// run through the registered "figure4-workbench" scenario, whose
+// report carries the rendered head.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
-	"repro/internal/atm"
-	"repro/internal/fire"
-	"repro/internal/mri"
-	"repro/internal/viz"
-	"repro/internal/volume"
+	gtw "repro"
 )
 
 func main() {
@@ -22,59 +21,19 @@ func main() {
 	out := flag.String("out", "head.png", "output PNG path")
 	flag.Parse()
 
-	// A measurement with a motor-cortex-like activation.
-	act := mri.Activation{CX: 24, CY: 40, CZ: 10, Radius: 5, Amplitude: 0.05, HRF: mri.DefaultHRF}
-	ph := mri.NewPhantom(64, 64, 16, []mri.Activation{act})
-	sc := mri.NewScanner(ph, mri.ScanConfig{NX: 64, NY: 64, NZ: 16, TR: 2, NScans: 40, NoiseStd: 2, Seed: 13})
-	corr := fire.NewCorrelator(sc.Reference(0), 64, 64, 16)
-	for {
-		v := sc.Next()
-		if v == nil {
-			break
-		}
-		if err := corr.Add(v); err != nil {
-			log.Fatal(err)
-		}
-	}
-	m, err := corr.Map()
+	rep, err := gtw.Run(context.Background(), "figure4-workbench")
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Print(rep.Text())
+	fmt.Println("(the paper: 'less than 8 frames/second ... over a 622 Mbit/s ATM network using classical IP')")
 
-	// High-resolution anatomy (the 256x256x128 pre-measurement scan,
-	// reduced here to keep the example fast).
-	hi := volume.New(128, 128, 32)
-	hiPh := mri.NewPhantom(128, 128, 32, nil)
-	copy(hi.Data, hiPh.Anatomy.Data)
-
-	merged := viz.MergeFunctional(hi, m)
-	img, err := viz.RenderMIP(hi, merged, 0.5)
-	if err != nil {
-		log.Fatal(err)
+	f4, ok := rep.(*gtw.Figure4Report)
+	if !ok {
+		log.Fatalf("unexpected report type %T", rep)
 	}
-	f, err := os.Create(*out)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer f.Close()
-	if err := viz.WritePNG(f, img); err != nil {
+	if err := os.WriteFile(*out, f4.PNG, 0o644); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("rendered activated head to %s\n", *out)
-
-	// The workbench streaming arithmetic of section 4.
-	fmt.Printf("workbench frame set: %d bytes (2 planes x stereo x 1024x768x24bit)\n",
-		viz.WorkbenchFrameBytes)
-	for _, c := range []struct {
-		name string
-		bps  float64
-		mtu  int
-	}{
-		{"622 Mbit/s ATM, classical IP", atm.OC12.PayloadRate(), atm.DefaultCLIPMTU},
-		{"622 Mbit/s ATM, 64 KByte MTU", atm.OC12.PayloadRate(), atm.MaxCLIPMTU},
-		{"2.4 Gbit/s ATM, classical IP", atm.OC48.PayloadRate(), atm.DefaultCLIPMTU},
-	} {
-		fmt.Printf("  %-30s %5.2f frames/s\n", c.name, viz.WorkbenchFPS(c.bps, c.mtu))
-	}
-	fmt.Println("(the paper: 'less than 8 frames/second ... over a 622 Mbit/s ATM network using classical IP')")
 }

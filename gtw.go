@@ -5,10 +5,48 @@
 // and GMD Sankt Augustin — together with working reimplementations of
 // the distributed applications that ran on it.
 //
-// The package re-exports the testbed model (topology, TCP transfers,
-// co-allocation), the experiment drivers that regenerate the paper's
-// tables and figures, and the FIRE realtime-fMRI analysis chain. The
-// subsystems live in internal/ packages:
+// Every experiment — the paper's tables and figures as well as the
+// section-3 application workloads — is a registered Scenario with a
+// uniform Run signature and Report result, executed by one engine.
+//
+// Quickstart — run one scenario:
+//
+//	rep, err := gtw.Run(ctx, "figure2-endtoend", gtw.WithPEs(256), gtw.WithFrames(30))
+//	if err != nil { ... }
+//	fmt.Print(rep.Text())      // the human-readable table
+//	b, _ := rep.JSON()         // the measurement record
+//
+// Run many concurrently, each on a fresh testbed:
+//
+//	results, err := gtw.RunAll(ctx, nil) // nil = every registered scenario
+//	for _, r := range results {
+//		fmt.Printf("%-24s %8s err=%v\n", r.Name, r.Elapsed.Round(time.Millisecond), r.Err)
+//	}
+//
+// Or all on one shared testbed — one facility for every experiment,
+// as the paper's projects shared one WAN (shared co-allocation and
+// cumulative backbone accounting; transfers serialise onto the one
+// simulation kernel):
+//
+//	tb := gtw.NewTestbed(gtw.Config{})
+//	results, err := gtw.RunAll(ctx, names, gtw.WithTestbed(tb))
+//
+// Adding a workload is a one-file exercise:
+//
+//	gtw.MustRegister(gtw.NewScenario("my-workload", "what it measures",
+//		func(ctx context.Context, tb *gtw.Testbed, opts gtw.Options) (gtw.Report, error) {
+//			res, err := tb.TCPTransfer(gtw.HostT3E600, gtw.HostSP2, 64<<20, gtw.TCPConfig{})
+//			...
+//		}))
+//
+// The testbed itself (topology, TCP transfers, co-allocation) remains
+// directly usable:
+//
+//	tb := gtw.NewTestbed(gtw.Config{})
+//	res, err := tb.TCPTransfer(gtw.HostT3E600, gtw.HostSP2, 64<<20, gtw.TCPConfig{})
+//	fmt.Println(res) // ~260 Mbit/s, as measured in 1999
+//
+// The subsystems live in internal/ packages:
 //
 //	internal/sim         discrete-event simulation kernel
 //	internal/netsim      packet-level network simulator
@@ -25,19 +63,17 @@
 //	internal/climate     coupled ocean/atmosphere + flux coupler
 //	internal/video       D1 studio video over ATM
 //	internal/viz         2-D overlay, 3-D merge, workbench streaming
-//	internal/core        the testbed topology and experiment drivers
+//	internal/core        the testbed topology, scenarios and run engine
 //
-// Quickstart:
-//
-//	tb := gtw.NewTestbed(gtw.Config{})
-//	res, err := tb.TCPTransfer(gtw.HostT3E600, gtw.HostSP2, 64<<20, gtw.TCPConfig{})
-//	fmt.Println(res) // ~260 Mbit/s, as measured in 1999
+// See EXPERIMENTS.md for the paper-vs-measured record, and cmd/gtwrun
+// for the CLI that lists and runs any registered scenario.
 package gtw
 
 import (
 	"repro/internal/atm"
 	"repro/internal/core"
 	"repro/internal/fire"
+	"repro/internal/machine"
 	"repro/internal/tcpsim"
 )
 
@@ -45,7 +81,9 @@ import (
 // extension sites).
 type Config = core.Config
 
-// Testbed is the simulated Gigabit Testbed West.
+// Testbed is the simulated Gigabit Testbed West. It is safe to share
+// between concurrently running scenarios: co-allocation is guarded and
+// simulation access is serialised internally.
 type Testbed = core.Testbed
 
 // TCPConfig tunes simulated TCP transfers.
@@ -53,6 +91,9 @@ type TCPConfig = tcpsim.Config
 
 // TCPResult reports a transfer outcome.
 type TCPResult = tcpsim.Result
+
+// MachineSpec is the performance model of a simulated supercomputer.
+type MachineSpec = machine.Spec
 
 // NewTestbed builds the Figure-1 topology.
 func NewTestbed(cfg Config) *Testbed { return core.New(cfg) }
@@ -73,85 +114,6 @@ const (
 	HostUniBonn    = core.HostUniBonn
 )
 
-// Experiment drivers: each regenerates one table or figure of the
-// paper. See EXPERIMENTS.md for the paper-vs-measured record.
-
-// Table1Row is one row of the paper's Table 1.
-type Table1Row = fire.Table1Row
-
-// PaperTable1 returns Table 1 exactly as printed in the paper.
-func PaperTable1() []Table1Row { return fire.PaperTable1 }
-
-// ModelTable1 evaluates the calibrated T3E-600 model at the paper's PE
-// counts.
-func ModelTable1() []Table1Row { return fire.DefaultT3E600().ModelTable1() }
-
-// Figure1Row is one testbed path measurement.
-type Figure1Row = core.Figure1Row
-
-// Figure1Throughput measures the section-2 throughput observations.
-func Figure1Throughput() ([]Figure1Row, error) { return core.Figure1Throughput() }
-
-// Figure2Result is the section-4 latency budget.
-type Figure2Result = core.Figure2Result
-
-// Figure2EndToEnd evaluates the realtime-fMRI latency budget.
-func Figure2EndToEnd(pes, frames int) (Figure2Result, error) {
-	return core.Figure2EndToEnd(pes, frames)
-}
-
-// Figure3Result is the FIRE GUI reproduction.
-type Figure3Result = core.Figure3Result
-
-// Figure3Overlay runs the 2-D overlay experiment.
-func Figure3Overlay() (Figure3Result, error) { return core.Figure3Overlay() }
-
-// Figure4Result is the 3-D visualization / workbench experiment.
-type Figure4Result = core.Figure4Result
-
-// Figure4Workbench runs the visualization experiment.
-func Figure4Workbench() (Figure4Result, error) { return core.Figure4Workbench() }
-
-// AppRow is one section-3 application requirement check.
-type AppRow = core.AppRow
-
-// Section3Applications verifies each application's WAN requirements.
-func Section3Applications() ([]AppRow, error) { return core.Section3Applications() }
-
-// FMRIScenario configures the full discrete-event fMRI dataflow over
-// the testbed (scanner, RT-server, T3E, RT-client, Onyx 2, workbench).
-type FMRIScenario = core.FMRIScenario
-
-// FMRIScenarioResult reports the derived end-to-end timing.
-type FMRIScenarioResult = core.FMRIScenarioResult
-
-// RunFMRIScenario executes the five-computer fMRI scenario.
-func RunFMRIScenario(sc FMRIScenario) (FMRIScenarioResult, error) {
-	return core.RunFMRIScenario(sc)
-}
-
-// AggregateRow is one backbone saturation measurement.
-type AggregateRow = core.AggregateRow
-
-// BackboneAggregate fills the backbone with concurrent flows — the
-// OC-12 -> OC-48 upgrade rationale.
-func BackboneAggregate(wan OC, flows int) (AggregateRow, error) {
-	return core.BackboneAggregate(wan, flows)
-}
-
-// MixedTrafficResult compares video + bulk TCP sharing the backbone.
-type MixedTrafficResult = core.MixedTrafficResult
-
-// MixedTraffic runs the mixed-workload experiment.
-func MixedTraffic(wan OC) (MixedTrafficResult, error) { return core.MixedTraffic(wan) }
-
-// FutureWorkResult holds the forward-looking analyses (B-WiN growth,
-// multi-echo imaging).
-type FutureWorkResult = core.FutureWorkResult
-
-// FutureWorkAnalysis evaluates the paper's forward-looking claims.
-func FutureWorkAnalysis() (FutureWorkResult, error) { return core.FutureWorkAnalysis() }
-
 // OC selects a SONET/SDH carrier level for experiment parameters.
 type OC = atm.OC
 
@@ -162,7 +124,114 @@ const (
 	OC48 = atm.OC48
 )
 
+// ---------------------------------------------------------------------
+// Deprecated one-shot experiment entry points. Each is now a registered
+// scenario with a uniform Report; these wrappers remain so existing
+// callers keep compiling.
+
+// Table1Row is one row of the paper's Table 1.
+type Table1Row = fire.Table1Row
+
+// PaperTable1 returns Table 1 exactly as printed in the paper.
+func PaperTable1() []Table1Row { return fire.PaperTable1 }
+
+// ModelTable1 evaluates the calibrated T3E-600 model at the paper's PE
+// counts.
+//
+// Deprecated: use Run(ctx, "table1-model").
+func ModelTable1() []Table1Row { return fire.DefaultT3E600().ModelTable1() }
+
+// Figure1Row is one testbed path measurement.
+type Figure1Row = core.Figure1Row
+
+// Figure1Throughput measures the section-2 throughput observations.
+//
+// Deprecated: use Run(ctx, "figure1-throughput").
+func Figure1Throughput() ([]Figure1Row, error) { return core.Figure1Throughput() }
+
+// Figure2Result is the section-4 latency budget.
+type Figure2Result = core.Figure2Result
+
+// Figure2EndToEnd evaluates the realtime-fMRI latency budget.
+//
+// Deprecated: use Run(ctx, "figure2-endtoend", WithPEs(pes), WithFrames(frames)).
+func Figure2EndToEnd(pes, frames int) (Figure2Result, error) {
+	return core.Figure2EndToEnd(pes, frames)
+}
+
+// Figure3Result is the FIRE GUI reproduction.
+type Figure3Result = core.Figure3Result
+
+// Figure3Overlay runs the 2-D overlay experiment.
+//
+// Deprecated: use Run(ctx, "figure3-overlay").
+func Figure3Overlay() (Figure3Result, error) { return core.Figure3Overlay() }
+
+// Figure4Result is the 3-D visualization / workbench experiment.
+type Figure4Result = core.Figure4Result
+
+// Figure4Workbench runs the visualization experiment.
+//
+// Deprecated: use Run(ctx, "figure4-workbench").
+func Figure4Workbench() (Figure4Result, error) { return core.Figure4Workbench() }
+
+// AppRow is one section-3 application requirement check.
+type AppRow = core.AppRow
+
+// Section3Applications verifies each application's WAN requirements.
+//
+// Deprecated: use Run(ctx, "section3-applications").
+func Section3Applications() ([]AppRow, error) { return core.Section3Applications() }
+
+// FMRIScenario configures the full discrete-event fMRI dataflow over
+// the testbed (scanner, RT-server, T3E, RT-client, Onyx 2, workbench).
+type FMRIScenario = core.FMRIScenario
+
+// FMRIScenarioResult reports the derived end-to-end timing.
+type FMRIScenarioResult = core.FMRIScenarioResult
+
+// RunFMRIScenario executes the five-computer fMRI scenario.
+//
+// Deprecated: use Run(ctx, "fmri-dataflow", WithPEs(pes), WithFrames(frames)).
+func RunFMRIScenario(sc FMRIScenario) (FMRIScenarioResult, error) {
+	return core.RunFMRIScenario(sc)
+}
+
+// AggregateRow is one backbone saturation measurement.
+type AggregateRow = core.AggregateRow
+
+// BackboneAggregate fills the backbone with concurrent flows — the
+// OC-12 -> OC-48 upgrade rationale.
+//
+// Deprecated: use Run(ctx, "backbone-aggregate", WithFlows(flows)),
+// which reports both backbone generations side by side (WithWAN does
+// not narrow it); call this function directly for a single carrier.
+func BackboneAggregate(wan OC, flows int) (AggregateRow, error) {
+	return core.BackboneAggregate(wan, flows)
+}
+
+// MixedTrafficResult compares video + bulk TCP sharing the backbone.
+type MixedTrafficResult = core.MixedTrafficResult
+
+// MixedTraffic runs the mixed-workload experiment.
+//
+// Deprecated: use Run(ctx, "mixed-traffic"), which reports both
+// backbone generations side by side (WithWAN does not narrow it);
+// call this function directly for a single carrier.
+func MixedTraffic(wan OC) (MixedTrafficResult, error) { return core.MixedTraffic(wan) }
+
+// FutureWorkResult holds the forward-looking analyses (B-WiN growth,
+// multi-echo imaging).
+type FutureWorkResult = core.FutureWorkResult
+
+// FutureWorkAnalysis evaluates the paper's forward-looking claims.
+//
+// Deprecated: use Run(ctx, "future-work").
+func FutureWorkAnalysis() (FutureWorkResult, error) { return core.FutureWorkAnalysis() }
+
 // Formatting helpers for the experiment results.
+//
+// Deprecated: every scenario Report renders itself via Text().
 var (
 	FormatFigure1    = core.FormatFigure1
 	FormatFigure2    = core.FormatFigure2

@@ -14,6 +14,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/atm"
@@ -91,6 +92,19 @@ const (
 )
 
 // Testbed is a constructed Gigabit Testbed West instance.
+//
+// A Testbed may be shared by concurrently running scenarios (the
+// WithTestbed mode of RunAll): the co-allocation map is guarded by
+// allocMu, and every operation that advances the simulation kernel or
+// reads its counters (TCPTransfer, RTT, PathMTU, BackboneUtilization,
+// BackboneWireBytes) serialises on simMu. Shared scenarios therefore
+// interleave their transfers on one testbed — co-allocation is truly
+// shared and the backbone counters accumulate across all of them —
+// but each transfer still runs on an otherwise idle simulated network;
+// in-simulator bandwidth contention between two flows only happens
+// when one driver starts both (see BackboneAggregate, MixedTraffic).
+// Code that reaches into K or Net directly must have the testbed to
+// itself.
 type Testbed struct {
 	Cfg      Config
 	K        *sim.Kernel
@@ -99,6 +113,9 @@ type Testbed struct {
 	machines map[string]machine.Spec
 	alloc    map[string]string // host -> session owner
 	backbone *netsim.Link
+
+	allocMu sync.Mutex // guards alloc
+	simMu   sync.Mutex // serialises kernel access and counter reads
 }
 
 // propDelayWAN is the one-way propagation delay of the ~100 km
@@ -259,6 +276,8 @@ func (tb *Testbed) TCPTransfer(src, dst string, nbytes int64, cfg tcpsim.Config)
 	if err != nil {
 		return tcpsim.Result{}, err
 	}
+	tb.simMu.Lock()
+	defer tb.simMu.Unlock()
 	return tcpsim.Transfer(tb.Net, a, b, nbytes, cfg)
 }
 
@@ -272,6 +291,8 @@ func (tb *Testbed) RTT(src, dst string) (time.Duration, error) {
 	if err != nil {
 		return 0, err
 	}
+	tb.simMu.Lock()
+	defer tb.simMu.Unlock()
 	return netsim.Ping(tb.Net, a, b, 64, 64), nil
 }
 
@@ -285,6 +306,8 @@ func (tb *Testbed) PathMTU(src, dst string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	tb.simMu.Lock()
+	defer tb.simMu.Unlock()
 	return tb.Net.PathMTU(a, b)
 }
 
@@ -296,6 +319,8 @@ func (tb *Testbed) Reserve(session string, hosts ...string) error {
 	if session == "" {
 		return fmt.Errorf("core: empty session name")
 	}
+	tb.allocMu.Lock()
+	defer tb.allocMu.Unlock()
 	for _, h := range hosts {
 		if _, ok := tb.hosts[h]; !ok {
 			return fmt.Errorf("core: unknown host %q", h)
@@ -312,6 +337,8 @@ func (tb *Testbed) Reserve(session string, hosts ...string) error {
 
 // Release frees every host held by the session.
 func (tb *Testbed) Release(session string) {
+	tb.allocMu.Lock()
+	defer tb.allocMu.Unlock()
 	for h, owner := range tb.alloc {
 		if owner == session {
 			delete(tb.alloc, h)
@@ -321,6 +348,8 @@ func (tb *Testbed) Release(session string) {
 
 // Allocations reports the current host -> session assignment.
 func (tb *Testbed) Allocations() map[string]string {
+	tb.allocMu.Lock()
+	defer tb.allocMu.Unlock()
 	out := make(map[string]string, len(tb.alloc))
 	for h, s := range tb.alloc {
 		out[h] = s
@@ -331,8 +360,14 @@ func (tb *Testbed) Allocations() map[string]string {
 // BackboneUtilization reports the WAN link's busy fraction over the
 // simulation so far (both directions; 2.0 = saturated duplex).
 func (tb *Testbed) BackboneUtilization() float64 {
+	tb.simMu.Lock()
+	defer tb.simMu.Unlock()
 	return tb.backbone.Utilization(tb.K.Now())
 }
 
 // BackboneWireBytes reports total framed bytes carried on the WAN link.
-func (tb *Testbed) BackboneWireBytes() int64 { return tb.backbone.WireBytes() }
+func (tb *Testbed) BackboneWireBytes() int64 {
+	tb.simMu.Lock()
+	defer tb.simMu.Unlock()
+	return tb.backbone.WireBytes()
+}

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"bytes"
+	"context"
 	"fmt"
+	"math"
 	"strings"
 	"time"
 
@@ -15,8 +18,11 @@ import (
 )
 
 // This file contains the experiment drivers that regenerate the paper's
-// quantitative content. Each driver builds a fresh testbed so runs are
-// independent and deterministic.
+// quantitative content. Each driver has a testbed-accepting core
+// (figure1ThroughputOn, ...) used by the registered scenarios — so runs
+// can share one contended testbed — plus a deprecated wrapper keeping
+// the original one-shot signature, which builds private testbeds so old
+// callers see unchanged behaviour.
 
 // ---------------------------------------------------------------- F1 --
 
@@ -31,52 +37,86 @@ type Figure1Row struct {
 	Note      string
 }
 
-// Figure1Throughput measures the section-2 throughput observations on
-// the simulated testbed.
-func Figure1Throughput() ([]Figure1Row, error) {
-	type probe struct {
-		path, src, dst string
-		mtu            int
-		paper          float64
-		note           string
+// f1probe is one throughput probe of the figure-1 experiment.
+type f1probe struct {
+	path, src, dst string
+	mtu            int
+	paper          float64
+	note           string
+}
+
+var f1probes = []f1probe{
+	{"local Cray complex over HiPPI (64K MTU)", HostT3E600, HostT3E1200, 0, 430,
+		"paper: >430 Mbit/s TCP/IP with 64 KByte MTU"},
+	{"Cray T3E -> IBM SP2 over the WAN", HostT3E600, HostSP2, 0, 260,
+		"paper: >260 Mbit/s, limited by SP2 microchannel I/O"},
+	{"622 Mbit/s ATM workstations over the WAN (64K MTU)", HostWSJuelich, HostWSGMD, 0, 0,
+		"approaches the OC-12 attach payload limit"},
+	{"same path, default CLIP MTU (9180)", HostWSJuelich, HostWSGMD, 9180, 0,
+		"per-packet costs start to matter"},
+	{"same path, Ethernet-class MTU (1500)", HostWSJuelich, HostWSGMD, 1500, 0,
+		"the case the 64 KByte MTU avoids"},
+}
+
+// figure1Probe runs one probe transfer on the given testbed.
+func figure1Probe(tb *Testbed, p f1probe) (Figure1Row, error) {
+	cfg := tcpsim.Config{WindowBytes: 4 << 20}
+	if p.mtu != 0 {
+		cfg.MSS = p.mtu - tcpsim.HeaderBytes
 	}
-	probes := []probe{
-		{"local Cray complex over HiPPI (64K MTU)", HostT3E600, HostT3E1200, 0, 430,
-			"paper: >430 Mbit/s TCP/IP with 64 KByte MTU"},
-		{"Cray T3E -> IBM SP2 over the WAN", HostT3E600, HostSP2, 0, 260,
-			"paper: >260 Mbit/s, limited by SP2 microchannel I/O"},
-		{"622 Mbit/s ATM workstations over the WAN (64K MTU)", HostWSJuelich, HostWSGMD, 0, 0,
-			"approaches the OC-12 attach payload limit"},
-		{"same path, default CLIP MTU (9180)", HostWSJuelich, HostWSGMD, 9180, 0,
-			"per-packet costs start to matter"},
-		{"same path, Ethernet-class MTU (1500)", HostWSJuelich, HostWSGMD, 1500, 0,
-			"the case the 64 KByte MTU avoids"},
+	res, err := tb.TCPTransfer(p.src, p.dst, 96<<20, cfg)
+	if err != nil {
+		return Figure1Row{}, fmt.Errorf("core: figure-1 probe %q: %w", p.path, err)
 	}
-	var rows []Figure1Row
-	for _, p := range probes {
-		tb := New(Config{})
-		cfg := tcpsim.Config{WindowBytes: 4 << 20}
-		if p.mtu != 0 {
-			cfg.MSS = p.mtu - tcpsim.HeaderBytes
-		}
-		res, err := tb.TCPTransfer(p.src, p.dst, 96<<20, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("core: figure-1 probe %q: %w", p.path, err)
-		}
-		rows = append(rows, Figure1Row{
-			Path: p.path, Src: p.src, Dst: p.dst, MTU: p.mtu,
-			Mbps: res.ThroughputBps / 1e6, PaperMbps: p.paper, Note: p.note,
-		})
-	}
-	// Analytic backbone rows (no single host can fill OC-48; its
-	// capacity is an arithmetic property of SDH+ATM framing).
-	rows = append(rows,
-		Figure1Row{Path: "backbone capacity OC-12 (1997/98)", Mbps: atm.OC12.ATMPayloadRate() / 1e6,
+	return Figure1Row{
+		Path: p.path, Src: p.src, Dst: p.dst, MTU: p.mtu,
+		Mbps: res.ThroughputBps / 1e6, PaperMbps: p.paper, Note: p.note,
+	}, nil
+}
+
+// figure1AnalyticRows returns the backbone capacity rows (no single
+// host can fill OC-48; its capacity is an arithmetic property of
+// SDH+ATM framing).
+func figure1AnalyticRows() []Figure1Row {
+	return []Figure1Row{
+		{Path: "backbone capacity OC-12 (1997/98)", Mbps: atm.OC12.ATMPayloadRate() / 1e6,
 			PaperMbps: 622, Note: "line 622.08; AAL5 payload after SDH+cell tax"},
-		Figure1Row{Path: "backbone capacity OC-48 (since 8/1998)", Mbps: atm.OC48.ATMPayloadRate() / 1e6,
+		{Path: "backbone capacity OC-48 (since 8/1998)", Mbps: atm.OC48.ATMPayloadRate() / 1e6,
 			PaperMbps: 2400, Note: "line 2488.32; AAL5 payload after SDH+cell tax"},
-	)
-	return rows, nil
+	}
+}
+
+// figure1ThroughputOn runs every probe sequentially on the given
+// testbed (probes contend with whatever else shares it).
+func figure1ThroughputOn(ctx context.Context, tb *Testbed) ([]Figure1Row, error) {
+	var rows []Figure1Row
+	for _, p := range f1probes {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		row, err := figure1Probe(tb, p)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return append(rows, figure1AnalyticRows()...), nil
+}
+
+// Figure1Throughput measures the section-2 throughput observations on
+// the simulated testbed, one fresh testbed per probe.
+//
+// Deprecated: use the "figure1-throughput" scenario via Run/RunAll.
+func Figure1Throughput() ([]Figure1Row, error) {
+	var rows []Figure1Row
+	for _, p := range f1probes {
+		row, err := figure1Probe(New(Config{}), p)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return append(rows, figure1AnalyticRows()...), nil
 }
 
 // FormatFigure1 renders the rows as a text table.
@@ -113,9 +153,12 @@ type Figure2Result struct {
 	PipelinedSession  fire.SessionResult
 }
 
-// Figure2EndToEnd evaluates the latency budget at the given PE count
-// and simulates unpipelined and pipelined realtime sessions.
-func Figure2EndToEnd(pes, frames int) (Figure2Result, error) {
+// figure2EndToEndOn evaluates the latency budget at the given PE count,
+// measuring the raw-volume hop on the given testbed.
+func figure2EndToEndOn(ctx context.Context, tb *Testbed, pes, frames int) (Figure2Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Figure2Result{}, err
+	}
 	model := fire.DefaultT3E600()
 	st := fire.PaperStageTimes(model, pes)
 	res := Figure2Result{
@@ -126,7 +169,6 @@ func Figure2EndToEnd(pes, frames int) (Figure2Result, error) {
 		SafeTR:      fire.SafeTR(st.UnpipelinedPeriod()),
 	}
 	// Measure the raw-volume hop on the testbed (64x64x16 float32).
-	tb := New(Config{})
 	vol := volume.New(64, 64, 16)
 	tr, err := tb.TCPTransfer(HostWSJuelich, HostT3E600, int64(vol.Bytes()), tcpsim.Config{})
 	if err != nil {
@@ -145,6 +187,15 @@ func Figure2EndToEnd(pes, frames int) (Figure2Result, error) {
 	}
 	res.PipelinedSession = pip
 	return res, nil
+}
+
+// Figure2EndToEnd evaluates the latency budget at the given PE count
+// and simulates unpipelined and pipelined realtime sessions.
+//
+// Deprecated: use the "figure2-endtoend" scenario via Run/RunAll with
+// WithPEs and WithFrames.
+func Figure2EndToEnd(pes, frames int) (Figure2Result, error) {
+	return figure2EndToEndOn(context.Background(), New(Config{}), pes, frames)
 }
 
 // FormatFigure2 renders the latency budget.
@@ -184,6 +235,7 @@ type Figure3Result struct {
 
 // Figure3Overlay runs a small synthetic measurement through the
 // analysis chain and renders the GUI overlay for the center slice.
+// (No testbed involvement: pure analysis + rendering.)
 func Figure3Overlay() (Figure3Result, error) {
 	act := mri.Activation{CX: 32, CY: 30, CZ: 8, Radius: 5, Amplitude: 0.05, HRF: mri.DefaultHRF}
 	ph := mri.NewPhantom(64, 64, 16, []mri.Activation{act})
@@ -271,26 +323,54 @@ type Figure4Result struct {
 	MIPMs     float64
 	Rows      []Figure4Row
 	StreamFPS float64 // measured: frames over the simulated OC-12 path
+	PNGBytes  int
+	// PNG is the rendered maximum-intensity projection of the merged
+	// head ("the light areas are regions of the brain that are
+	// activated"); excluded from JSON, PNGBytes records its size.
+	PNG []byte `json:"-"`
 }
 
-// Figure4Workbench reproduces the section-4 visualization numbers.
-func Figure4Workbench() (Figure4Result, error) {
+// figure4WorkbenchOn reproduces the section-4 visualization numbers,
+// measuring the workbench stream on the given testbed.
+func figure4WorkbenchOn(ctx context.Context, tb *Testbed) (Figure4Result, error) {
 	var res Figure4Result
-	// Merge 64x64x16 functional data onto the 256x256x128 anatomy.
-	anatHi := volume.New(256, 256, 128)
-	for i := range anatHi.Data {
-		anatHi.Data[i] = float32(i % 251)
+	if err := ctx.Err(); err != nil {
+		return res, err
 	}
+	// Merge 64x64x16 functional data onto the 256x256x128
+	// high-resolution anatomy (the pre-measurement scan). The
+	// functional map carries a motor-cortex-like activation region —
+	// not a lone voxel — so the rendered head shows "light areas ...
+	// that are activated" as in the paper's figure.
+	anatHi := mri.NewPhantom(256, 256, 128, nil).Anatomy
 	corr := volume.New(64, 64, 16)
-	corr.Set(32, 32, 8, 0.9)
+	const cx, cy, cz, radius = 24, 40, 10, 5.0
+	for z := 0; z < 16; z++ {
+		for y := 0; y < 64; y++ {
+			for x := 0; x < 64; x++ {
+				dx, dy, dz := float64(x-cx), float64(y-cy), float64(z-cz)
+				d2 := dx*dx + dy*dy + dz*dz
+				if d2 <= radius*radius {
+					corr.Set(x, y, z, float32(0.9*math.Exp(-d2/(radius*radius))))
+				}
+			}
+		}
+	}
 	start := time.Now()
 	merged := viz.MergeFunctional(anatHi, corr)
 	res.MergeMs = time.Since(start).Seconds() * 1000
 	start = time.Now()
-	if _, err := viz.RenderMIP(anatHi, merged, 0.5); err != nil {
+	img, err := viz.RenderMIP(anatHi, merged, 0.5)
+	if err != nil {
 		return res, err
 	}
 	res.MIPMs = time.Since(start).Seconds() * 1000
+	var buf bytes.Buffer
+	if err := viz.WritePNG(&buf, img); err != nil {
+		return res, err
+	}
+	res.PNG = buf.Bytes()
+	res.PNGBytes = buf.Len()
 
 	res.Rows = []Figure4Row{
 		{"OC-12, classical IP (MTU 9180)", viz.WorkbenchFPS(atm.OC12.PayloadRate(), atm.DefaultCLIPMTU),
@@ -301,7 +381,6 @@ func Figure4Workbench() (Figure4Result, error) {
 
 	// Measured: stream 20 workbench frames Onyx2 -> Jülich
 	// workstation over the testbed WAN (TCP, 64K MTU).
-	tb := New(Config{})
 	nbytes := int64(20) * int64(viz.WorkbenchFrameBytes)
 	tr, err := tb.TCPTransfer(HostOnyx2, HostWSJuelich, nbytes, tcpsim.Config{WindowBytes: 4 << 20})
 	if err != nil {
@@ -309,6 +388,14 @@ func Figure4Workbench() (Figure4Result, error) {
 	}
 	res.StreamFPS = 20 / tr.Duration.Seconds()
 	return res, nil
+}
+
+// Figure4Workbench runs the visualization experiment on a fresh
+// testbed.
+//
+// Deprecated: use the "figure4-workbench" scenario via Run/RunAll.
+func Figure4Workbench() (Figure4Result, error) {
+	return figure4WorkbenchOn(context.Background(), New(Config{}))
 }
 
 // FormatFigure4 renders the result.
@@ -335,12 +422,15 @@ type AppRow struct {
 	OK           bool
 }
 
-// Section3Applications checks each application's WAN requirement
-// against the simulated testbed.
-func Section3Applications() ([]AppRow, error) {
+// section3ApplicationsOn checks each application's WAN requirement.
+// TCP and RTT probes run on the given testbed; the video row drives the
+// simulation kernel directly and therefore uses a private testbed.
+func section3ApplicationsOn(ctx context.Context, tb *Testbed) ([]AppRow, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var rows []AppRow
 	// Groundwater: up to 30 MByte/s field transfers SP2 -> T3E.
-	tb := New(Config{})
 	tr, err := tb.TCPTransfer(HostSP2, HostT3E600, 64<<20, tcpsim.Config{WindowBytes: 4 << 20})
 	if err != nil {
 		return nil, err
@@ -352,7 +442,6 @@ func Section3Applications() ([]AppRow, error) {
 		OK:       gw >= 30,
 	})
 	// Climate: ~1 MByte bursts every timestep.
-	tb = New(Config{})
 	tr, err = tb.TCPTransfer(HostT3E600, HostSP2, 1<<20, tcpsim.Config{WindowBytes: 4 << 20})
 	if err != nil {
 		return nil, err
@@ -363,7 +452,6 @@ func Section3Applications() ([]AppRow, error) {
 		OK:       tr.Duration < 500*time.Millisecond,
 	})
 	// MEG: low volume, latency sensitive.
-	tb = New(Config{})
 	rtt, err := tb.RTT(HostT3E600, HostT90)
 	if err != nil {
 		return nil, err
@@ -377,17 +465,18 @@ func Section3Applications() ([]AppRow, error) {
 		Achieved: fmt.Sprintf("RTT %.2f ms local, %.2f ms WAN", rtt.Seconds()*1000, wanRTT.Seconds()*1000),
 		OK:       wanRTT < 10*time.Millisecond,
 	})
-	// Video: 270 Mbit/s D1 stream.
-	tb = New(Config{})
-	onyx, err := tb.Host(HostOnyx2)
+	// Video: 270 Mbit/s D1 stream (drives the kernel directly, so it
+	// always runs on a private testbed).
+	vtb := New(tb.Cfg)
+	onyx, err := vtb.Host(HostOnyx2)
 	if err != nil {
 		return nil, err
 	}
-	ws, err := tb.Host(HostWSGMD)
+	ws, err := vtb.Host(HostWSGMD)
 	if err != nil {
 		return nil, err
 	}
-	vres, err := video.Stream(tb.Net, onyx, ws, video.StreamConfig{Frames: 25})
+	vres, err := video.Stream(vtb.Net, onyx, ws, video.StreamConfig{Frames: 25})
 	if err != nil {
 		return nil, err
 	}
@@ -408,7 +497,6 @@ func Section3Applications() ([]AppRow, error) {
 	// MetaCISPAR: COCOLIB interface exchange ("depends on the coupled
 	// application") — a per-step boundary-field exchange must stay
 	// far below a solver timestep.
-	tb = New(Config{})
 	ifaceRTT, err := tb.RTT(HostT3E600, HostSP2)
 	if err != nil {
 		return nil, err
@@ -424,6 +512,14 @@ func Section3Applications() ([]AppRow, error) {
 		OK: ifaceTr.Duration < 100*time.Millisecond,
 	})
 	return rows, nil
+}
+
+// Section3Applications checks each application's WAN requirement
+// against a fresh simulated testbed.
+//
+// Deprecated: use the "section3-applications" scenario via Run/RunAll.
+func Section3Applications() ([]AppRow, error) {
+	return section3ApplicationsOn(context.Background(), New(Config{}))
 }
 
 // FormatSection3 renders the application table.

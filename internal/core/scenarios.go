@@ -1,0 +1,146 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/atm"
+	"repro/internal/fire"
+)
+
+// The paper's tables and figures as registered scenarios. Every entry
+// here used to be a one-shot FigureN* function with its own result type
+// and Format* helper; they now share the Scenario/Report contract and
+// run through Run/RunAll.
+
+func init() {
+	MustRegister(NewScenario("table1-model",
+		"Table 1: FIRE module times on the modeled T3E-600 vs. the paper",
+		func(ctx context.Context, tb *Testbed, opts Options) (Report, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return &Table1Report{
+				Model: fire.DefaultT3E600().ModelTable1(),
+				Paper: fire.PaperTable1,
+			}, nil
+		}))
+
+	MustRegister(NewScenario("figure1-throughput",
+		"Section 2: TCP path throughput across the testbed (Figure 1)",
+		func(ctx context.Context, tb *Testbed, opts Options) (Report, error) {
+			rows, err := figure1ThroughputOn(ctx, tb)
+			if err != nil {
+				return nil, err
+			}
+			return &Figure1Report{Rows: rows}, nil
+		}))
+
+	MustRegister(NewScenario("figure2-endtoend",
+		"Section 4: realtime-fMRI end-to-end latency budget (Figure 2)",
+		func(ctx context.Context, tb *Testbed, opts Options) (Report, error) {
+			r, err := figure2EndToEndOn(ctx, tb, opts.PEs, opts.Frames)
+			if err != nil {
+				return nil, err
+			}
+			return &Figure2Report{Figure2Result: r}, nil
+		}))
+
+	MustRegister(NewScenario("figure3-overlay",
+		"Section 4: FIRE 2-D GUI overlay and ROI time course (Figure 3)",
+		func(ctx context.Context, tb *Testbed, opts Options) (Report, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			r, err := Figure3Overlay()
+			if err != nil {
+				return nil, err
+			}
+			return &Figure3Report{Figure3Result: r}, nil
+		}))
+
+	MustRegister(NewScenario("figure4-workbench",
+		"Section 4: 3-D visualization and Responsive Workbench streaming (Figure 4)",
+		func(ctx context.Context, tb *Testbed, opts Options) (Report, error) {
+			r, err := figure4WorkbenchOn(ctx, tb)
+			if err != nil {
+				return nil, err
+			}
+			return &Figure4Report{Figure4Result: r}, nil
+		}))
+
+	MustRegister(NewScenario("section3-applications",
+		"Section 3: every application's WAN requirement vs. the testbed",
+		func(ctx context.Context, tb *Testbed, opts Options) (Report, error) {
+			rows, err := section3ApplicationsOn(ctx, tb)
+			if err != nil {
+				return nil, err
+			}
+			return &Section3Report{Rows: rows}, nil
+		}))
+
+	MustRegister(NewScenario("fmri-dataflow",
+		"Section 4: fully derived five-computer fMRI dataflow (DES over the testbed)",
+		func(ctx context.Context, tb *Testbed, opts Options) (Report, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			// The dataflow drives its own simulation kernel, so it
+			// always builds a private testbed.
+			sc := FMRIScenario{PEs: opts.PEs, TR: 4.0, Frames: opts.Frames}
+			r, err := RunFMRIScenario(sc)
+			if err != nil {
+				return nil, err
+			}
+			return &FMRIDataflowReport{Scenario: sc, Result: r}, nil
+		}))
+
+	MustRegister(NewScenario("backbone-aggregate",
+		"Section 2: aggregate backbone capacity under concurrent 622-attached flows",
+		func(ctx context.Context, tb *Testbed, opts Options) (Report, error) {
+			// Drives the kernel directly (tcpsim.Start on the raw
+			// network), so it builds private testbeds: one per
+			// backbone generation to show the upgrade rationale.
+			rep := &UpgradeReport{}
+			for _, wan := range []atm.OC{atm.OC12, atm.OC48} {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				row, err := BackboneAggregate(wan, opts.Flows)
+				if err != nil {
+					return nil, err
+				}
+				rep.Aggregate = append(rep.Aggregate, row)
+			}
+			return rep, nil
+		}))
+
+	MustRegister(NewScenario("mixed-traffic",
+		"Section 2: 270 Mbit/s D1 video sharing the backbone with bulk TCP",
+		func(ctx context.Context, tb *Testbed, opts Options) (Report, error) {
+			rep := &UpgradeReport{}
+			for _, wan := range []atm.OC{atm.OC12, atm.OC48} {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				m, err := MixedTraffic(wan)
+				if err != nil {
+					return nil, err
+				}
+				rep.Mixed = append(rep.Mixed, m)
+			}
+			return rep, nil
+		}))
+
+	MustRegister(NewScenario("future-work",
+		"Sections 1+4 outlook: B-WiN saturation and multi-echo feasibility",
+		func(ctx context.Context, tb *Testbed, opts Options) (Report, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			r, err := FutureWorkAnalysis()
+			if err != nil {
+				return nil, err
+			}
+			return &FutureWorkReport{FutureWorkResult: r}, nil
+		}))
+}

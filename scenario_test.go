@@ -1,0 +1,89 @@
+package gtw
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// The acceptance bar for the scenario API: the registry exposes every
+// experiment uniformly, and RunAll executes them concurrently.
+
+func TestScenarioRegistryFacade(t *testing.T) {
+	all := Scenarios()
+	if len(all) < 8 {
+		t.Fatalf("only %d scenarios registered, want >= 8", len(all))
+	}
+	for _, want := range []string{
+		"figure1-throughput", "figure2-endtoend", "figure3-overlay",
+		"figure4-workbench", "section3-applications", "fmri-dataflow",
+		"backbone-aggregate", "mixed-traffic", "future-work",
+	} {
+		s, ok := Lookup(want)
+		if !ok {
+			t.Errorf("scenario %q not registered", want)
+			continue
+		}
+		if s.Description() == "" {
+			t.Errorf("scenario %q has no description", want)
+		}
+	}
+}
+
+func TestScenarioRunFacade(t *testing.T) {
+	rep, err := Run(context.Background(), "figure2-endtoend", WithPEs(256), WithFrames(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Text(), "total delay") {
+		t.Errorf("unexpected text:\n%s", rep.Text())
+	}
+	f2, ok := rep.(*Figure2Report)
+	if !ok {
+		t.Fatalf("report type %T", rep)
+	}
+	if f2.TotalDelay >= 5 {
+		t.Errorf("total delay %.2f s, paper promises < 5", f2.TotalDelay)
+	}
+	b, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m["TotalDelay"]; !ok {
+		t.Errorf("JSON missing TotalDelay: %s", b)
+	}
+}
+
+// TestRunAllEveryScenarioConcurrently runs the full registry through
+// the engine at reduced sizes — under -race this is the proof that the
+// engine and every registered scenario are concurrency-clean.
+func TestRunAllEveryScenarioConcurrently(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry run")
+	}
+	results, err := RunAll(context.Background(), nil,
+		WithPEs(64), WithFrames(8), WithFlows(2), WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) < 8 {
+		t.Fatalf("engine ran %d scenarios", len(results))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("%s failed after %v: %v", r.Name, r.Elapsed, r.Err)
+			continue
+		}
+		if r.Report == nil || r.Report.Text() == "" {
+			t.Errorf("%s produced no report text", r.Name)
+		}
+		if _, err := r.Report.JSON(); err != nil {
+			t.Errorf("%s JSON: %v", r.Name, err)
+		}
+	}
+}
