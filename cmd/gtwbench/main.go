@@ -4,19 +4,28 @@
 // over the scenario registry (cmd/gtwrun is the generic CLI over the
 // same engine).
 //
+// With -bench it instead runs the simulator hot-path microbenchmarks
+// (internal/benchkit: kernel event queue, packet delivery, multi-hop
+// forwarding, end-to-end TCP transfer) and writes the results as
+// machine-readable JSON, so CI can archive the perf trajectory.
+//
 // Usage:
 //
 //	gtwbench [-experiment all|table1|f1|f2|f3|f4|a1|u1|b1|d1|<scenario-name>]
+//	gtwbench -bench [-benchout BENCH_kernel.json]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	gtw "repro"
+	"repro/internal/benchkit"
 )
 
 // shorthand maps the historical experiment keys to scenario names.
@@ -40,7 +49,18 @@ func main() {
 	log.SetPrefix("gtwbench: ")
 	exp := flag.String("experiment", "all",
 		"which experiment to run (all, table1, f1, f2, f3, f4, a1, u1, b1, d1, or a scenario name)")
+	bench := flag.Bool("bench", false,
+		"run the simulator hot-path microbenchmarks and write them as JSON instead of reproducing the paper")
+	benchOut := flag.String("benchout", "BENCH_kernel.json",
+		"output path for the -bench JSON report")
 	flag.Parse()
+
+	if *bench {
+		if err := runBench(*benchOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	ctx := context.Background()
 	runNames := func(names []string, opts ...gtw.Option) {
@@ -92,4 +112,44 @@ func main() {
 		// fmri-dataflow run uses the engine defaults instead.)
 		runNames([]string{*exp}, gtw.WithFlows(4))
 	}
+}
+
+// benchReport is the BENCH_kernel.json document.
+type benchReport struct {
+	GoVersion string            `json:"go_version"`
+	GOOS      string            `json:"goos"`
+	GOARCH    string            `json:"goarch"`
+	Results   []benchkit.Result `json:"results"`
+}
+
+// runBench executes the benchkit suite and writes the JSON report.
+func runBench(path string) error {
+	results, err := benchkit.Run()
+	if err != nil {
+		return err
+	}
+	rep := benchReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Results:   results,
+	}
+	for _, r := range rep.Results {
+		line := fmt.Sprintf("%-28s %12d ops %12.1f ns/op %8d B/op %6d allocs/op",
+			r.Name, r.N, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		if r.MBPerSec > 0 {
+			line += fmt.Sprintf(" %10.1f MB/s", r.MBPerSec)
+		}
+		fmt.Println(line)
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }

@@ -23,9 +23,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"time"
 
@@ -33,42 +34,61 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("gtwrun: ")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main: it parses args, drives the engine
+// and reports the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gtwrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	def := gtw.DefaultOptions()
 	defWAN := "oc48"
 	if def.WAN == gtw.OC12 {
 		defWAN = "oc12"
 	}
-	list := flag.Bool("list", false, "list registered scenarios and exit")
-	wan := flag.String("wan", defWAN,
+	list := fs.Bool("list", false, "list registered scenarios and exit")
+	wan := fs.String("wan", defWAN,
 		"backbone generation for engine-built testbeds: oc12 or oc48 (carrier-sweep scenarios ignore it)")
-	ext := flag.Bool("extensions", false, "include the section-5 extension sites")
-	pes := flag.Int("pes", def.PEs, "T3E partition size")
-	frames := flag.Int("frames", def.Frames, "volumes/frames/scans to acquire")
-	flows := flag.Int("flows", def.Flows, "concurrent backbone flows")
-	workers := flag.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS)")
-	shared := flag.Bool("shared", false,
+	ext := fs.Bool("extensions", false, "include the section-5 extension sites")
+	pes := fs.Int("pes", def.PEs, "T3E partition size")
+	frames := fs.Int("frames", def.Frames, "volumes/frames/scans to acquire")
+	flows := fs.Int("flows", def.Flows, "concurrent backbone flows")
+	workers := fs.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS)")
+	shared := fs.Bool("shared", false,
 		"run scenarios on one shared testbed (scenarios that drive their own simulation kernel still run privately)")
-	asJSON := flag.Bool("json", false, "print each report as JSON instead of text")
-	timeout := flag.Duration("timeout", 0, "cancel the whole run after this duration (0 = none)")
-	flag.Parse()
+	asJSON := fs.Bool("json", false, "print each report as JSON instead of text")
+	timeout := fs.Duration("timeout", 0, "cancel the whole run after this duration (0 = none)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *list {
 		for _, s := range gtw.Scenarios() {
-			fmt.Printf("  %-24s %s\n", s.Name(), s.Description())
+			fmt.Fprintf(stdout, "  %-24s %s\n", s.Name(), s.Description())
 		}
-		return
+		return 0
 	}
 
-	args := flag.Args()
-	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: gtwrun [-list] [flags] all|scenario...")
-		os.Exit(2)
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fmt.Fprintln(stderr, "usage: gtwrun [-list] [flags] all|scenario...")
+		return 2
 	}
 	var names []string // nil = every registered scenario
-	if !(len(args) == 1 && args[0] == "all") {
-		names = args
+	if !(len(rest) == 1 && rest[0] == "all") {
+		names = rest
+		// Reject unknown names up front with a usable message instead
+		// of a per-result failure line.
+		for _, name := range names {
+			if _, ok := gtw.Lookup(name); !ok {
+				fmt.Fprintf(stderr, "gtwrun: unknown scenario %q (try -list)\n", name)
+				return 2
+			}
+		}
 	}
 
 	opts := []gtw.Option{
@@ -87,7 +107,8 @@ func main() {
 	case "oc48":
 		oc = gtw.OC48
 	default:
-		log.Fatalf("unknown -wan %q (want oc12 or oc48)", *wan)
+		fmt.Fprintf(stderr, "gtwrun: unknown -wan %q (want oc12 or oc48)\n", *wan)
+		return 2
 	}
 	opts = append(opts, gtw.WithWAN(oc))
 	if *shared {
@@ -104,13 +125,14 @@ func main() {
 	start := time.Now()
 	results, err := gtw.RunAll(ctx, names, opts...)
 	if err != nil && len(results) == 0 {
-		log.Fatal(err)
+		fmt.Fprintf(stderr, "gtwrun: %v\n", err)
+		return 1
 	}
 	failed := 0
 	for _, r := range results {
 		if r.Err != nil {
 			failed++
-			fmt.Fprintf(os.Stderr, "%-24s FAILED after %s: %v\n",
+			fmt.Fprintf(stderr, "%-24s FAILED after %s: %v\n",
 				r.Name, r.Elapsed.Round(time.Millisecond), r.Err)
 			continue
 		}
@@ -118,22 +140,23 @@ func main() {
 			b, jerr := r.Report.JSON()
 			if jerr != nil {
 				failed++
-				fmt.Fprintf(os.Stderr, "%-24s marshal: %v\n", r.Name, jerr)
+				fmt.Fprintf(stderr, "%-24s marshal: %v\n", r.Name, jerr)
 				continue
 			}
-			fmt.Printf("{\"scenario\":%q,\"elapsed_ms\":%d,\"report\":%s}\n",
+			fmt.Fprintf(stdout, "{\"scenario\":%q,\"elapsed_ms\":%d,\"report\":%s}\n",
 				r.Name, r.Elapsed.Milliseconds(), b)
 		} else {
-			fmt.Printf("=== %s (%s)\n", r.Name, r.Elapsed.Round(time.Millisecond))
-			fmt.Print(r.Report.Text())
-			fmt.Println()
+			fmt.Fprintf(stdout, "=== %s (%s)\n", r.Name, r.Elapsed.Round(time.Millisecond))
+			fmt.Fprint(stdout, r.Report.Text())
+			fmt.Fprintln(stdout)
 		}
 	}
 	if !*asJSON {
-		fmt.Printf("ran %d scenario(s) in %s, %d failed\n",
+		fmt.Fprintf(stdout, "ran %d scenario(s) in %s, %d failed\n",
 			len(results), time.Since(start).Round(time.Millisecond), failed)
 	}
 	if failed > 0 || err != nil {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	gtw "repro"
+)
+
+func TestListPrintsEveryRegisteredScenario(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr: %s", code, errOut.String())
+	}
+	for _, s := range gtw.Scenarios() {
+		if !strings.Contains(out.String(), s.Name()) {
+			t.Errorf("-list output missing scenario %q", s.Name())
+		}
+	}
+}
+
+func TestRunSingleScenario(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"table1-model"}, &out, &errOut); code != 0 {
+		t.Fatalf("run(table1-model) = %d, stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "=== table1-model") {
+		t.Errorf("output missing scenario header:\n%s", got)
+	}
+	if !strings.Contains(got, "ran 1 scenario(s)") {
+		t.Errorf("output missing run summary:\n%s", got)
+	}
+}
+
+func TestUnknownScenarioFails(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"no-such-scenario"}, &out, &errOut)
+	if code == 0 {
+		t.Fatal("run(no-such-scenario) succeeded")
+	}
+	if !strings.Contains(errOut.String(), "no-such-scenario") {
+		t.Errorf("stderr does not name the unknown scenario: %s", errOut.String())
+	}
+}
+
+func TestNoArgsIsUsageError(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Errorf("run() = %d, want usage error 2", code)
+	}
+	if !strings.Contains(errOut.String(), "usage:") {
+		t.Errorf("stderr missing usage line: %s", errOut.String())
+	}
+}
+
+func TestBadWANFlagFails(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-wan", "oc768", "table1-model"}, &out, &errOut); code != 2 {
+		t.Errorf("run(-wan oc768) = %d, want 2", code)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-json", "table1-model"}, &out, &errOut); code != 0 {
+		t.Fatalf("run(-json table1-model) = %d, stderr: %s", code, errOut.String())
+	}
+	line := strings.TrimSpace(out.String())
+	var doc struct {
+		Scenario  string          `json:"scenario"`
+		ElapsedMs int64           `json:"elapsed_ms"`
+		Report    json.RawMessage `json:"report"`
+	}
+	if err := json.Unmarshal([]byte(line), &doc); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, line)
+	}
+	if doc.Scenario != "table1-model" {
+		t.Errorf("scenario = %q, want table1-model", doc.Scenario)
+	}
+	if len(doc.Report) == 0 {
+		t.Error("empty report object")
+	}
+}
+
+// -h prints usage and must exit 0 (flag.ErrHelp is not a parse error).
+func TestHelpExitsZero(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-h"}, &out, &errOut); code != 0 {
+		t.Errorf("run(-h) = %d, want 0; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "-list") {
+		t.Errorf("-h did not print flag usage: %s", errOut.String())
+	}
+}

@@ -1,38 +1,19 @@
-package netsim
+package netsim_test
 
 import (
 	"testing"
-	"time"
 
-	"repro/internal/sim"
+	"repro/internal/benchkit"
 )
+
+// The benchmark bodies live in internal/benchkit so cmd/gtwbench can
+// run the identical code with testing.Benchmark and emit
+// BENCH_kernel.json; these wrappers keep them discoverable under
+// `go test -bench`.
 
 // BenchmarkPacketDelivery measures end-to-end packet cost over one
 // link (send, serialize, propagate, deliver).
-func BenchmarkPacketDelivery(b *testing.B) {
-	n, a, dst := twoHosts(LinkConfig{Bps: 1e12, Delay: time.Microsecond, MTU: 65536, QueueBytes: 1 << 40})
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		n.Send(&Packet{Src: a.ID, Dst: dst.ID, Bytes: 1000})
-		n.K.Run()
-	}
-}
+func BenchmarkPacketDelivery(b *testing.B) { benchkit.PacketDelivery(b) }
 
 // BenchmarkMultiHopForwarding measures a 4-hop store-and-forward path.
-func BenchmarkMultiHopForwarding(b *testing.B) {
-	k := sim.NewKernel()
-	n := New(k)
-	nodes := make([]*Node, 5)
-	for i := range nodes {
-		nodes[i] = n.AddNode("n", WithForwardCost(time.Microsecond, 1e12))
-	}
-	for i := 0; i < 4; i++ {
-		n.Connect(nodes[i], nodes[i+1], LinkConfig{Bps: 1e12, Delay: time.Microsecond, MTU: 65536})
-	}
-	n.ComputeRoutes()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		n.Send(&Packet{Src: nodes[0].ID, Dst: nodes[4].ID, Bytes: 1000})
-		n.K.Run()
-	}
-}
+func BenchmarkMultiHopForwarding(b *testing.B) { benchkit.MultiHopForwarding(b) }

@@ -131,25 +131,77 @@ type LinkConfig struct {
 	QueueBytes int64
 }
 
+// Handler receives delivery/drop callbacks for a packet without the
+// per-packet closures OnDeliver/OnDrop cost: one long-lived Handler
+// value (typically a pointer into the protocol's flow state) serves
+// every packet of a flow, with per-packet context carried in the
+// packet's Seq/Aux fields.
+type Handler interface {
+	// HandleDeliver fires (in kernel context) when the packet reaches
+	// Dst, after any host-rate drain.
+	HandleDeliver(*Packet)
+	// HandleDrop fires if the packet is lost to a full queue, an
+	// unreachable destination or the hop limit.
+	HandleDrop(*Packet)
+}
+
 // Packet is a network-layer datagram.
+//
+// Packets may be heap-allocated by the caller, or taken from the
+// network's pool with NewPacket. Pooled packets are recycled by the
+// network as soon as their delivery or drop callback returns, so
+// callbacks must not retain them.
 type Packet struct {
 	Src, Dst NodeID
 	Bytes    int
 	Meta     any
+	// Seq and Aux are opaque per-packet context for the Handler (e.g.
+	// a TCP sequence range), avoiding a closure or Meta boxing.
+	Seq, Aux int64
+	// Handler, if non-nil, receives the delivery/drop callback.
+	Handler Handler
 	// OnDeliver fires (in kernel context) when the packet reaches
 	// Dst, after any host-rate drain.
 	OnDeliver func(*Packet)
-	// OnDrop fires if the packet is lost to a full queue.
+	// OnDrop fires if the packet is lost to a full queue, an
+	// unreachable destination or the hop limit.
 	OnDrop func(*Packet)
 
-	hops int
+	hops   int
+	pooled bool
 }
 
 // Network is a collection of nodes and links bound to a simulation
 // kernel.
 type Network struct {
-	K     *sim.Kernel
-	nodes []*Node
+	K       *sim.Kernel
+	nodes   []*Node
+	pktFree []*Packet
+}
+
+// NewPacket returns a zeroed packet from the network's pool. The
+// network recycles it after its delivery or drop callback runs (data
+// and pure-ACK packets alike), so steady-state traffic allocates
+// nothing; the caller must not retain the packet past that callback.
+func (n *Network) NewPacket() *Packet {
+	if l := len(n.pktFree); l > 0 {
+		p := n.pktFree[l-1]
+		n.pktFree[l-1] = nil
+		n.pktFree = n.pktFree[:l-1]
+		return p // zeroed by recycle
+	}
+	return &Packet{pooled: true}
+}
+
+// recycle returns a pooled packet to the freelist once the network is
+// done with it, clearing its fields so a parked packet does not pin
+// the finished flow's Handler/closures until the slot is reused.
+// Caller-allocated packets are left to the GC.
+func (n *Network) recycle(p *Packet) {
+	if p.pooled {
+		*p = Packet{pooled: true}
+		n.pktFree = append(n.pktFree, p)
+	}
 }
 
 // New creates an empty network on kernel k.
@@ -346,13 +398,35 @@ func (nd *Node) Drops() int64 {
 	return total
 }
 
+// Closure-free event trampolines: a0 is the node or iface (which
+// reaches the Network), a1 the packet. Both are pointers, so the any
+// conversions in AtFunc/AfterFunc never allocate.
+func forwardStep(a0, a1 any) {
+	nd := a0.(*Node)
+	nd.net.forward(nd, a1.(*Packet))
+}
+
+func transmitStep(a0, _ any) {
+	ifc := a0.(*Iface)
+	ifc.node.net.transmitNext(ifc)
+}
+
+func arriveStep(a0, a1 any) {
+	nd := a0.(*Node)
+	nd.net.arrive(nd, a1.(*Packet))
+}
+
+func deliverStep(a0, a1 any) {
+	a0.(*Node).net.deliver(a1.(*Packet))
+}
+
 // Send injects a packet at p.Src. It must be called in kernel context
 // (from an event callback or a process holding the virtual CPU).
 func (n *Network) Send(p *Packet) {
 	src := n.nodes[p.Src]
 	if p.Src == p.Dst {
 		// Loopback: deliver at the current instant.
-		n.K.At(n.K.Now(), func() { n.deliver(p) })
+		n.K.AtFunc(n.K.Now(), deliverStep, src, p)
 		return
 	}
 	// Host injection serialization.
@@ -366,7 +440,18 @@ func (n *Network) Send(p *Packet) {
 		src.txFree = start.Add(dur)
 		delay = src.txFree.Sub(n.K.Now())
 	}
-	n.K.After(delay, func() { n.forward(src, p) })
+	n.K.AfterFunc(delay, forwardStep, src, p)
+}
+
+// drop invokes the packet's drop callback and recycles it.
+func (n *Network) drop(p *Packet) {
+	if p.OnDrop != nil {
+		p.OnDrop(p)
+	}
+	if p.Handler != nil {
+		p.Handler.HandleDrop(p)
+	}
+	n.recycle(p)
 }
 
 // forward routes packet p out of node nd.
@@ -374,17 +459,13 @@ func (n *Network) forward(nd *Node, p *Packet) {
 	idx := nd.routes[p.Dst]
 	if idx < 0 {
 		nd.dropped++
-		if p.OnDrop != nil {
-			p.OnDrop(p)
-		}
+		n.drop(p)
 		return
 	}
 	ifc := nd.ifaces[idx]
 	if ifc.queued+int64(p.Bytes) > ifc.capBytes {
 		ifc.drops++
-		if p.OnDrop != nil {
-			p.OnDrop(p)
-		}
+		n.drop(p)
 		return
 	}
 	ifc.queue = append(ifc.queue, p)
@@ -413,9 +494,9 @@ func (n *Network) transmitNext(ifc *Iface) {
 	l.wireBytes += int64(wire)
 	l.busyTime += txTime
 	// Link free after serialization; next packet may start then.
-	n.K.After(txTime, func() { n.transmitNext(ifc) })
+	n.K.AfterFunc(txTime, transmitStep, ifc, nil)
 	// Packet arrives at the peer after serialization + propagation.
-	n.K.After(txTime+l.Delay, func() { n.arrive(ifc.peer.node, p) })
+	n.K.AfterFunc(txTime+l.Delay, arriveStep, ifc.peer.node, p)
 }
 
 // arrive handles a packet reaching node nd.
@@ -423,9 +504,7 @@ func (n *Network) arrive(nd *Node, p *Packet) {
 	p.hops++
 	if p.hops > 64 {
 		nd.dropped++ // routing loop guard
-		if p.OnDrop != nil {
-			p.OnDrop(p)
-		}
+		n.drop(p)
 		return
 	}
 	if nd.ID == p.Dst {
@@ -440,7 +519,7 @@ func (n *Network) arrive(nd *Node, p *Packet) {
 			nd.rxFree = start.Add(dur)
 			delay = nd.rxFree.Sub(n.K.Now())
 		}
-		n.K.After(delay, func() { n.deliver(p) })
+		n.K.AfterFunc(delay, deliverStep, nd, p)
 		return
 	}
 	// Relay: the forwarding CPU is a serial resource; packets queue
@@ -450,11 +529,15 @@ func (n *Network) arrive(nd *Node, p *Packet) {
 		start = nd.fwdFree
 	}
 	nd.fwdFree = start.Add(nd.relayCost(p.Bytes))
-	n.K.At(nd.fwdFree, func() { n.forward(nd, p) })
+	n.K.AtFunc(nd.fwdFree, forwardStep, nd, p)
 }
 
 func (n *Network) deliver(p *Packet) {
 	if p.OnDeliver != nil {
 		p.OnDeliver(p)
 	}
+	if p.Handler != nil {
+		p.Handler.HandleDeliver(p)
+	}
+	n.recycle(p)
 }

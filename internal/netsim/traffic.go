@@ -28,38 +28,74 @@ type CrossTraffic struct {
 	delivered int64
 	dropped   int64
 	stopped   bool
+	next      sim.Event  // pending self-scheduled injection
+	rng       *rand.Rand // persists across restarts: one Poisson process
 }
+
+// HandleDeliver implements Handler for the generator's pooled packets.
+func (ct *CrossTraffic) HandleDeliver(*Packet) { ct.delivered++ }
+
+// HandleDrop implements Handler for the generator's pooled packets.
+func (ct *CrossTraffic) HandleDrop(*Packet) { ct.dropped++ }
 
 // Start begins injecting packets at the current virtual time and keeps
 // going until Stop is called or the kernel runs dry of other events
 // plus `horizon` (packets self-schedule; the generator stops itself at
-// the horizon to let simulations terminate).
+// the horizon to let simulations terminate). The horizon is half-open:
+// no packet is injected at exactly Now()+horizon, so a zero horizon
+// injects nothing. A non-positive Bps offers no load and also injects
+// nothing. Start clears any previous Stop, so a generator can be
+// restarted for a new phase of the same simulation.
 func (ct *CrossTraffic) Start(horizon time.Duration) {
 	if ct.PktBytes == 0 {
 		ct.PktBytes = 9180
 	}
-	rng := rand.New(rand.NewSource(ct.Seed + 7))
+	// Cancel any chain from an earlier Start: without this, a
+	// Stop-then-Start with no intervening kernel drain would leave the
+	// old chain's pending injection alive and double the offered load.
+	ct.Net.K.Cancel(ct.next)
+	ct.next = sim.Event{}
+	if ct.Bps <= 0 {
+		// Zero offered load: the mean inter-arrival gap diverges, so
+		// the Poisson process degenerates to "never". Injecting even
+		// one packet here (as the unguarded division used to) would
+		// misreport an idle generator as 1 sent.
+		return
+	}
+	ct.stopped = false
+	if ct.rng == nil {
+		// Lazily seeded and kept across restarts, so Stop-then-Start
+		// continues one Poisson process instead of replaying the same
+		// gap sequence each phase.
+		ct.rng = rand.New(rand.NewSource(ct.Seed + 7))
+	}
 	end := ct.Net.K.Now().Add(horizon)
 	meanGap := float64(ct.PktBytes*8) / ct.Bps // seconds
 	var inject func()
 	inject = func() {
-		if ct.stopped || ct.Net.K.Now() > end {
+		ct.next = sim.Event{}
+		if ct.stopped || ct.Net.K.Now() >= end {
 			return
 		}
 		ct.sent++
-		ct.Net.Send(&Packet{
-			Src: ct.Src, Dst: ct.Dst, Bytes: ct.PktBytes,
-			OnDeliver: func(*Packet) { ct.delivered++ },
-			OnDrop:    func(*Packet) { ct.dropped++ },
-		})
-		gap := -math.Log(1-rng.Float64()) * meanGap
-		ct.Net.K.After(sim.Duration(gap), inject)
+		p := ct.Net.NewPacket()
+		p.Src, p.Dst, p.Bytes = ct.Src, ct.Dst, ct.PktBytes
+		p.Handler = ct
+		ct.Net.Send(p)
+		gap := -math.Log(1-ct.rng.Float64()) * meanGap
+		ct.next = ct.Net.K.After(sim.Duration(gap), inject)
 	}
-	ct.Net.K.At(ct.Net.K.Now(), inject)
+	ct.next = ct.Net.K.At(ct.Net.K.Now(), inject)
 }
 
-// Stop halts injection.
-func (ct *CrossTraffic) Stop() { ct.stopped = true }
+// Stop halts injection until the next Start, cancelling the pending
+// self-scheduled arrival so a stopped generator leaves no events
+// behind.
+func (ct *CrossTraffic) Stop() {
+	ct.stopped = true
+	ct.Net.K.Cancel(ct.next)
+	ct.next = sim.Event{}
+}
 
 // Stats reports sent/delivered/dropped packet counts.
 func (ct *CrossTraffic) Stats() (sent, delivered, dropped int64) {

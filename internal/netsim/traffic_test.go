@@ -1,0 +1,126 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+// A zero-rate generator used to divide by zero (meanGap = +Inf) and
+// still inject one packet before the self-schedule pushed the next
+// arrival past any horizon.
+func TestCrossTrafficZeroBpsInjectsNothing(t *testing.T) {
+	n, a, b := twoHosts(LinkConfig{Bps: 1e9, Delay: time.Millisecond})
+	ct := &CrossTraffic{Net: n, Src: a.ID, Dst: b.ID, Bps: 0, Seed: 1}
+	ct.Start(time.Second)
+	n.K.Run()
+	if sent, delivered, dropped := ct.Stats(); sent != 0 || delivered != 0 || dropped != 0 {
+		t.Errorf("Bps=0 generator stats = %d/%d/%d, want 0/0/0", sent, delivered, dropped)
+	}
+	if n.K.Pending() != 0 {
+		t.Errorf("Bps=0 generator left %d pending events", n.K.Pending())
+	}
+}
+
+// The horizon is half-open: the injection loop used `>` so an arrival
+// landing exactly on Now()+horizon still fired. A zero horizon is the
+// degenerate case — the very first injection runs at Now() == end and
+// must not send.
+func TestCrossTrafficHorizonIsExclusive(t *testing.T) {
+	n, a, b := twoHosts(LinkConfig{Bps: 1e9, Delay: time.Millisecond})
+	ct := &CrossTraffic{Net: n, Src: a.ID, Dst: b.ID, Bps: 100e6, Seed: 2}
+	ct.Start(0)
+	n.K.Run()
+	if sent, _, _ := ct.Stats(); sent != 0 {
+		t.Errorf("zero-horizon generator sent %d packets, want 0", sent)
+	}
+}
+
+// Stop() latched forever: a second Start() saw stopped==true and
+// silently injected nothing.
+func TestCrossTrafficRestartAfterStop(t *testing.T) {
+	n, a, b := twoHosts(LinkConfig{Bps: 1e9, Delay: time.Millisecond})
+	ct := &CrossTraffic{Net: n, Src: a.ID, Dst: b.ID, Bps: 100e6, Seed: 3}
+	ct.Start(100 * time.Millisecond)
+	n.K.RunUntil(n.K.Now().Add(10 * time.Millisecond))
+	ct.Stop()
+	n.K.Run()
+	firstPhase, _, _ := ct.Stats()
+	if firstPhase == 0 {
+		t.Fatal("first phase sent nothing; test topology broken")
+	}
+
+	ct.Start(100 * time.Millisecond)
+	n.K.Run()
+	total, delivered, dropped := ct.Stats()
+	if total <= firstPhase {
+		t.Errorf("restarted generator sent nothing: %d packets before Stop, %d total", firstPhase, total)
+	}
+	if delivered+dropped != total {
+		t.Errorf("accounting: sent %d != delivered %d + dropped %d", total, delivered, dropped)
+	}
+}
+
+// Stop-then-Start from kernel context (no intervening kernel drain)
+// must kill the old injection chain: leaving it pending would run two
+// chains at once and double the offered load.
+func TestCrossTrafficStopStartDoesNotDoubleLoad(t *testing.T) {
+	const window = 100 * time.Millisecond
+	singleRate := func() int64 {
+		n, a, b := twoHosts(LinkConfig{Bps: 1e9, Delay: time.Millisecond})
+		ct := &CrossTraffic{Net: n, Src: a.ID, Dst: b.ID, Bps: 100e6, Seed: 9}
+		ct.Start(window)
+		n.K.Run()
+		sent, _, _ := ct.Stats()
+		return sent
+	}()
+
+	n, a, b := twoHosts(LinkConfig{Bps: 1e9, Delay: time.Millisecond})
+	ct := &CrossTraffic{Net: n, Src: a.ID, Dst: b.ID, Bps: 100e6, Seed: 9}
+	ct.Start(2 * window)
+	// Mid-stream, restart the generator without draining the kernel.
+	n.K.At(n.K.Now().Add(window), func() {
+		ct.Stop()
+		ct.Start(window)
+	})
+	n.K.Run()
+	sent, _, _ := ct.Stats()
+	// Two sequential windows of injection: roughly 2x one window's
+	// packets. A zombie chain would add a third window (~3x).
+	if max := 5 * singleRate / 2; sent > max {
+		t.Errorf("restarted generator sent %d packets (single window sends %d); zombie chain suspected", sent, singleRate)
+	}
+	if sent < singleRate {
+		t.Errorf("restarted generator sent %d packets, less than one window's %d", sent, singleRate)
+	}
+}
+
+// A stopped generator must leave no pending events behind, so
+// simulations that stop their background load can terminate.
+func TestCrossTrafficStopCancelsPendingInjection(t *testing.T) {
+	n, a, b := twoHosts(LinkConfig{Bps: 1e9, Delay: time.Millisecond})
+	ct := &CrossTraffic{Net: n, Src: a.ID, Dst: b.ID, Bps: 100e6, Seed: 4}
+	ct.Start(time.Hour)
+	n.K.RunUntil(n.K.Now().Add(10 * time.Millisecond))
+	ct.Stop()
+	n.K.Run() // drain in-flight packets
+	if p := n.K.Pending(); p != 0 {
+		t.Errorf("stopped generator left %d pending events", p)
+	}
+}
+
+// Restarting with Bps=0 must still cancel the earlier chain: Start's
+// restart semantics hold even when the new phase offers no load.
+func TestCrossTrafficZeroBpsRestartCancelsOldChain(t *testing.T) {
+	n, a, b := twoHosts(LinkConfig{Bps: 1e9, Delay: time.Millisecond})
+	ct := &CrossTraffic{Net: n, Src: a.ID, Dst: b.ID, Bps: 100e6, Seed: 6}
+	ct.Start(time.Hour)
+	n.K.RunUntil(n.K.Now().Add(10 * time.Millisecond))
+	before, _, _ := ct.Stats()
+	ct.Bps = 0
+	ct.Start(time.Hour) // no-load phase: old chain must die here
+	n.K.Run()
+	after, _, _ := ct.Stats()
+	if after != before {
+		t.Errorf("old chain kept injecting through a Bps=0 restart: %d -> %d packets", before, after)
+	}
+}

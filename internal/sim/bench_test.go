@@ -1,61 +1,26 @@
-package sim
+package sim_test
 
 import (
 	"testing"
-	"time"
+
+	"repro/internal/benchkit"
 )
+
+// The benchmark bodies live in internal/benchkit so cmd/gtwbench can
+// run the identical code with testing.Benchmark and emit
+// BENCH_kernel.json; these wrappers keep them discoverable under
+// `go test -bench`.
 
 // BenchmarkEventThroughput measures raw event scheduling+dispatch rate,
 // the figure that bounds every simulation in this repository.
-func BenchmarkEventThroughput(b *testing.B) {
-	k := NewKernel()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		k.After(time.Microsecond, func() {})
-		k.Step()
-	}
-}
+func BenchmarkEventThroughput(b *testing.B) { benchkit.EventThroughput(b) }
 
 // BenchmarkEventHeap measures scheduling with a deep pending queue.
-func BenchmarkEventHeap(b *testing.B) {
-	k := NewKernel()
-	for i := 0; i < 10000; i++ {
-		k.At(Time(1e12+int64(i)), func() {})
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		e := k.After(time.Millisecond, func() {})
-		k.Cancel(e)
-	}
-}
+func BenchmarkEventHeap(b *testing.B) { benchkit.EventHeap(b) }
 
 // BenchmarkProcContextSwitch measures the cooperative process handoff
 // cost (two goroutine switches per Sleep).
-func BenchmarkProcContextSwitch(b *testing.B) {
-	k := NewKernel()
-	k.Go("switcher", func(p *Proc) {
-		for i := 0; i < b.N; i++ {
-			p.Sleep(time.Nanosecond)
-		}
-	})
-	b.ResetTimer()
-	k.Run()
-}
+func BenchmarkProcContextSwitch(b *testing.B) { benchkit.ProcContextSwitch(b) }
 
 // BenchmarkChanSendRecv measures virtual-time channel rendezvous.
-func BenchmarkChanSendRecv(b *testing.B) {
-	k := NewKernel()
-	c := NewChan[int](k, 0)
-	k.Go("recv", func(p *Proc) {
-		for i := 0; i < b.N; i++ {
-			c.Recv(p)
-		}
-	})
-	k.Go("send", func(p *Proc) {
-		for i := 0; i < b.N; i++ {
-			c.Send(p, i)
-		}
-	})
-	b.ResetTimer()
-	k.Run()
-}
+func BenchmarkChanSendRecv(b *testing.B) { benchkit.ChanSendRecv(b) }

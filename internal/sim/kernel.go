@@ -7,14 +7,21 @@
 // equal timestamps fire in scheduling order, so simulations are fully
 // deterministic and independent of the host scheduler.
 //
+// The event queue is an index-tracked 4-ary min-heap over a pooled
+// freelist of event records: scheduling, firing and cancelling events
+// on the hot path performs no heap allocation and no interface boxing
+// once the pool is warm. Callbacks that would otherwise capture their
+// arguments in a per-event closure can use AtFunc/AfterFunc, which
+// carry two pointer-shaped arguments inside the event record itself.
+//
 // The kernel underpins the network model (internal/netsim), the machine
 // cost models (internal/machine) and every experiment driver in this
 // repository.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 	"time"
 )
 
@@ -25,8 +32,21 @@ type Time int64
 // Seconds reports the timestamp in seconds.
 func (t Time) Seconds() float64 { return float64(t) / 1e9 }
 
-// Add returns the timestamp shifted by d.
-func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+// Add returns the timestamp shifted by d. The result saturates at the
+// int64 extremes instead of wrapping: Duration already saturates huge
+// second counts at 1<<62 ns, and a wrapped negative timestamp would
+// make Kernel.At panic with a bogus causality violation.
+func (t Time) Add(d time.Duration) Time {
+	s := t + Time(d)
+	if d >= 0 {
+		if s < t {
+			return Time(math.MaxInt64)
+		}
+	} else if s > t {
+		return Time(math.MinInt64)
+	}
+	return s
+}
 
 // Sub returns the duration between t and u (t - u).
 func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
@@ -48,46 +68,46 @@ func (t Time) String() string {
 	return fmt.Sprintf("%.6fs", t.Seconds())
 }
 
-// Event is a scheduled callback. Events are created with Kernel.At or
-// Kernel.After and may be cancelled before they fire.
+// event is a pooled scheduled-callback record. Records are recycled
+// after they fire or are cancelled; gen disambiguates a recycled record
+// from the schedule a stale Event handle refers to.
+type event struct {
+	at  Time
+	seq uint64
+	gen uint64
+	fn  func()
+	// fn2/a0/a1 are the closure-free callback form: fn2 is typically a
+	// package-level func, a0/a1 pointer-shaped arguments that convert
+	// to any without allocating.
+	fn2    func(a0, a1 any)
+	a0, a1 any
+	index  int32 // heap index, -1 while pooled or firing
+}
+
+// Event is a handle on a scheduled callback, returned by At/After and
+// accepted by Cancel. It is a small value; the zero Event is valid and
+// refers to nothing (Cancel ignores it). Handles become inert once the
+// event fires or is cancelled — the kernel recycles the underlying
+// record, and the generation tag stops stale handles from touching its
+// next occupant.
 type Event struct {
-	at       Time
-	seq      uint64
-	fn       func()
-	index    int // heap index, -1 once fired or cancelled
-	canceled bool
+	e   *event
+	gen uint64
 }
 
-// When reports the virtual time the event is scheduled for.
-func (e *Event) When() Time { return e.at }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// When reports the virtual time the event is scheduled for, or zero if
+// the handle no longer refers to a pending event.
+func (ev Event) When() Time {
+	if ev.e == nil || ev.e.gen != ev.gen {
+		return 0
 	}
-	return h[i].seq < h[j].seq
+	return ev.e.at
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+
+// Pending reports whether the handle still refers to a scheduled,
+// unfired event.
+func (ev Event) Pending() bool {
+	return ev.e != nil && ev.e.gen == ev.gen
 }
 
 // Kernel is a discrete-event simulation engine. The zero value is not
@@ -95,7 +115,8 @@ func (h *eventHeap) Pop() any {
 type Kernel struct {
 	now      Time
 	seq      uint64
-	events   eventHeap
+	heap     []*event      // 4-ary min-heap ordered by (at, seq)
+	free     []*event      // recycled event records
 	ctl      chan struct{} // handshake: proc -> kernel (parked or exited)
 	procs    int           // live (started, not yet finished) processes
 	panicVal any
@@ -111,49 +132,110 @@ func NewKernel() *Kernel {
 // Now reports the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
 
-// At schedules fn to run at virtual time t. Scheduling in the past is an
-// error and panics: the caller has violated causality.
-func (k *Kernel) At(t Time, fn func()) *Event {
+// alloc takes an event record from the pool (or makes one) and stamps
+// its schedule.
+func (k *Kernel) alloc(t Time) *event {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: event scheduled at %v before now %v", t, k.now))
 	}
+	var e *event
+	if n := len(k.free); n > 0 {
+		e = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+	} else {
+		e = &event{}
+	}
 	k.seq++
-	e := &Event{at: t, seq: k.seq, fn: fn}
-	heap.Push(&k.events, e)
+	e.at = t
+	e.seq = k.seq
 	return e
+}
+
+// release recycles a record that has fired or been cancelled. Bumping
+// gen invalidates every outstanding handle to the old schedule.
+func (k *Kernel) release(e *event) {
+	e.gen++
+	e.fn = nil
+	e.fn2 = nil
+	e.a0 = nil
+	e.a1 = nil
+	e.index = -1
+	k.free = append(k.free, e)
+}
+
+// At schedules fn to run at virtual time t. Scheduling in the past is an
+// error and panics: the caller has violated causality.
+func (k *Kernel) At(t Time, fn func()) Event {
+	e := k.alloc(t)
+	e.fn = fn
+	k.push(e)
+	return Event{e: e, gen: e.gen}
 }
 
 // After schedules fn to run d after the current virtual time. Negative
 // durations are treated as zero.
-func (k *Kernel) After(d time.Duration, fn func()) *Event {
+func (k *Kernel) After(d time.Duration, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
 	return k.At(k.now.Add(d), fn)
 }
 
-// Cancel removes a pending event. Cancelling an event that already fired
-// or was already cancelled is a no-op.
-func (k *Kernel) Cancel(e *Event) {
-	if e == nil || e.index < 0 || e.canceled {
+// AtFunc schedules fn(a0, a1) at virtual time t without a per-event
+// closure: fn is typically a package-level function and a0/a1 its
+// context. Pointer-shaped arguments convert to any without allocating,
+// so hot paths that schedule per-packet work stay allocation-free.
+func (k *Kernel) AtFunc(t Time, fn func(a0, a1 any), a0, a1 any) Event {
+	e := k.alloc(t)
+	e.fn2 = fn
+	e.a0 = a0
+	e.a1 = a1
+	k.push(e)
+	return Event{e: e, gen: e.gen}
+}
+
+// AfterFunc is AtFunc relative to the current virtual time. Negative
+// durations are treated as zero.
+func (k *Kernel) AfterFunc(d time.Duration, fn func(a0, a1 any), a0, a1 any) Event {
+	if d < 0 {
+		d = 0
+	}
+	return k.AtFunc(k.now.Add(d), fn, a0, a1)
+}
+
+// Cancel removes a pending event. Cancelling the zero Event, or an
+// event that already fired or was already cancelled, is a no-op.
+func (k *Kernel) Cancel(ev Event) {
+	e := ev.e
+	if e == nil || e.gen != ev.gen || e.index < 0 {
 		return
 	}
-	e.canceled = true
-	heap.Remove(&k.events, e.index)
+	k.remove(int(e.index))
+	k.release(e)
 }
 
 // Pending reports the number of events waiting to fire.
-func (k *Kernel) Pending() int { return len(k.events) }
+func (k *Kernel) Pending() int { return len(k.heap) }
 
 // Step fires the single earliest pending event, advancing the clock to
 // its timestamp. It reports whether an event was fired.
 func (k *Kernel) Step() bool {
-	if len(k.events) == 0 {
+	if len(k.heap) == 0 {
 		return false
 	}
-	e := heap.Pop(&k.events).(*Event)
+	e := k.heap[0]
+	k.remove(0)
 	k.now = e.at
-	e.fn()
+	// Capture the callback, then recycle the record *before* running
+	// it, so the callback can schedule new events into the warm pool.
+	fn, fn2, a0, a1 := e.fn, e.fn2, e.a0, e.a1
+	k.release(e)
+	if fn != nil {
+		fn()
+	} else {
+		fn2(a0, a1)
+	}
 	if k.panicVal != nil {
 		v := k.panicVal
 		k.panicVal = nil
@@ -175,7 +257,7 @@ func (k *Kernel) Run() Time {
 // (if it is not already past it) and returns.
 func (k *Kernel) RunUntil(t Time) Time {
 	k.stopped = false
-	for !k.stopped && len(k.events) > 0 && k.events[0].at <= t {
+	for !k.stopped && len(k.heap) > 0 && k.heap[0].at <= t {
 		k.Step()
 	}
 	if k.now < t {
@@ -192,3 +274,87 @@ func (k *Kernel) Stop() { k.stopped = true }
 // Procs reports the number of live processes (started and not yet
 // returned).
 func (k *Kernel) Procs() int { return k.procs }
+
+// ---- 4-ary min-heap over *event, ordered by (at, seq) ----
+//
+// A 4-ary heap halves the tree depth of the binary container/heap it
+// replaced (fewer cache lines touched per sift) and, being concrete,
+// avoids the any boxing of heap.Interface.
+
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (k *Kernel) push(e *event) {
+	k.heap = append(k.heap, e)
+	k.siftUp(len(k.heap) - 1)
+}
+
+// remove deletes the event at heap index i, preserving heap order.
+func (k *Kernel) remove(i int) {
+	h := k.heap
+	last := len(h) - 1
+	h[i].index = -1
+	if i != last {
+		moved := h[last]
+		h[i] = moved
+		h[last] = nil
+		k.heap = h[:last]
+		moved.index = int32(i)
+		k.siftDown(i)
+		k.siftUp(int(moved.index))
+	} else {
+		h[last] = nil
+		k.heap = h[:last]
+	}
+}
+
+func (k *Kernel) siftUp(i int) {
+	h := k.heap
+	e := h[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		pe := h[p]
+		if !eventLess(e, pe) {
+			break
+		}
+		h[i] = pe
+		pe.index = int32(i)
+		i = p
+	}
+	h[i] = e
+	e.index = int32(i)
+}
+
+func (k *Kernel) siftDown(i int) {
+	h := k.heap
+	n := len(h)
+	e := h[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		min, me := c, h[c]
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if eventLess(h[j], me) {
+				min, me = j, h[j]
+			}
+		}
+		if !eventLess(me, e) {
+			break
+		}
+		h[i] = me
+		me.index = int32(i)
+		i = min
+	}
+	h[i] = e
+	e.index = int32(i)
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -201,5 +202,111 @@ func TestTimeHelpers(t *testing.T) {
 	}
 	if tm.String() == "" {
 		t.Error("empty String()")
+	}
+}
+
+// Fired and cancelled event records are recycled through the pool; a
+// handle kept past its event's lifetime must become inert rather than
+// cancel whatever schedule reuses the record.
+func TestStaleHandleDoesNotCancelRecycledEvent(t *testing.T) {
+	k := NewKernel()
+	stale := k.After(time.Second, func() {})
+	k.Run() // fires; the record returns to the pool
+
+	fired := false
+	fresh := k.After(time.Second, func() { fired = true })
+	if fresh.e != stale.e {
+		t.Fatalf("pool did not recycle the record (got %p, want %p)", fresh.e, stale.e)
+	}
+	k.Cancel(stale) // refers to the fired schedule, must be a no-op
+	k.Run()
+	if !fired {
+		t.Error("stale handle cancelled a recycled event")
+	}
+	if stale.Pending() || stale.When() != 0 {
+		t.Errorf("stale handle still reports pending=%v when=%v", stale.Pending(), stale.When())
+	}
+}
+
+func TestZeroEventCancelIsNoOp(t *testing.T) {
+	k := NewKernel()
+	k.Cancel(Event{}) // must not panic
+	var ev Event
+	if ev.Pending() {
+		t.Error("zero Event reports pending")
+	}
+}
+
+// Cancelling from the middle of a deep queue must preserve heap order.
+func TestCancelDeepQueue(t *testing.T) {
+	k := NewKernel()
+	var evs []Event
+	for i := 0; i < 1000; i++ {
+		evs = append(evs, k.At(Time(i), func() {}))
+	}
+	var got []Time
+	for i := 0; i < 1000; i += 3 {
+		k.Cancel(evs[i])
+	}
+	for k.Pending() > 0 {
+		prev := k.Now()
+		k.Step()
+		if k.Now() < prev {
+			t.Fatal("clock ran backwards after mid-queue cancels")
+		}
+		got = append(got, k.Now())
+	}
+	if len(got) != 1000-334 {
+		t.Errorf("fired %d events, want %d", len(got), 1000-334)
+	}
+}
+
+// AtFunc/AfterFunc must behave like At/After, passing both arguments
+// through the event record.
+func TestAtFunc(t *testing.T) {
+	k := NewKernel()
+	type box struct{ v int }
+	a, b := &box{1}, &box{2}
+	var got []int
+	k.AfterFunc(2*time.Second, func(a0, a1 any) {
+		got = append(got, a0.(*box).v, a1.(*box).v)
+	}, a, b)
+	ev := k.AtFunc(Time(time.Second), func(a0, _ any) {
+		got = append(got, a0.(*box).v*10)
+	}, b, nil)
+	if ev.When() != Time(time.Second) || !ev.Pending() {
+		t.Errorf("handle reports when=%v pending=%v", ev.When(), ev.Pending())
+	}
+	k.Run()
+	if len(got) != 3 || got[0] != 20 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("AtFunc callbacks produced %v, want [20 1 2]", got)
+	}
+}
+
+// Time.Add must saturate at the int64 extremes instead of wrapping:
+// Duration already saturates huge second counts at 1<<62 ns, and a
+// wrapped negative timestamp makes Kernel.At panic "before now".
+func TestTimeAddSaturates(t *testing.T) {
+	huge := Duration(1e300) // saturates at 1<<62 ns
+	tm := Time(huge).Add(huge)
+	if tm != Time(math.MaxInt64) {
+		t.Errorf("Add overflow = %v, want MaxInt64", int64(tm))
+	}
+	if got := Time(math.MaxInt64).Add(time.Nanosecond); got != Time(math.MaxInt64) {
+		t.Errorf("MaxInt64 + 1ns = %v, want saturation", int64(got))
+	}
+	if got := Time(math.MinInt64).Add(-time.Nanosecond); got != Time(math.MinInt64) {
+		t.Errorf("MinInt64 - 1ns = %v, want saturation", int64(got))
+	}
+	// A kernel far in the future must accept saturated schedules
+	// instead of panicking "scheduled before now".
+	k := NewKernel()
+	k.At(Time(huge), func() {})
+	k.Run()
+	fired := false
+	k.At(k.Now().Add(huge), func() { fired = true })
+	k.Run()
+	if !fired {
+		t.Error("saturated schedule did not fire")
 	}
 }

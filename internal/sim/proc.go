@@ -45,8 +45,15 @@ func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
 		}()
 		fn(p)
 	}()
-	k.At(k.now, func() { k.resume(p) })
+	k.AtFunc(k.now, resumeProc, p, nil)
 	return p
+}
+
+// resumeProc is the closure-free resume trampoline shared by every
+// scheduling site below: the process pointer rides in the event record.
+func resumeProc(a0, _ any) {
+	p := a0.(*Proc)
+	p.k.resume(p)
 }
 
 // resume hands the virtual CPU to p and blocks until p parks or exits.
@@ -71,7 +78,7 @@ func (p *Proc) park() {
 // durations yield the CPU to other events scheduled at the current
 // instant and continue.
 func (p *Proc) Sleep(d time.Duration) {
-	p.k.After(d, func() { p.k.resume(p) })
+	p.k.AfterFunc(d, resumeProc, p, nil)
 	p.park()
 }
 
@@ -81,7 +88,7 @@ func (p *Proc) WaitUntil(t Time) {
 	if t < p.k.now {
 		t = p.k.now
 	}
-	p.k.At(t, func() { p.k.resume(p) })
+	p.k.AtFunc(t, resumeProc, p, nil)
 	p.park()
 }
 
@@ -93,5 +100,5 @@ func (p *Proc) waitExternal() { p.park() }
 
 // resumeNow schedules p to be resumed at the current virtual instant.
 func (p *Proc) resumeNow() {
-	p.k.At(p.k.now, func() { p.k.resume(p) })
+	p.k.AtFunc(p.k.now, resumeProc, p, nil)
 }

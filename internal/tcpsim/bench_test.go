@@ -1,0 +1,12 @@
+package tcpsim_test
+
+import (
+	"testing"
+
+	"repro/internal/benchkit"
+)
+
+// BenchmarkTCPTransfer measures a full end-to-end 1 MiB TCP bulk
+// transfer over a gigabit link; the body lives in internal/benchkit so
+// cmd/gtwbench can run the identical code and emit BENCH_kernel.json.
+func BenchmarkTCPTransfer(b *testing.B) { benchkit.TCPTransfer(b) }

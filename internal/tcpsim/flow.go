@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/netsim"
-	"repro/internal/sim"
 )
 
 // Flow is a handle on an in-progress transfer, allowing several
@@ -15,8 +14,14 @@ type Flow struct {
 	s *sender
 }
 
-// Start schedules a TCP transfer without running the kernel.
+// Start schedules a TCP transfer without running the kernel. A
+// zero-byte transfer completes immediately; a negative size is an
+// error. (Without the guard, a flow with nothing to send would never
+// see an ACK and WaitAll would stall.)
 func Start(n *netsim.Network, src, dst netsim.NodeID, nbytes int64, cfg Config) (*Flow, error) {
+	if nbytes < 0 {
+		return nil, fmt.Errorf("tcpsim: negative transfer size %d", nbytes)
+	}
 	cfg.fill()
 	mss := cfg.MSS
 	if mss == 0 {
@@ -29,17 +34,38 @@ func Start(n *netsim.Network, src, dst netsim.NodeID, nbytes int64, cfg Config) 
 	if mss <= 0 {
 		return nil, fmt.Errorf("tcpsim: non-positive MSS %d", mss)
 	}
+	// The send-timestamp ring needs one slot per outstanding segment;
+	// the window admits at most WindowBytes/mss of them (plus one for
+	// the sub-MSS clamp), so size it once here and never touch a map
+	// or clear() on the data path again.
+	ringSize := cfg.WindowBytes/mss + 2
+	if ringSize < 4 {
+		ringSize = 4
+	}
 	s := &sender{
 		n: n, src: src, dst: dst, cfg: cfg, total: nbytes,
 		mss:      mss,
 		cwnd:     float64(cfg.InitialCwndSegs * mss),
 		ssthresh: float64(cfg.WindowBytes),
-		sendTS:   make(map[int64]sim.Time),
+		sendTS:   make([]tsEntry, ringSize),
 		start:    n.K.Now(),
 	}
-	n.K.At(n.K.Now(), func() { s.pump() })
+	for i := range s.sendTS {
+		s.sendTS[i].seq = -1
+	}
+	s.dataH = dataPath{s}
+	s.ackH = ackPath{s}
+	if nbytes == 0 {
+		s.done = true
+		s.finish = s.start
+		return &Flow{s: s}, nil
+	}
+	n.K.AtFunc(n.K.Now(), startPump, s, nil)
 	return &Flow{s: s}, nil
 }
+
+// startPump is the closure-free initial-pump trampoline.
+func startPump(a0, _ any) { a0.(*sender).pump() }
 
 // Done reports whether the flow has completed successfully.
 func (f *Flow) Done() bool { return f.s.done }

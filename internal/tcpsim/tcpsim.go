@@ -28,6 +28,9 @@ type Config struct {
 	MSS int
 	// WindowBytes is the send/receive window (socket buffer). Zero
 	// defaults to 1 MiB — a typical well-tuned 1999 configuration.
+	// A window smaller than one segment is clamped up to one MSS at
+	// send time (a real stack still sends one segment), so tiny
+	// socket buffers degrade to stop-and-wait instead of stalling.
 	WindowBytes int
 	// InitialCwndSegs is the initial congestion window in segments
 	// (default 2).
@@ -69,6 +72,30 @@ func (r Result) String() string {
 		r.Bytes, r.Duration.Round(time.Microsecond), r.ThroughputBps/1e6, r.MSS, r.Retransmits)
 }
 
+// tsEntry is one slot of the send-timestamp ring buffer. A slot is
+// valid for sequence seq only while gen matches the sender's current
+// go-back-N generation; bumping the generation invalidates every slot
+// at once, which is what the old map's clear() did, without the O(n)
+// wipe or the per-segment map insert.
+type tsEntry struct {
+	seq int64
+	ts  sim.Time
+	gen uint32
+}
+
+// dataPath and ackPath give the sender two distinct netsim.Handler
+// identities without allocating per-packet closures: data segments
+// carry [Seq, Aux) = [seq, end), pure ACKs carry Seq = ackNo.
+type dataPath struct{ s *sender }
+
+func (h dataPath) HandleDeliver(p *netsim.Packet) { h.s.onDataArrive(p.Seq, p.Aux) }
+func (h dataPath) HandleDrop(*netsim.Packet)      {} // recovered by RTO
+
+type ackPath struct{ s *sender }
+
+func (h ackPath) HandleDeliver(p *netsim.Packet) { h.s.onAck(p.Seq) }
+func (h ackPath) HandleDrop(*netsim.Packet)      {} // cumulative ACKs are redundant
+
 type sender struct {
 	n        *netsim.Network
 	src, dst netsim.NodeID
@@ -87,9 +114,17 @@ type sender struct {
 
 	srtt   time.Duration
 	rttvar time.Duration
-	sendTS map[int64]sim.Time // seq -> send time, for RTT samples
+	// sendTS rings over the outstanding window: the slot for a segment
+	// starting at seq is seq/mss modulo the ring size. Segments are
+	// always mss-aligned (cumulative ACKs land on segment boundaries,
+	// and go-back-N rewinds to one), so live slots never collide.
+	sendTS []tsEntry
+	tsGen  uint32
 
-	rtoEv  *sim.Event
+	dataH dataPath
+	ackH  ackPath
+
+	rtoEv  sim.Event
 	done   bool
 	start  sim.Time
 	finish sim.Time
@@ -111,13 +146,20 @@ func Transfer(n *netsim.Network, src, dst netsim.NodeID, nbytes int64, cfg Confi
 	return f.Result()
 }
 
-// window reports the current effective window in bytes.
+// window reports the current effective window in bytes, never less
+// than one segment: with WindowBytes below the MSS (an 8 KiB socket
+// buffer over the default 9180-byte MTU, say) the admission check in
+// pump could otherwise never pass and the flow would silently stall.
 func (s *sender) window() int64 {
 	w := s.cwnd
 	if float64(s.cfg.WindowBytes) < w {
 		w = float64(s.cfg.WindowBytes)
 	}
-	return int64(w)
+	iw := int64(w)
+	if m := int64(s.mss); iw < m {
+		iw = m
+	}
+	return iw
 }
 
 // pump sends as many segments as the window allows.
@@ -136,6 +178,25 @@ func (s *sender) pump() {
 	s.armRTO()
 }
 
+// recordSendTS stamps the transmission of the segment at seq. Every
+// retransmission goes through goBackN, which bumps tsGen, so a segment
+// is sent at most once per generation and the slot can be overwritten
+// unconditionally (stale occupants are either acked or invalidated).
+func (s *sender) recordSendTS(seq int64) {
+	e := &s.sendTS[(seq/int64(s.mss))%int64(len(s.sendTS))]
+	e.seq, e.gen, e.ts = seq, s.tsGen, s.n.K.Now()
+}
+
+// lookupSendTS reports the send time of the segment at seq, if it was
+// stamped in the current generation.
+func (s *sender) lookupSendTS(seq int64) (sim.Time, bool) {
+	e := &s.sendTS[(seq/int64(s.mss))%int64(len(s.sendTS))]
+	if e.seq == seq && e.gen == s.tsGen {
+		return e.ts, true
+	}
+	return 0, false
+}
+
 // sendSegment transmits the segment starting at seq.
 func (s *sender) sendSegment(seq int64) {
 	payload := int64(s.mss)
@@ -143,14 +204,12 @@ func (s *sender) sendSegment(seq int64) {
 		payload = s.total - seq
 	}
 	end := seq + payload
-	if _, ok := s.sendTS[seq]; !ok {
-		s.sendTS[seq] = s.n.K.Now()
-	}
-	pkt := &netsim.Packet{
-		Src: s.src, Dst: s.dst, Bytes: int(payload) + HeaderBytes,
-		OnDeliver: func(*netsim.Packet) { s.onDataArrive(seq, end) },
-		// Data loss is recovered by RTO; nothing to do eagerly.
-	}
+	s.recordSendTS(seq)
+	pkt := s.n.NewPacket()
+	pkt.Src, pkt.Dst = s.src, s.dst
+	pkt.Bytes = int(payload) + HeaderBytes
+	pkt.Seq, pkt.Aux = seq, end
+	pkt.Handler = s.dataH
 	s.n.Send(pkt)
 }
 
@@ -162,11 +221,11 @@ func (s *sender) onDataArrive(seq, end int64) {
 	if seq <= s.rcvNext && end > s.rcvNext {
 		s.rcvNext = end
 	}
-	ackNo := s.rcvNext
-	ack := &netsim.Packet{
-		Src: s.dst, Dst: s.src, Bytes: AckBytes,
-		OnDeliver: func(*netsim.Packet) { s.onAck(ackNo) },
-	}
+	ack := s.n.NewPacket()
+	ack.Src, ack.Dst = s.dst, s.src
+	ack.Bytes = AckBytes
+	ack.Seq = s.rcvNext
+	ack.Handler = s.ackH
 	s.n.Send(ack)
 }
 
@@ -177,13 +236,8 @@ func (s *sender) onAck(ackNo int64) {
 	}
 	if ackNo > s.ackSeq {
 		// RTT sample from the oldest outstanding segment.
-		if ts, ok := s.sendTS[s.ackSeq]; ok {
+		if ts, ok := s.lookupSendTS(s.ackSeq); ok {
 			s.rttSample(s.n.K.Now().Sub(ts))
-		}
-		for seq := range s.sendTS {
-			if seq < ackNo {
-				delete(s.sendTS, seq)
-			}
 		}
 		acked := ackNo - s.ackSeq
 		s.ackSeq = ackNo
@@ -214,9 +268,12 @@ func (s *sender) onAck(ackNo int64) {
 }
 
 // goBackN rewinds the send pointer to the cumulative ACK and resumes.
+// Bumping tsGen invalidates every send timestamp in O(1), so the
+// retransmissions stamp fresh times (Karn-style: no samples across a
+// retransmit).
 func (s *sender) goBackN() {
 	s.nextSeq = s.ackSeq
-	clear(s.sendTS)
+	s.tsGen++
 	s.pump()
 }
 
@@ -242,15 +299,17 @@ func (s *sender) rto() time.Duration {
 	return r
 }
 
+// fireRTO is the closure-free RTO trampoline; the sender rides in the
+// event record.
+func fireRTO(a0, _ any) { a0.(*sender).onRTO() }
+
 func (s *sender) armRTO() {
-	if s.rtoEv != nil {
-		s.n.K.Cancel(s.rtoEv)
-		s.rtoEv = nil
-	}
+	s.n.K.Cancel(s.rtoEv)
+	s.rtoEv = sim.Event{}
 	if s.done || s.ackSeq >= s.nextSeq {
 		return // nothing outstanding
 	}
-	s.rtoEv = s.n.K.After(s.rto(), func() { s.onRTO() })
+	s.rtoEv = s.n.K.AfterFunc(s.rto(), fireRTO, s, nil)
 }
 
 func (s *sender) onRTO() {
@@ -272,10 +331,8 @@ func (s *sender) onRTO() {
 func (s *sender) complete() {
 	s.done = true
 	s.finish = s.n.K.Now()
-	if s.rtoEv != nil {
-		s.n.K.Cancel(s.rtoEv)
-		s.rtoEv = nil
-	}
+	s.n.K.Cancel(s.rtoEv)
+	s.rtoEv = sim.Event{}
 }
 
 func maxf(a, b float64) float64 {

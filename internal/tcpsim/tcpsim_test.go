@@ -158,3 +158,79 @@ func TestResultString(t *testing.T) {
 		t.Error("empty String")
 	}
 }
+
+// A socket buffer smaller than one segment (8 KiB window over the
+// default 9180-byte CLIP MTU) used to stall silently: pump's admission
+// check nextSeq-ackSeq+mss <= window could never pass, and WaitAll
+// died with "flows stalled with no pending events". The effective
+// window is now clamped to one MSS, degrading to stop-and-wait.
+func TestSubMSSWindowDoesNotStall(t *testing.T) {
+	n, a, b := wanPair(9180, 0)
+	res, err := Transfer(n, a, b, 1<<20, Config{WindowBytes: 8 << 10})
+	if err != nil {
+		t.Fatalf("sub-MSS window transfer failed: %v", err)
+	}
+	if res.Bytes != 1<<20 {
+		t.Errorf("transferred %d bytes, want %d", res.Bytes, 1<<20)
+	}
+	// Stop-and-wait over a ~1 ms RTT path: one MSS per RTT, far below
+	// link rate but decidedly nonzero.
+	if res.ThroughputBps <= 0 {
+		t.Errorf("throughput = %v, want > 0", res.ThroughputBps)
+	}
+	// The clamp must not let a tiny window outperform a real one.
+	wide, c, d := wanPair(9180, 0)
+	resWide, err := Transfer(wide, c, d, 1<<20, Config{WindowBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThroughputBps >= resWide.ThroughputBps {
+		t.Errorf("sub-MSS window %.1f Mbit/s >= 1 MiB window %.1f Mbit/s",
+			res.ThroughputBps/1e6, resWide.ThroughputBps/1e6)
+	}
+}
+
+// The send-timestamp ring must survive window growth, wraparound and
+// go-back-N generations without mixing up segments; an end-to-end
+// transfer with forced drops exercises all three (this pins the
+// map -> ring replacement).
+func TestSendTSRingSurvivesRetransmits(t *testing.T) {
+	k := sim.NewKernel()
+	n := netsim.New(k)
+	a := n.AddNode("a")
+	b := n.AddNode("b")
+	// A queue this small overflows mid-slow-start, forcing drops and
+	// go-back-N generation bumps.
+	n.Connect(a, b, netsim.LinkConfig{
+		Bps: 100e6, Delay: 500 * time.Microsecond,
+		MTU: 9180, QueueBytes: 64 << 10,
+	})
+	n.ComputeRoutes()
+	res, err := Transfer(n, a.ID, b.ID, 8<<20, Config{WindowBytes: 2 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retransmits == 0 {
+		t.Fatal("no retransmits; the go-back-N generation path was not exercised")
+	}
+	if res.SRTT <= 0 {
+		t.Errorf("no RTT samples surfaced: SRTT = %v", res.SRTT)
+	}
+}
+
+// A zero-byte transfer must complete immediately (nothing to send, so
+// no ACK will ever arrive to drive completion), and a negative size is
+// a config error — neither may stall WaitAll.
+func TestDegenerateTransferSizes(t *testing.T) {
+	n, a, b := wanPair(9180, 0)
+	res, err := Transfer(n, a, b, 0, Config{})
+	if err != nil {
+		t.Fatalf("zero-byte transfer: %v", err)
+	}
+	if res.Bytes != 0 || res.Duration != 0 || res.ThroughputBps != 0 {
+		t.Errorf("zero-byte result = %+v, want all-zero", res)
+	}
+	if _, err := Start(n, a, b, -1, Config{}); err == nil {
+		t.Error("negative transfer size accepted")
+	}
+}
