@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/benchkit"
+)
+
+func TestCompareBenchFlagsOnlyRealRegressions(t *testing.T) {
+	base := []benchkit.Result{
+		{Name: "BenchmarkA", NsPerOp: 100},
+		{Name: "BenchmarkB", NsPerOp: 100},
+		{Name: "BenchmarkGone", NsPerOp: 100},
+		{Name: "BenchmarkZeroBase", NsPerOp: 0},
+	}
+	cur := []benchkit.Result{
+		{Name: "BenchmarkA", NsPerOp: 124},   // +24%: inside the 25% band
+		{Name: "BenchmarkB", NsPerOp: 130},   // +30%: regression
+		{Name: "BenchmarkNew", NsPerOp: 1e9}, // no baseline: skipped
+	}
+	got := compareBench(base, cur, 0.25)
+	if len(got) != 1 {
+		t.Fatalf("compareBench flagged %d regressions, want 1: %v", len(got), got)
+	}
+	if !strings.Contains(got[0], "BenchmarkB") || !strings.Contains(got[0], "+30%") {
+		t.Errorf("regression line does not name BenchmarkB with +30%%: %s", got[0])
+	}
+}
+
+func TestCompareBenchImprovementIsNotARegression(t *testing.T) {
+	base := []benchkit.Result{{Name: "BenchmarkA", NsPerOp: 100}}
+	cur := []benchkit.Result{{Name: "BenchmarkA", NsPerOp: 40}}
+	if got := compareBench(base, cur, 0.25); len(got) != 0 {
+		t.Errorf("improvement flagged as regression: %v", got)
+	}
+}

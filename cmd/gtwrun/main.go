@@ -16,13 +16,20 @@
 //	-frames N        volumes/frames/scans to acquire
 //	-flows N         concurrent backbone flows
 //	-workers N       engine worker pool size
+//	-shards N        shards per sweep scenario (0 = GOMAXPROCS)
 //	-shared          run every scenario on ONE shared, contended testbed
 //	-json            print each report as JSON instead of text
 //	-timeout D       cancel the whole run after D (e.g. 30s)
+//
+// Sweep scenarios (figure1-throughput, backbone-aggregate,
+// mixed-traffic, fmri-pe-sweep) split their parameter grid across
+// -shards kernels; with -json their envelope carries the per-shard
+// timings. Sharding never changes the report itself.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -55,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	frames := fs.Int("frames", def.Frames, "volumes/frames/scans to acquire")
 	flows := fs.Int("flows", def.Flows, "concurrent backbone flows")
 	workers := fs.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS)")
+	shards := fs.Int("shards", 0, "shards per sweep scenario (0 = GOMAXPROCS; reports are shard-count independent)")
 	shared := fs.Bool("shared", false,
 		"run scenarios on one shared testbed (scenarios that drive their own simulation kernel still run privately)")
 	asJSON := fs.Bool("json", false, "print each report as JSON instead of text")
@@ -96,6 +104,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		gtw.WithFrames(*frames),
 		gtw.WithFlows(*flows),
 		gtw.WithWorkers(*workers),
+		gtw.WithShards(*shards),
 	}
 	if *ext {
 		opts = append(opts, gtw.WithExtensions())
@@ -142,6 +151,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 				failed++
 				fmt.Fprintf(stderr, "%-24s marshal: %v\n", r.Name, jerr)
 				continue
+			}
+			// Sweep scenarios carry their per-shard timings in the
+			// envelope (never in the report, which stays byte-identical
+			// to a sequential run).
+			if sr, ok := r.Report.(gtw.ShardedReport); ok {
+				sb, serr := json.Marshal(sr.ShardTimings())
+				if serr == nil {
+					fmt.Fprintf(stdout, "{\"scenario\":%q,\"elapsed_ms\":%d,\"shards\":%s,\"report\":%s}\n",
+						r.Name, r.Elapsed.Milliseconds(), sb, b)
+					continue
+				}
 			}
 			fmt.Fprintf(stdout, "{\"scenario\":%q,\"elapsed_ms\":%d,\"report\":%s}\n",
 				r.Name, r.Elapsed.Milliseconds(), b)

@@ -84,6 +84,46 @@ func TestJSONOutput(t *testing.T) {
 	}
 }
 
+// A sweep scenario's -json envelope must carry the per-shard timings
+// while the report object itself stays shard-count independent.
+func TestJSONSweepEnvelopeCarriesShardTimings(t *testing.T) {
+	runJSON := func(args ...string) (report string, points int) {
+		t.Helper()
+		var out, errOut strings.Builder
+		if code := run(args, &out, &errOut); code != 0 {
+			t.Fatalf("run(%v) = %d, stderr: %s", args, code, errOut.String())
+		}
+		line := strings.TrimSpace(out.String())
+		var doc struct {
+			Scenario string `json:"scenario"`
+			Shards   []struct {
+				Shard     int   `json:"shard"`
+				Points    int   `json:"points"`
+				ElapsedNS int64 `json:"elapsed_ns"`
+			} `json:"shards"`
+			Report json.RawMessage `json:"report"`
+		}
+		if err := json.Unmarshal([]byte(line), &doc); err != nil {
+			t.Fatalf("-json output invalid: %v\n%s", err, line)
+		}
+		if len(doc.Shards) == 0 {
+			t.Fatalf("sweep envelope has no shards array: %s", line)
+		}
+		for _, s := range doc.Shards {
+			points += s.Points
+		}
+		return string(doc.Report), points
+	}
+	seqReport, seqPoints := runJSON("-json", "-shards", "1", "backbone-aggregate")
+	shardReport, shardPoints := runJSON("-json", "-shards", "2", "backbone-aggregate")
+	if seqPoints != 2 || shardPoints != 2 {
+		t.Errorf("shard points = %d / %d, want 2 grid points covered", seqPoints, shardPoints)
+	}
+	if seqReport != shardReport {
+		t.Errorf("report changed with shard count:\n%s\nvs\n%s", seqReport, shardReport)
+	}
+}
+
 // -h prints usage and must exit 0 (flag.ErrHelp is not a parse error).
 func TestHelpExitsZero(t *testing.T) {
 	var out, errOut strings.Builder

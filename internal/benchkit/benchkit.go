@@ -7,10 +7,12 @@
 package benchkit
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/tcpsim"
@@ -138,6 +140,69 @@ func TCPTransfer(b *testing.B) {
 	}
 }
 
+// benchSweep builds the sweep the sharding benchmarks run: 8 grid
+// points, each a 16 MiB TCP bulk transfer on a fresh Gigabit Testbed
+// West instance — the shape of every throughput scenario in the paper.
+// It is not registered; the benchmarks run it directly.
+func benchSweep() *core.Sweep {
+	vals := make([]any, 8)
+	for i := range vals {
+		vals[i] = i
+	}
+	return core.NewSweep("bench-sweep", "sharding benchmark sweep",
+		[]core.Axis{{Name: "point", Values: vals}},
+		func(ctx context.Context, tb *core.Testbed, opts core.Options, pt core.Point) (any, error) {
+			return tb.TCPTransfer(core.HostWSJuelich, core.HostWSGMD, 16<<20,
+				tcpsim.Config{WindowBytes: 4 << 20})
+		},
+		func(opts core.Options, results []any) (core.Report, error) {
+			rep := &core.Figure1Report{}
+			for i, r := range results {
+				res := r.(tcpsim.Result)
+				rep.Rows = append(rep.Rows, core.Figure1Row{
+					Path: fmt.Sprintf("point %d", i), Mbps: res.ThroughputBps / 1e6,
+				})
+			}
+			return rep, nil
+		})
+}
+
+// runSweep drives the bench sweep at the given shard count and checks
+// the merged report kept all 8 points.
+func runSweep(b *testing.B, shards int) {
+	sw := benchSweep()
+	opts := core.NewOptions(core.WithShards(shards))
+	rep, err := sw.Run(context.Background(), nil, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if sr, ok := rep.(core.ShardedReport); !ok || len(sr.ShardTimings()) == 0 {
+		b.Fatal("sweep report lost its shard timings")
+	}
+}
+
+// SweepSingleKernel is the pre-sharding baseline: the whole 8-point
+// sweep evaluated sequentially on one testbed/kernel.
+func SweepSingleKernel(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runSweep(b, 1)
+	}
+}
+
+// SweepSharded is the same sweep split across GOMAXPROCS shards, each
+// owning a fresh kernel/network/testbed. On an N-core machine (N >= 4)
+// this should approach N-fold speedup over SweepSingleKernel; the ratio
+// of the two rows in BENCH_kernel.json is the tracked number.
+func SweepSharded(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runSweep(b, 0) // 0 = GOMAXPROCS
+	}
+}
+
 // Spec names one benchmark for the gtwbench harness.
 type Spec struct {
 	Name string
@@ -154,6 +219,8 @@ func Specs() []Spec {
 		{"BenchmarkPacketDelivery", PacketDelivery},
 		{"BenchmarkMultiHopForwarding", MultiHopForwarding},
 		{"BenchmarkTCPTransfer", TCPTransfer},
+		{"BenchmarkSweepSingleKernel", SweepSingleKernel},
+		{"BenchmarkSweepSharded", SweepSharded},
 	}
 }
 

@@ -19,10 +19,10 @@ import (
 
 // This file contains the experiment drivers that regenerate the paper's
 // quantitative content. Each driver has a testbed-accepting core
-// (figure1ThroughputOn, ...) used by the registered scenarios — so runs
-// can share one contended testbed — plus a deprecated wrapper keeping
-// the original one-shot signature, which builds private testbeds so old
-// callers see unchanged behaviour.
+// (figure1Probe, figure2EndToEndOn, ...) used by the registered
+// scenarios — so runs can share one contended testbed — plus a
+// deprecated wrapper keeping the original one-shot signature, which
+// builds private testbeds so old callers see unchanged behaviour.
 
 // ---------------------------------------------------------------- F1 --
 
@@ -86,21 +86,14 @@ func figure1AnalyticRows() []Figure1Row {
 	}
 }
 
-// figure1ThroughputOn runs every probe sequentially on the given
-// testbed (probes contend with whatever else shares it).
-func figure1ThroughputOn(ctx context.Context, tb *Testbed) ([]Figure1Row, error) {
-	var rows []Figure1Row
-	for _, p := range f1probes {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		row, err := figure1Probe(tb, p)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
+// f1probeValues returns the probes as a sweep axis: each probe is one
+// grid point of the figure1-throughput sweep.
+func f1probeValues() []any {
+	vals := make([]any, len(f1probes))
+	for i, p := range f1probes {
+		vals[i] = p
 	}
-	return append(rows, figure1AnalyticRows()...), nil
+	return vals
 }
 
 // Figure1Throughput measures the section-2 throughput observations on

@@ -125,6 +125,28 @@ func (r *FMRIDataflowReport) Text() string { return r.Header() + r.Row() }
 // JSON implements Report.
 func (r *FMRIDataflowReport) JSON() ([]byte, error) { return json.Marshal(r) }
 
+// FMRISweepReport carries the fMRI dataflow DES evaluated at several
+// T3E partition sizes (the fmri-pe-sweep scenario), one row per PE
+// count in grid order.
+type FMRISweepReport struct {
+	Rows []FMRIDataflowReport
+}
+
+// Text implements Report.
+func (r *FMRISweepReport) Text() string {
+	var sb strings.Builder
+	for i := range r.Rows {
+		if i == 0 {
+			sb.WriteString(r.Rows[i].Header())
+		}
+		sb.WriteString(r.Rows[i].Row())
+	}
+	return sb.String()
+}
+
+// JSON implements Report.
+func (r *FMRISweepReport) JSON() ([]byte, error) { return json.Marshal(r) }
+
 // UpgradeReport carries the OC-12 -> OC-48 upgrade-motivation
 // measurements: aggregate flows and mixed video+bulk traffic on both
 // backbone generations.

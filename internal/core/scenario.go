@@ -75,6 +75,10 @@ type Options struct {
 	Testbed *Testbed
 	// Workers bounds engine concurrency in RunAll (default GOMAXPROCS).
 	Workers int
+	// Shards bounds the per-sweep shard count (default GOMAXPROCS,
+	// not exceeding a Workers bound, capped at the grid size).
+	// Non-sweep scenarios ignore it.
+	Shards int
 }
 
 // Option mutates Options (the functional-options pattern).
@@ -119,6 +123,12 @@ func WithTestbed(tb *Testbed) Option { return func(o *Options) { o.Testbed = tb 
 
 // WithWorkers bounds the RunAll worker pool.
 func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
+
+// WithShards bounds how many shards a sweep scenario may split its grid
+// across (0 = GOMAXPROCS, not exceeding a WithWorkers bound). Sharding
+// changes only wall-clock time: shard results merge in grid order, so
+// reports stay byte-identical.
+func WithShards(n int) Option { return func(o *Options) { o.Shards = n } }
 
 // funcScenario adapts a function to the Scenario interface.
 type funcScenario struct {
@@ -300,7 +310,11 @@ func runOne(ctx context.Context, s Scenario, o Options) (res RunResult) {
 	}
 	tb := o.Testbed
 	if tb == nil {
-		tb = New(Config{WAN: o.WAN, Extensions: o.Extensions})
+		// Sweeps build their shards' testbeds themselves; constructing
+		// one here would only be thrown away.
+		if _, sweep := s.(*Sweep); !sweep {
+			tb = New(Config{WAN: o.WAN, Extensions: o.Extensions})
+		}
 	}
 	res.Report, res.Err = s.Run(ctx, tb, o)
 	return res

@@ -25,14 +25,18 @@ func init() {
 			}, nil
 		}))
 
-	MustRegister(NewScenario("figure1-throughput",
+	MustRegister(NewSweep("figure1-throughput",
 		"Section 2: TCP path throughput across the testbed (Figure 1)",
-		func(ctx context.Context, tb *Testbed, opts Options) (Report, error) {
-			rows, err := figure1ThroughputOn(ctx, tb)
-			if err != nil {
-				return nil, err
+		[]Axis{{Name: "probe", Values: f1probeValues()}},
+		func(ctx context.Context, tb *Testbed, opts Options, pt Point) (any, error) {
+			return figure1Probe(tb, pt.Coord(0).(f1probe))
+		},
+		func(opts Options, results []any) (Report, error) {
+			rows := make([]Figure1Row, 0, len(results)+2)
+			for _, r := range results {
+				rows = append(rows, r.(Figure1Row))
 			}
-			return &Figure1Report{Rows: rows}, nil
+			return &Figure1Report{Rows: append(rows, figure1AnalyticRows()...)}, nil
 		}))
 
 	MustRegister(NewScenario("figure2-endtoend",
@@ -94,42 +98,59 @@ func init() {
 			return &FMRIDataflowReport{Scenario: sc, Result: r}, nil
 		}))
 
-	MustRegister(NewScenario("backbone-aggregate",
+	// The upgrade-motivation sweeps drive the kernel directly
+	// (tcpsim.Start / video.Stream on the raw network): each grid
+	// point builds its own private testbed for its carrier generation,
+	// so the shards are told not to construct one (NoShardTestbed).
+	MustRegister(NewSweep("backbone-aggregate",
 		"Section 2: aggregate backbone capacity under concurrent 622-attached flows",
-		func(ctx context.Context, tb *Testbed, opts Options) (Report, error) {
-			// Drives the kernel directly (tcpsim.Start on the raw
-			// network), so it builds private testbeds: one per
-			// backbone generation to show the upgrade rationale.
+		[]Axis{{Name: "wan", Values: []any{atm.OC12, atm.OC48}}},
+		func(ctx context.Context, tb *Testbed, opts Options, pt Point) (any, error) {
+			return BackboneAggregate(pt.Coord(0).(atm.OC), opts.Flows)
+		},
+		func(opts Options, results []any) (Report, error) {
 			rep := &UpgradeReport{}
-			for _, wan := range []atm.OC{atm.OC12, atm.OC48} {
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
-				row, err := BackboneAggregate(wan, opts.Flows)
-				if err != nil {
-					return nil, err
-				}
-				rep.Aggregate = append(rep.Aggregate, row)
+			for _, r := range results {
+				rep.Aggregate = append(rep.Aggregate, r.(AggregateRow))
 			}
 			return rep, nil
-		}))
+		}).NoShardTestbed())
 
-	MustRegister(NewScenario("mixed-traffic",
+	MustRegister(NewSweep("mixed-traffic",
 		"Section 2: 270 Mbit/s D1 video sharing the backbone with bulk TCP",
-		func(ctx context.Context, tb *Testbed, opts Options) (Report, error) {
+		[]Axis{{Name: "wan", Values: []any{atm.OC12, atm.OC48}}},
+		func(ctx context.Context, tb *Testbed, opts Options, pt Point) (any, error) {
+			return MixedTraffic(pt.Coord(0).(atm.OC))
+		},
+		func(opts Options, results []any) (Report, error) {
 			rep := &UpgradeReport{}
-			for _, wan := range []atm.OC{atm.OC12, atm.OC48} {
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
-				m, err := MixedTraffic(wan)
-				if err != nil {
-					return nil, err
-				}
-				rep.Mixed = append(rep.Mixed, m)
+			for _, r := range results {
+				rep.Mixed = append(rep.Mixed, r.(MixedTrafficResult))
 			}
 			return rep, nil
-		}))
+		}).NoShardTestbed())
+
+	// The fMRI dataflow as a partition-size sweep: one five-computer
+	// DES (its own kernel, network and testbed) per PE count, sharded
+	// across cores, merged in grid order.
+	MustRegister(NewSweep("fmri-pe-sweep",
+		"Section 4: fMRI dataflow DES swept over T3E partition sizes",
+		[]Axis{{Name: "pes", Values: []any{16, 64, 256}}},
+		func(ctx context.Context, tb *Testbed, opts Options, pt Point) (any, error) {
+			sc := FMRIScenario{PEs: pt.Coord(0).(int), TR: 4.0, Frames: opts.Frames}
+			res, err := RunFMRIScenario(sc)
+			if err != nil {
+				return nil, err
+			}
+			return FMRIDataflowReport{Scenario: sc, Result: res}, nil
+		},
+		func(opts Options, results []any) (Report, error) {
+			rep := &FMRISweepReport{}
+			for _, r := range results {
+				rep.Rows = append(rep.Rows, r.(FMRIDataflowReport))
+			}
+			return rep, nil
+		}).NoShardTestbed())
 
 	MustRegister(NewScenario("future-work",
 		"Sections 1+4 outlook: B-WiN saturation and multi-echo feasibility",

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// This file is the sharded sweep engine. A parameter-sweep scenario —
+// the shape of the paper's headline results: Figure-1 throughput
+// probes, the backbone aggregate at each carrier generation, mixed
+// traffic per OC level — used to iterate its whole grid inside one
+// simulation kernel on one core. A Sweep instead describes the grid
+// declaratively (Axes), evaluates one grid point at a time (PointFunc)
+// and reassembles the point results into the ordinary scenario Report
+// (MergeFunc). The executor splits the grid across shards, each shard
+// owning a fresh sim.Kernel/netsim.Network/Testbed, and merges results
+// in grid order — never completion order — so a sharded run's report is
+// byte-identical to the sequential one.
+//
+// A Sweep is an ordinary Scenario: register it with MustRegister and it
+// runs through Run/RunAll/cmd/gtwrun with no special cases.
+
+// Axis is one named dimension of a sweep grid.
+type Axis struct {
+	// Name labels the dimension (diagnostics only).
+	Name string
+	// Values are the points along this axis, in sweep order.
+	Values []any
+}
+
+// Point is one coordinate of the sweep grid. Points enumerate the cross
+// product of the axes in row-major order: the last axis varies fastest.
+type Point struct {
+	// Index is the point's position in grid order.
+	Index int
+	// Coords holds one value per axis, in axis order.
+	Coords []any
+}
+
+// Coord returns the point's value along axis i.
+func (pt Point) Coord(i int) any { return pt.Coords[i] }
+
+// PointFunc evaluates one grid point. tb is the shard's testbed: a
+// fresh instance owned by the shard by default, or the one shared
+// testbed when the run was given WithTestbed (shared runs must touch it
+// only through its concurrency-safe methods). Point functions that
+// drive their own simulation kernel (BackboneAggregate-style) ignore tb.
+type PointFunc func(ctx context.Context, tb *Testbed, opts Options, pt Point) (any, error)
+
+// MergeFunc reassembles the per-point results — always in grid order,
+// one entry per point — into the scenario's Report.
+type MergeFunc func(opts Options, results []any) (Report, error)
+
+// Sweep is a parameter-sweep scenario: a grid of points evaluated
+// independently and merged deterministically. It implements Scenario.
+type Sweep struct {
+	name, desc string
+	axes       []Axis
+	runPoint   PointFunc
+	merge      MergeFunc
+	noTestbed  bool
+}
+
+// NoShardTestbed declares that every point function builds its own
+// simulation state (BackboneAggregate-style) and ignores the testbed
+// argument, so shards skip constructing one. A shared testbed from
+// WithTestbed is still passed through. Returns the sweep for chaining:
+//
+//	MustRegister(NewSweep(...).NoShardTestbed())
+func (sw *Sweep) NoShardTestbed() *Sweep {
+	sw.noTestbed = true
+	return sw
+}
+
+// NewSweep builds a sweep scenario over the cross product of axes.
+// Register the result like any other scenario.
+func NewSweep(name, description string, axes []Axis, runPoint PointFunc, merge MergeFunc) *Sweep {
+	return &Sweep{name: name, desc: description, axes: axes, runPoint: runPoint, merge: merge}
+}
+
+// Name implements Scenario.
+func (sw *Sweep) Name() string { return sw.name }
+
+// Description implements Scenario.
+func (sw *Sweep) Description() string { return sw.desc }
+
+// Axes returns the sweep's grid dimensions.
+func (sw *Sweep) Axes() []Axis { return sw.axes }
+
+// Points enumerates the grid in row-major order (last axis fastest).
+func (sw *Sweep) Points() []Point {
+	total := 1
+	for _, ax := range sw.axes {
+		total *= len(ax.Values)
+	}
+	if len(sw.axes) == 0 {
+		total = 0
+	}
+	pts := make([]Point, total)
+	for i := 0; i < total; i++ {
+		coords := make([]any, len(sw.axes))
+		rem := i
+		for a := len(sw.axes) - 1; a >= 0; a-- {
+			n := len(sw.axes[a].Values)
+			coords[a] = sw.axes[a].Values[rem%n]
+			rem /= n
+		}
+		pts[i] = Point{Index: i, Coords: coords}
+	}
+	return pts
+}
+
+// ShardTiming records one shard's share of a sweep run.
+type ShardTiming struct {
+	// Shard is the shard index.
+	Shard int `json:"shard"`
+	// Points is the number of grid points the shard evaluated.
+	Points int `json:"points"`
+	// ElapsedNS is the shard's wall-clock time in nanoseconds.
+	ElapsedNS int64 `json:"elapsed_ns"`
+}
+
+// Elapsed returns the shard's wall-clock time.
+func (st ShardTiming) Elapsed() time.Duration { return time.Duration(st.ElapsedNS) }
+
+// ShardedReport is implemented by reports coming out of a sweep run: the
+// merged scenario report plus the per-shard execution timings. Text and
+// JSON delegate to the merged report, so sharding never changes the
+// measurement record.
+type ShardedReport interface {
+	Report
+	// ShardTimings reports each shard's point count and wall-clock time.
+	ShardTimings() []ShardTiming
+}
+
+// sweepReport decorates the merged report with shard timings.
+type sweepReport struct {
+	Report
+	timings []ShardTiming
+}
+
+// ShardTimings implements ShardedReport.
+func (r *sweepReport) ShardTimings() []ShardTiming { return r.timings }
+
+// Run implements Scenario: evaluate every grid point across shards and
+// merge in grid order.
+//
+// Sharding: opts.Shards bounds the shard count (0 = GOMAXPROCS, capped
+// at the number of points). Each shard evaluates a contiguous batch of
+// the grid on its own fresh testbed built from opts — except in shared
+// mode (opts.Testbed non-nil), where every shard uses the one shared
+// testbed so co-allocation stays common and the backbone counters keep
+// accumulating across scenarios; shards then contend on the testbed's
+// internal locks instead of running truly in parallel. A testbed passed
+// through the tb argument alone serves an unsharded run (the engine's
+// fresh-per-scenario testbed); to share one across shards it must come
+// through WithTestbed.
+//
+// Cancellation stops shards between points and Run returns ctx's error;
+// a panicking point is contained and reported as that point's error.
+// The first error in grid order wins.
+func (sw *Sweep) Run(ctx context.Context, tb *Testbed, opts Options) (Report, error) {
+	pts := sw.Points()
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("core: sweep %q has an empty grid", sw.name)
+	}
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+		// An explicit WithWorkers bound caps total engine concurrency;
+		// don't let the default shard fan-out exceed it (an explicit
+		// WithShards still may).
+		if opts.Workers > 0 && opts.Workers < shards {
+			shards = opts.Workers
+		}
+	}
+	if shards > len(pts) {
+		shards = len(pts)
+	}
+	// Shard testbeds are built from the sweep run's configuration; a
+	// testbed handed in by the caller fixes that configuration for
+	// every shard (the engine builds none for sweeps, so tb is non-nil
+	// only for direct callers and shared runs).
+	shardCfg := Config{WAN: opts.WAN, Extensions: opts.Extensions}
+	if tb != nil {
+		shardCfg = tb.Cfg
+	}
+
+	results := make([]any, len(pts))
+	errs := make([]error, len(pts))
+	timings := make([]ShardTiming, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		// Contiguous batches in grid order: shard s gets [lo, hi).
+		lo := s * len(pts) / shards
+		hi := (s + 1) * len(pts) / shards
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			start := time.Now()
+			shardTb := opts.Testbed // shared mode: every shard uses the one testbed
+			if shardTb == nil && shards == 1 {
+				shardTb = tb // unsharded: any testbed the caller handed in
+			}
+			if shardTb == nil && !sw.noTestbed {
+				shardTb = New(shardCfg)
+			}
+			for i := lo; i < hi; i++ {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				results[i], errs[i] = sw.runOnePoint(ctx, shardTb, opts, pts[i])
+			}
+			timings[s] = ShardTiming{Shard: s, Points: hi - lo, ElapsedNS: time.Since(start).Nanoseconds()}
+		}(s, lo, hi)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: sweep %q point %d: %w", sw.name, i, err)
+		}
+	}
+	rep, err := sw.merge(opts, results)
+	if err != nil {
+		return nil, err
+	}
+	return &sweepReport{Report: rep, timings: timings}, nil
+}
+
+// runOnePoint evaluates a single grid point with panic containment, so
+// one bad point fails the sweep with a usable error instead of tearing
+// down the whole worker pool.
+func (sw *Sweep) runOnePoint(ctx context.Context, tb *Testbed, opts Options, pt Point) (res any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("point panicked: %v", r)
+		}
+	}()
+	return sw.runPoint(ctx, tb, opts, pt)
+}

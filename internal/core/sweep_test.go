@@ -1,0 +1,395 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/atm"
+)
+
+func TestSweepPointsGridOrder(t *testing.T) {
+	sw := NewSweep("test-grid", "grid order probe",
+		[]Axis{
+			{Name: "a", Values: []any{"x", "y"}},
+			{Name: "b", Values: []any{1, 2, 3}},
+		}, nil, nil)
+	pts := sw.Points()
+	if len(pts) != 6 {
+		t.Fatalf("%d points, want 6", len(pts))
+	}
+	// Row-major: the last axis varies fastest.
+	want := [][2]any{{"x", 1}, {"x", 2}, {"x", 3}, {"y", 1}, {"y", 2}, {"y", 3}}
+	for i, pt := range pts {
+		if pt.Index != i {
+			t.Errorf("point %d has Index %d", i, pt.Index)
+		}
+		if pt.Coord(0) != want[i][0] || pt.Coord(1) != want[i][1] {
+			t.Errorf("point %d = (%v, %v), want (%v, %v)",
+				i, pt.Coord(0), pt.Coord(1), want[i][0], want[i][1])
+		}
+	}
+	if len(NewSweep("test-empty", "", nil, nil, nil).Points()) != 0 {
+		t.Error("axis-less sweep should have an empty grid")
+	}
+}
+
+// Shard results must reassemble in grid order even when completion
+// order is reversed (early points slower than late ones).
+func TestSweepMergesInGridOrderNotCompletionOrder(t *testing.T) {
+	vals := make([]any, 8)
+	for i := range vals {
+		vals[i] = i
+	}
+	sw := NewSweep("test-order", "completion order shuffler",
+		[]Axis{{Name: "i", Values: vals}},
+		func(ctx context.Context, tb *Testbed, opts Options, pt Point) (any, error) {
+			// Earlier points sleep longer, so with one point per shard
+			// the last point finishes first.
+			time.Sleep(time.Duration(len(vals)-pt.Index) * 2 * time.Millisecond)
+			return pt.Coord(0).(int) * 10, nil
+		},
+		func(opts Options, results []any) (Report, error) {
+			for i, r := range results {
+				if r.(int) != i*10 {
+					return nil, fmt.Errorf("result %d = %v, want %d (completion order leaked)", i, r, i*10)
+				}
+			}
+			return &FutureWorkReport{}, nil
+		})
+	if _, err := sw.Run(context.Background(), nil, NewOptions(WithShards(8))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The acceptance bar of the sharding refactor: sweeping scenarios
+// produce byte-identical Text and JSON whatever the shard count.
+func TestSweepReportsByteIdenticalAcrossShardCounts(t *testing.T) {
+	for _, name := range []string{"figure1-throughput", "backbone-aggregate", "mixed-traffic", "fmri-pe-sweep"} {
+		t.Run(name, func(t *testing.T) {
+			sequential, err := Run(context.Background(), name, WithShards(1), WithFrames(10))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sharded, err := Run(context.Background(), name, WithShards(4), WithFrames(10))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sequential.Text() != sharded.Text() {
+				t.Errorf("Text differs between 1 and 4 shards:\n--- sequential\n%s--- sharded\n%s",
+					sequential.Text(), sharded.Text())
+			}
+			sj, err := sequential.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			hj, err := sharded.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(sj, hj) {
+				t.Errorf("JSON differs between 1 and 4 shards:\n%s\nvs\n%s", sj, hj)
+			}
+		})
+	}
+}
+
+func TestSweepReportSurfacesShardTimings(t *testing.T) {
+	rep, err := Run(context.Background(), "backbone-aggregate", WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, ok := rep.(ShardedReport)
+	if !ok {
+		t.Fatalf("sweep report %T does not expose shard timings", rep)
+	}
+	timings := sr.ShardTimings()
+	if len(timings) != 2 {
+		t.Fatalf("%d shard timings, want 2", len(timings))
+	}
+	points := 0
+	for i, st := range timings {
+		if st.Shard != i {
+			t.Errorf("timing %d labelled shard %d", i, st.Shard)
+		}
+		if st.ElapsedNS <= 0 {
+			t.Errorf("shard %d elapsed %d ns", i, st.ElapsedNS)
+		}
+		if st.Elapsed() != time.Duration(st.ElapsedNS) {
+			t.Errorf("Elapsed() disagrees with ElapsedNS")
+		}
+		points += st.Points
+	}
+	if points != 2 {
+		t.Errorf("shards covered %d points, want 2", points)
+	}
+}
+
+// In shared-testbed mode the sweep must keep using the one testbed —
+// cumulative backbone accounting is the point of sharing — while still
+// producing the identical report.
+func TestSweepSharedTestbedAccumulates(t *testing.T) {
+	solo, err := Run(context.Background(), "figure1-throughput", WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := New(Config{})
+	shared, err := Run(context.Background(), "figure1-throughput", WithShards(2), WithTestbed(tb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.BackboneWireBytes() == 0 {
+		t.Error("shared testbed carried no sweep traffic")
+	}
+	if solo.Text() != shared.Text() {
+		t.Errorf("shared-testbed sweep changed the report:\n%s\nvs\n%s", solo.Text(), shared.Text())
+	}
+}
+
+// Calling a sweep's Run directly (not through the engine) with only
+// WithTestbed set must still hand every shard the shared testbed — the
+// engine happens to pass it as the tb argument too, but direct callers
+// may not.
+func TestSweepDirectRunUsesOptionTestbed(t *testing.T) {
+	s, ok := Lookup("figure1-throughput")
+	if !ok {
+		t.Fatal("figure1-throughput not registered")
+	}
+	tb := New(Config{})
+	rep, err := s.Run(context.Background(), nil, NewOptions(WithTestbed(tb), WithShards(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil || rep.Text() == "" {
+		t.Fatal("no report")
+	}
+	if tb.BackboneWireBytes() == 0 {
+		t.Error("direct sweep run ignored the WithTestbed testbed")
+	}
+}
+
+// A caller-built testbed passed positionally fixes the configuration of
+// every shard testbed, even when sharding rebuilds them.
+func TestSweepShardsInheritCallerTestbedConfig(t *testing.T) {
+	var wans [2]atm.OC
+	sw := NewSweep("test-cfg-sweep", "records each shard's backbone generation",
+		[]Axis{{Name: "i", Values: []any{0, 1}}},
+		func(ctx context.Context, tb *Testbed, opts Options, pt Point) (any, error) {
+			wans[pt.Index] = tb.Cfg.WAN
+			return nil, nil
+		},
+		func(opts Options, results []any) (Report, error) {
+			return &FutureWorkReport{}, nil
+		})
+	tb := New(Config{WAN: atm.OC12})
+	// Default opts carry OC-48; the OC-12 testbed must win on every shard.
+	if _, err := sw.Run(context.Background(), tb, NewOptions(WithShards(2))); err != nil {
+		t.Fatal(err)
+	}
+	for i, wan := range wans {
+		if wan != atm.OC12 {
+			t.Errorf("shard of point %d ran on %v, want the caller testbed's OC12", i, wan)
+		}
+	}
+}
+
+// A WithWorkers bound caps the default shard fan-out, so -workers keeps
+// limiting total engine concurrency (an explicit WithShards may still
+// exceed it).
+func TestSweepDefaultShardsRespectWorkersBound(t *testing.T) {
+	rep, err := Run(context.Background(), "backbone-aggregate", WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(rep.(ShardedReport).ShardTimings()); n != 1 {
+		t.Errorf("default sharding used %d shards under WithWorkers(1), want 1", n)
+	}
+	rep, err = Run(context.Background(), "backbone-aggregate", WithWorkers(1), WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(rep.(ShardedReport).ShardTimings()); n != 2 {
+		t.Errorf("explicit WithShards(2) used %d shards, want 2", n)
+	}
+}
+
+// registerBlockingSweep registers a sweep whose points park until the
+// run context is cancelled, and returns a cleanup plus a counter of
+// points that started.
+func registerBlockingSweep(t *testing.T, name string, points int) *atomic.Int32 {
+	t.Helper()
+	vals := make([]any, points)
+	for i := range vals {
+		vals[i] = i
+	}
+	var started atomic.Int32
+	MustRegister(NewSweep(name, "blocks until cancelled",
+		[]Axis{{Name: "i", Values: vals}},
+		func(ctx context.Context, tb *Testbed, opts Options, pt Point) (any, error) {
+			started.Add(1)
+			<-ctx.Done()
+			return nil, ctx.Err()
+		},
+		func(opts Options, results []any) (Report, error) {
+			return &FutureWorkReport{}, nil
+		}))
+	t.Cleanup(func() {
+		registry.Lock()
+		delete(registry.m, name)
+		registry.Unlock()
+	})
+	return &started
+}
+
+// Cancelling mid-sweep must stop the shards, surface context.Canceled,
+// and leave no shard goroutines behind.
+func TestSweepCancellationNoLeakedGoroutines(t *testing.T) {
+	started := registerBlockingSweep(t, "test-blocking-sweep", 8)
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(ctx, "test-blocking-sweep", WithShards(4))
+		done <- err
+	}()
+	// Wait until all four shards are inside a point, then cancel.
+	for started.Load() < 4 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("Run error = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("sweep did not return after cancellation")
+	}
+	// Shards are joined before Run returns; give the runtime a moment
+	// to retire them, then check nothing leaked.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+1 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before+1 {
+		t.Errorf("goroutines %d -> %d after cancelled sweep; shards leaked", before, got)
+	}
+}
+
+func TestSweepPointPanicContained(t *testing.T) {
+	MustRegister(NewSweep("test-panic-sweep", "panics at point 1",
+		[]Axis{{Name: "i", Values: []any{0, 1, 2}}},
+		func(ctx context.Context, tb *Testbed, opts Options, pt Point) (any, error) {
+			if pt.Index == 1 {
+				panic("sweep point boom")
+			}
+			return pt.Index, nil
+		},
+		func(opts Options, results []any) (Report, error) {
+			return &FutureWorkReport{}, nil
+		}))
+	defer func() {
+		registry.Lock()
+		delete(registry.m, "test-panic-sweep")
+		registry.Unlock()
+	}()
+	_, err := Run(context.Background(), "test-panic-sweep", WithShards(3))
+	if err == nil || !strings.Contains(err.Error(), "point 1") || !strings.Contains(err.Error(), "panicked") {
+		t.Errorf("panicking point not reported: %v", err)
+	}
+	// A sibling scenario in the same RunAll keeps working.
+	results, err := RunAll(context.Background(), []string{"test-panic-sweep", "table1-model"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil {
+		t.Error("panicking sweep reported no error through RunAll")
+	}
+	if results[1].Err != nil {
+		t.Errorf("sibling scenario failed: %v", results[1].Err)
+	}
+}
+
+// RunAll under shard contention: sharded sweeps and ordinary scenarios
+// mixed on ONE shared testbed, raced with -race in CI. Every shard of
+// every sweep contends on the shared testbed's locks while the plain
+// scenarios run their transfers on it too.
+func TestRunAllSharedTestbedWithShardedSweeps(t *testing.T) {
+	tb := New(Config{})
+	names := []string{
+		"figure1-throughput", "figure2-endtoend", "mixed-traffic",
+		"figure1-throughput", "figure4-workbench", "backbone-aggregate",
+	}
+	results, err := RunAll(context.Background(), names,
+		WithTestbed(tb), WithWorkers(4), WithShards(3), WithFrames(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("%s: %v", r.Name, r.Err)
+		}
+		if r.Report == nil {
+			t.Errorf("%s: nil report", r.Name)
+			continue
+		}
+		if sr, ok := r.Report.(ShardedReport); ok {
+			if len(sr.ShardTimings()) == 0 {
+				t.Errorf("%s: sweep ran with no shard timings", r.Name)
+			}
+		}
+	}
+	if tb.BackboneWireBytes() == 0 {
+		t.Error("shared testbed carried no traffic")
+	}
+}
+
+// Cancelling a RunAll that includes sharded sweeps must cancel the
+// sweeps' in-flight shards and leave no goroutines behind (the RunAll
+// side of the mid-sweep cancellation guarantee).
+func TestRunAllCancellationMidSweepNoLeaks(t *testing.T) {
+	started := registerBlockingSweep(t, "test-blocking-sweep-all", 4)
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var results []RunResult
+	var err error
+	go func() {
+		defer close(done)
+		results, err = RunAll(ctx, []string{"test-blocking-sweep-all", "table1-model"},
+			WithWorkers(2), WithShards(2))
+	}()
+	for started.Load() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunAll did not return after mid-sweep cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("RunAll error = %v, want context.Canceled", err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d results", len(results))
+	}
+	if !errors.Is(results[0].Err, context.Canceled) {
+		t.Errorf("sweep result err = %v, want context.Canceled", results[0].Err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+1 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before+1 {
+		t.Errorf("goroutines %d -> %d after cancelled RunAll; sweep shards leaked", before, got)
+	}
+}

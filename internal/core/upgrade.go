@@ -60,6 +60,10 @@ func BackboneAggregate(wan atm.OC, flows int) (AggregateRow, error) {
 		row.PerFlowMbps = append(row.PerFlowMbps, res.ThroughputBps/1e6)
 		row.AggregateMbps += res.ThroughputBps / 1e6
 	}
+	// The kernel is dry and every result is read: recycle the flows.
+	for _, f := range fl {
+		f.Release()
+	}
 	return row, nil
 }
 
@@ -109,6 +113,7 @@ func MixedTraffic(wan atm.OC) (MixedTrafficResult, error) {
 	if err != nil {
 		return MixedTrafficResult{}, err
 	}
+	bulk.Release()
 	return MixedTrafficResult{Backbone: wan, Video: vres, BulkMbps: bres.ThroughputBps / 1e6}, nil
 }
 

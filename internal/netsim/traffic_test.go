@@ -3,6 +3,8 @@ package netsim
 import (
 	"testing"
 	"time"
+
+	"repro/internal/sim"
 )
 
 // A zero-rate generator used to divide by zero (meanGap = +Inf) and
@@ -105,6 +107,75 @@ func TestCrossTrafficStopCancelsPendingInjection(t *testing.T) {
 	n.K.Run() // drain in-flight packets
 	if p := n.K.Pending(); p != 0 {
 		t.Errorf("stopped generator left %d pending events", p)
+	}
+}
+
+// A 5x-overloaded link builds an output queue far deeper than the
+// ring's initial 16 slots, so the ring must grow and its head index
+// must wrap while arrivals and departures interleave. Every packet
+// still has to come out exactly once.
+func TestCrossTrafficDeepQueueWraparound(t *testing.T) {
+	// 10 Mbit/s link, 9180-byte packets (~7.3 ms serialization each);
+	// 50 Mbit/s offered for 200 ms queues ~100 packets deep.
+	n, a, b := twoHosts(LinkConfig{Bps: 10e6, Delay: time.Millisecond, MTU: 9180, QueueBytes: 64 << 20})
+	ct := &CrossTraffic{Net: n, Src: a.ID, Dst: b.ID, Bps: 50e6, Seed: 8}
+	ct.Start(200 * time.Millisecond)
+	n.K.Run()
+	sent, delivered, dropped := ct.Stats()
+	if sent < 100 {
+		t.Fatalf("only %d packets offered; load too small to exercise a deep queue", sent)
+	}
+	if delivered != sent || dropped != 0 {
+		t.Errorf("sent %d, delivered %d, dropped %d; want lossless delivery on a 64 MiB queue",
+			sent, delivered, dropped)
+	}
+	ifc := a.ifaces[0]
+	if ifc.q.Cap() <= 16 {
+		t.Errorf("ring never grew: %d slots for a ~100-deep queue", ifc.q.Cap())
+	}
+	if ifc.q.Len() != 0 || ifc.queued != 0 {
+		t.Errorf("queue not drained: %d packets / %d bytes left", ifc.q.Len(), ifc.queued)
+	}
+	// More packets passed through than the ring has slots, and the ring
+	// never emptied during the burst, so the head index must have
+	// wrapped (the queue peaked near capacity while draining).
+	if int(delivered) <= ifc.q.Cap() {
+		t.Errorf("only %d packets through a %d-slot ring; wraparound not exercised", delivered, ifc.q.Cap())
+	}
+}
+
+// Repeated fill/drain waves cycle the ring head through the slice
+// several times; FIFO order must survive every wraparound.
+func TestDeepQueueFIFOAcrossWraparound(t *testing.T) {
+	n, a, b := twoHosts(LinkConfig{Bps: 100e6, Delay: time.Millisecond, MTU: 65536, QueueBytes: 64 << 20})
+	var order []int
+	seq := 0
+	// 6 waves of 20 x 10000-byte packets (0.8 ms serialization each),
+	// 25 ms apart: each wave queues ~19 deep and fully drains before
+	// the next, so the head laps the grown ring again and again.
+	for w := 0; w < 6; w++ {
+		at := sim.Time(w) * sim.Time(25*time.Millisecond)
+		n.K.At(at, func() {
+			for i := 0; i < 20; i++ {
+				k := seq
+				seq++
+				n.Send(&Packet{Src: a.ID, Dst: b.ID, Bytes: 10000,
+					OnDeliver: func(*Packet) { order = append(order, k) }})
+			}
+		})
+	}
+	n.K.Run()
+	if len(order) != 120 {
+		t.Fatalf("delivered %d packets, want 120", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO broken at delivery %d: got packet %d", i, v)
+		}
+	}
+	ifc := a.ifaces[0]
+	if laps := 120 / ifc.q.Cap(); laps < 2 {
+		t.Errorf("ring of %d slots lapped only %d times; waves too small for the test's purpose", ifc.q.Cap(), laps)
 	}
 }
 

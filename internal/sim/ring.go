@@ -1,0 +1,44 @@
+package sim
+
+// Ring is a growable FIFO ring buffer: head/length indices over a
+// power-of-two slice, so Push and Pop are O(1) however deep the backlog
+// grows (no head-copying). It backs Chan's message buffer and netsim's
+// interface output queues. The zero value is an empty ring.
+type Ring[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+// Len reports the number of queued values.
+func (r *Ring[T]) Len() int { return r.n }
+
+// Cap reports the current slot count (0 or a power of two).
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// Push appends v at the tail, growing the ring when full.
+func (r *Ring[T]) Push(v T) {
+	if r.n == len(r.buf) {
+		grown := make([]T, max(8, 2*len(r.buf)))
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+		}
+		r.buf = grown
+		r.head = 0
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
+	r.n++
+}
+
+// Pop removes and returns the head-of-line value. It panics on an empty
+// ring (check Len first), like an out-of-range slice index.
+func (r *Ring[T]) Pop() T {
+	if r.n == 0 {
+		panic("sim: Pop of empty Ring")
+	}
+	v := r.buf[r.head]
+	r.buf[r.head] = *new(T) // do not pin popped values
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return v
+}

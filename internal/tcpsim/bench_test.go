@@ -2,11 +2,39 @@ package tcpsim_test
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/benchkit"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/tcpsim"
 )
 
 // BenchmarkTCPTransfer measures a full end-to-end 1 MiB TCP bulk
 // transfer over a gigabit link; the body lives in internal/benchkit so
 // cmd/gtwbench can run the identical code and emit BENCH_kernel.json.
 func BenchmarkTCPTransfer(b *testing.B) { benchkit.TCPTransfer(b) }
+
+// The flow pool must leave a warmed Transfer with zero allocations per
+// op: sender, Flow handle and send-timestamp ring all recycle, and the
+// packet/event pools below them are already allocation-free. This is
+// the regression gate for BenchmarkTCPTransfer's allocs/op.
+func TestTCPTransferSteadyStateZeroAllocs(t *testing.T) {
+	k := sim.NewKernel()
+	n := netsim.New(k)
+	a := n.AddNode("a")
+	z := n.AddNode("z")
+	n.Connect(a, z, netsim.LinkConfig{Bps: 1e9, Delay: 500 * time.Microsecond, MTU: 9180, QueueBytes: 1 << 30})
+	n.ComputeRoutes()
+	xfer := func() {
+		if _, err := tcpsim.Transfer(n, a.ID, z.ID, 1<<20, tcpsim.Config{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the flow, packet and event pools.
+	xfer()
+	xfer()
+	if avg := testing.AllocsPerRun(10, xfer); avg > 0 {
+		t.Errorf("steady-state TCP transfer allocates %.1f times/op, want 0 (flow pool regression)", avg)
+	}
+}

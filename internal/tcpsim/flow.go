@@ -2,6 +2,7 @@ package tcpsim
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/netsim"
 )
@@ -12,6 +13,59 @@ import (
 // stream). Start schedules the flow; WaitAll drives the kernel.
 type Flow struct {
 	s *sender
+}
+
+// flowFree pools sender records (each carrying its Flow handle and
+// send-timestamp ring) across transfers, so scenarios that open many
+// short flows pay no per-flow allocation in steady state. The pool is
+// shared across kernels; a mutex (rather than sync.Pool) keeps the
+// steady-state alloc count deterministic.
+var flowFree struct {
+	sync.Mutex
+	free []*sender
+}
+
+// getSender returns a reset sender from the pool (keeping its timestamp
+// ring for reuse) or a fresh one.
+func getSender() *sender {
+	flowFree.Lock()
+	var s *sender
+	if n := len(flowFree.free); n > 0 {
+		s = flowFree.free[n-1]
+		flowFree.free[n-1] = nil
+		flowFree.free = flowFree.free[:n-1]
+	}
+	flowFree.Unlock()
+	if s == nil {
+		s = &sender{}
+	}
+	ring := s.sendTS
+	*s = sender{sendTS: ring}
+	s.handle = Flow{s: s}
+	s.dataH = dataPath{s}
+	s.ackH = ackPath{s}
+	return s
+}
+
+// Release returns the flow's state to the package pool. Call it only
+// after the flow has completed (or errored) and its kernel has run dry
+// — e.g. after WaitAll — and never use the handle again afterwards: the
+// state will be reused by a future Start. Releasing is optional (an
+// unreleased flow is simply garbage-collected) and idempotent.
+func (f *Flow) Release() {
+	s := f.s
+	if s == nil {
+		return
+	}
+	flowFree.Lock()
+	defer flowFree.Unlock()
+	// The released check lives under the pool lock so concurrent
+	// Release calls on one flow cannot both insert it.
+	if s.released {
+		return
+	}
+	s.released = true
+	flowFree.free = append(flowFree.free, s)
 }
 
 // Start schedules a TCP transfer without running the kernel. A
@@ -42,26 +96,27 @@ func Start(n *netsim.Network, src, dst netsim.NodeID, nbytes int64, cfg Config) 
 	if ringSize < 4 {
 		ringSize = 4
 	}
-	s := &sender{
-		n: n, src: src, dst: dst, cfg: cfg, total: nbytes,
-		mss:      mss,
-		cwnd:     float64(cfg.InitialCwndSegs * mss),
-		ssthresh: float64(cfg.WindowBytes),
-		sendTS:   make([]tsEntry, ringSize),
-		start:    n.K.Now(),
+	s := getSender()
+	s.n, s.src, s.dst, s.cfg, s.total = n, src, dst, cfg, nbytes
+	s.mss = mss
+	s.cwnd = float64(cfg.InitialCwndSegs * mss)
+	s.ssthresh = float64(cfg.WindowBytes)
+	s.start = n.K.Now()
+	if cap(s.sendTS) >= ringSize {
+		s.sendTS = s.sendTS[:ringSize]
+	} else {
+		s.sendTS = make([]tsEntry, ringSize)
 	}
 	for i := range s.sendTS {
-		s.sendTS[i].seq = -1
+		s.sendTS[i] = tsEntry{seq: -1}
 	}
-	s.dataH = dataPath{s}
-	s.ackH = ackPath{s}
 	if nbytes == 0 {
 		s.done = true
 		s.finish = s.start
-		return &Flow{s: s}, nil
+		return &s.handle, nil
 	}
 	n.K.AtFunc(n.K.Now(), startPump, s, nil)
-	return &Flow{s: s}, nil
+	return &s.handle, nil
 }
 
 // startPump is the closure-free initial-pump trampoline.

@@ -129,6 +129,12 @@ type sender struct {
 	start  sim.Time
 	finish sim.Time
 	err    error
+
+	// handle is the caller-facing Flow, allocated together with the
+	// sender so a pooled sender brings its handle along; released
+	// guards against double-Release.
+	handle   Flow
+	released bool
 }
 
 // Transfer simulates a one-directional TCP bulk transfer of nbytes from
@@ -143,7 +149,13 @@ func Transfer(n *netsim.Network, src, dst netsim.NodeID, nbytes int64, cfg Confi
 	if err := WaitAll(n, f); err != nil {
 		return Result{}, err
 	}
-	return f.Result()
+	res, err := f.Result()
+	if err == nil {
+		// The handle never escapes and the kernel has run dry, so the
+		// flow state can go straight back to the pool.
+		f.Release()
+	}
+	return res, err
 }
 
 // window reports the current effective window in bytes, never less

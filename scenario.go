@@ -46,6 +46,8 @@ type (
 	Section3Report = core.Section3Report
 	// FMRIDataflowReport carries the derived fMRI dataflow timing.
 	FMRIDataflowReport = core.FMRIDataflowReport
+	// FMRISweepReport carries the fMRI dataflow swept over PE counts.
+	FMRISweepReport = core.FMRISweepReport
 	// UpgradeReport carries the OC-12 -> OC-48 upgrade measurements.
 	UpgradeReport = core.UpgradeReport
 	// FutureWorkReport carries the forward-looking analyses.

@@ -59,6 +59,43 @@ func TestScenarioRunFacade(t *testing.T) {
 	}
 }
 
+// The sweep facade: a caller-defined sweep built through the public API
+// shards, merges in grid order and surfaces shard timings, without
+// registry involvement.
+func TestSweepFacade(t *testing.T) {
+	sw := NewSweep("facade-sweep", "doubles its grid values",
+		[]Axis{{Name: "v", Values: []any{1, 2, 3}}},
+		func(ctx context.Context, tb *Testbed, opts Options, pt Point) (any, error) {
+			return pt.Coord(0).(int) * 2, nil
+		},
+		func(opts Options, results []any) (Report, error) {
+			for i, r := range results {
+				if want := (i + 1) * 2; r.(int) != want {
+					t.Errorf("result %d = %v, want %d", i, r, want)
+				}
+			}
+			return &FutureWorkReport{}, nil
+		})
+	if sw.Name() != "facade-sweep" || len(sw.Axes()) != 1 {
+		t.Fatalf("sweep metadata broken: %q, %d axes", sw.Name(), len(sw.Axes()))
+	}
+	rep, err := sw.Run(context.Background(), nil, NewOptions(WithShards(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, ok := rep.(ShardedReport)
+	if !ok {
+		t.Fatalf("sweep report %T does not implement ShardedReport", rep)
+	}
+	points := 0
+	for _, st := range sr.ShardTimings() {
+		points += st.Points
+	}
+	if points != 3 {
+		t.Errorf("shards covered %d points, want 3", points)
+	}
+}
+
 // TestRunAllEveryScenarioConcurrently runs the full registry through
 // the engine at reduced sizes — under -race this is the proof that the
 // engine and every registered scenario are concurrency-clean.
