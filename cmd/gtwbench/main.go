@@ -6,17 +6,26 @@
 //
 // With -bench it instead runs the simulator hot-path microbenchmarks
 // (internal/benchkit: kernel event queue, packet delivery, multi-hop
-// forwarding, end-to-end TCP transfer, single-kernel vs. sharded
-// sweeps) and writes the results as machine-readable JSON, so CI can
-// archive the perf trajectory. With -baseline it additionally compares
-// the fresh run against an earlier BENCH_kernel.json and exits non-zero
-// when any benchmark regressed by more than -maxregress — the scheduled
-// CI job's regression gate.
+// forwarding, end-to-end TCP transfer, single-kernel vs. sharded vs.
+// work-stealing sweeps) and writes the results as machine-readable
+// JSON, so CI can archive the perf trajectory. With -baseline it
+// additionally compares the fresh run against an earlier
+// BENCH_kernel.json and exits non-zero when any benchmark regressed by
+// more than -maxregress — the scheduled CI job's regression gate.
+//
+// -ratchet adds the second, slower-moving gate: a committed best-ever
+// baseline (BENCH_best.json). The single-step -baseline gate only sees
+// the previous run, so a sequence of -24% steps can drift a benchmark
+// arbitrarily slow without ever tripping it; the ratchet compares
+// against the best number ever recorded and fails past -ratchetregress.
+// When a run beats a best-ever entry, the file is rewritten with the
+// improvement (commit the update to advance the ratchet).
 //
 // Usage:
 //
 //	gtwbench [-experiment all|table1|f1|f2|f3|f4|a1|u1|b1|d1|<scenario-name>]
 //	gtwbench -bench [-benchout BENCH_kernel.json] [-baseline old.json] [-maxregress 0.25]
+//	         [-ratchet BENCH_best.json] [-ratchetregress 0.40]
 package main
 
 import (
@@ -63,10 +72,14 @@ func main() {
 		"fail -bench when any benchmark's ns/op exceeds the -baseline value by more than this fraction")
 	benchReps := flag.Int("benchreps", 1,
 		"repeat the -bench suite this many times and keep each benchmark's best run (damps shared-runner noise when gating)")
+	ratchet := flag.String("ratchet", "",
+		"best-ever baseline to gate -bench against and update on improvement (empty = no ratchet)")
+	ratchetRegress := flag.Float64("ratchetregress", 0.40,
+		"fail -bench when any benchmark's ns/op exceeds the -ratchet best-ever value by more than this fraction")
 	flag.Parse()
 
 	if *bench {
-		if err := runBench(*benchOut, *baseline, *maxRegress, *benchReps); err != nil {
+		if err := runBench(*benchOut, *baseline, *maxRegress, *benchReps, *ratchet, *ratchetRegress); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -133,9 +146,10 @@ type benchReport struct {
 }
 
 // runBench executes the benchkit suite (best of reps runs per
-// benchmark), writes the JSON report and, if a baseline is given, gates
-// the run against it.
-func runBench(path, baselinePath string, maxRegress float64, reps int) error {
+// benchmark), writes the JSON report and, if given, gates the run
+// against the last archived baseline (-baseline) and the committed
+// best-ever ratchet (-ratchet).
+func runBench(path, baselinePath string, maxRegress float64, reps int, ratchetPath string, ratchetRegress float64) error {
 	results, err := benchkit.Run()
 	if err != nil {
 		return err
@@ -178,22 +192,92 @@ func runBench(path, baselinePath string, maxRegress float64, reps int) error {
 	}
 	fmt.Printf("wrote %s\n", path)
 
-	if baselinePath == "" {
-		return nil
+	if baselinePath != "" {
+		base, err := readBenchReport(baselinePath)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		regressions := compareBench(base.Results, results, maxRegress)
+		for _, line := range regressions {
+			fmt.Println("REGRESSION:", line)
+		}
+		if len(regressions) > 0 {
+			return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% vs %s",
+				len(regressions), maxRegress*100, baselinePath)
+		}
+		fmt.Printf("no regression > %.0f%% vs %s\n", maxRegress*100, baselinePath)
 	}
-	base, err := readBenchReport(baselinePath)
-	if err != nil {
-		return fmt.Errorf("baseline: %w", err)
+	if ratchetPath != "" {
+		if err := applyRatchet(ratchetPath, results, ratchetRegress); err != nil {
+			return err
+		}
 	}
-	regressions := compareBench(base.Results, results, maxRegress)
+	return nil
+}
+
+// applyRatchet gates results against the committed best-ever baseline
+// and rewrites it when a run improves on it. The ratchet catches slow
+// cumulative drift: each nightly only has to stay within
+// ratchetRegress of the best number ever recorded, not of yesterday's.
+// A missing ratchet file (first run) is seeded from the current
+// results; new benchmarks are adopted into an existing file the same
+// way.
+func applyRatchet(path string, results []benchkit.Result, maxRegress float64) error {
+	best := benchReport{
+		GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+	}
+	if b, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(b, &best); err != nil {
+			return fmt.Errorf("ratchet: %w", err)
+		}
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("ratchet: %w", err)
+	}
+	byName := make(map[string]int, len(best.Results))
+	for i, r := range best.Results {
+		byName[r.Name] = i
+	}
+	improved := 0
+	var regressions []string
+	for _, r := range results {
+		i, ok := byName[r.Name]
+		if !ok {
+			best.Results = append(best.Results, r)
+			improved++
+			continue
+		}
+		b := best.Results[i]
+		if b.NsPerOp <= 0 || r.NsPerOp < b.NsPerOp {
+			best.Results[i] = r
+			improved++
+			continue
+		}
+		if r.NsPerOp > b.NsPerOp*(1+maxRegress) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: best-ever %.1f ns/op -> %.1f ns/op (+%.0f%%, ratchet limit +%.0f%%)",
+					r.Name, b.NsPerOp, r.NsPerOp, (r.NsPerOp/b.NsPerOp-1)*100, maxRegress*100))
+		}
+	}
+	if improved > 0 {
+		b, err := json.MarshalIndent(best, "", "  ")
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("ratchet: %d benchmark(s) improved; updated %s (commit it to advance the ratchet)\n",
+			improved, path)
+	}
 	for _, line := range regressions {
-		fmt.Println("REGRESSION:", line)
+		fmt.Println("RATCHET REGRESSION:", line)
 	}
 	if len(regressions) > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% vs %s",
-			len(regressions), maxRegress*100, baselinePath)
+		return fmt.Errorf("%d benchmark(s) drifted more than %.0f%% past their best-ever in %s",
+			len(regressions), maxRegress*100, path)
 	}
-	fmt.Printf("no regression > %.0f%% vs %s\n", maxRegress*100, baselinePath)
+	fmt.Printf("no drift > %.0f%% past best-ever in %s\n", maxRegress*100, path)
 	return nil
 }
 

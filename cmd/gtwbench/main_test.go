@@ -1,6 +1,7 @@
 package main
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -33,5 +34,80 @@ func TestCompareBenchImprovementIsNotARegression(t *testing.T) {
 	cur := []benchkit.Result{{Name: "BenchmarkA", NsPerOp: 40}}
 	if got := compareBench(base, cur, 0.25); len(got) != 0 {
 		t.Errorf("improvement flagged as regression: %v", got)
+	}
+}
+
+// readRatchet loads the best-ever file a test produced.
+func readRatchet(t *testing.T, path string) map[string]float64 {
+	t.Helper()
+	rep, err := readBenchReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]float64)
+	for _, r := range rep.Results {
+		out[r.Name] = r.NsPerOp
+	}
+	return out
+}
+
+// A missing ratchet file is seeded from the current run; later
+// improvements rewrite the entries they beat and leave the others.
+func TestRatchetSeedsAndAdvancesOnImprovement(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_best.json")
+	first := []benchkit.Result{
+		{Name: "BenchmarkA", NsPerOp: 100},
+		{Name: "BenchmarkB", NsPerOp: 200},
+	}
+	if err := applyRatchet(path, first, 0.40); err != nil {
+		t.Fatalf("seeding run failed: %v", err)
+	}
+	if got := readRatchet(t, path); got["BenchmarkA"] != 100 || got["BenchmarkB"] != 200 {
+		t.Fatalf("seeded ratchet = %v", got)
+	}
+	// A improves, B within band, C is new.
+	second := []benchkit.Result{
+		{Name: "BenchmarkA", NsPerOp: 80},
+		{Name: "BenchmarkB", NsPerOp: 210},
+		{Name: "BenchmarkC", NsPerOp: 50},
+	}
+	if err := applyRatchet(path, second, 0.40); err != nil {
+		t.Fatalf("improving run failed: %v", err)
+	}
+	got := readRatchet(t, path)
+	if got["BenchmarkA"] != 80 {
+		t.Errorf("BenchmarkA best-ever = %v, want advanced to 80", got["BenchmarkA"])
+	}
+	if got["BenchmarkB"] != 200 {
+		t.Errorf("BenchmarkB best-ever = %v, want unchanged 200", got["BenchmarkB"])
+	}
+	if got["BenchmarkC"] != 50 {
+		t.Errorf("BenchmarkC best-ever = %v, want adopted at 50", got["BenchmarkC"])
+	}
+}
+
+// Slow cumulative drift: each step inside the single-step band, but the
+// total past the ratchet limit, must fail against the best-ever file.
+func TestRatchetCatchesCumulativeDrift(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_best.json")
+	if err := applyRatchet(path, []benchkit.Result{{Name: "BenchmarkA", NsPerOp: 100}}, 0.40); err != nil {
+		t.Fatal(err)
+	}
+	// Two +20% steps: each would pass the 25% single-step -baseline
+	// gate (vs the previous run), but the second is +44% past the
+	// best-ever and must trip the ratchet.
+	if err := applyRatchet(path, []benchkit.Result{{Name: "BenchmarkA", NsPerOp: 120}}, 0.40); err != nil {
+		t.Fatalf("first +20%% step tripped the ratchet early: %v", err)
+	}
+	err := applyRatchet(path, []benchkit.Result{{Name: "BenchmarkA", NsPerOp: 144}}, 0.40)
+	if err == nil {
+		t.Fatal("cumulative drift past the ratchet limit not caught")
+	}
+	if !strings.Contains(err.Error(), "best-ever") {
+		t.Errorf("ratchet error does not mention the best-ever baseline: %v", err)
+	}
+	// The drifted value must NOT overwrite the best-ever entry.
+	if got := readRatchet(t, path); got["BenchmarkA"] != 100 {
+		t.Errorf("drift overwrote the best-ever value: %v", got["BenchmarkA"])
 	}
 }

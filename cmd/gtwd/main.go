@@ -1,0 +1,60 @@
+// Command gtwd is the distributed-run coordinator: it serves scenario
+// runs to any number of concurrent clients through a job queue with an
+// LRU result cache, and fans distributable sweep grids out to gtwworker
+// processes over the lease-based JSON/HTTP protocol of internal/dist.
+//
+// Local shards and remote workers steal from the same work queue, so a
+// coordinator with zero workers still completes every job, and each
+// worker that connects simply makes the queue drain faster. Leases not
+// heartbeaten within -lease-ttl are requeued and re-run elsewhere, so
+// killed workers cost time, never results: reports stay byte-identical
+// to a single-kernel run at any worker count.
+//
+// Usage:
+//
+//	gtwd [-addr :9191] [-lease-ttl 10s] [-local-shards 1]
+//	     [-cache 64] [-jobs 4] [-poll 200ms]
+//
+// Then point workers and clients at it:
+//
+//	gtwworker -coordinator http://host:9191
+//	gtwrun -connect http://host:9191 figure1-throughput
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	_ "repro" // register every scenario
+
+	"repro/internal/dist"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("gtwd: ")
+	addr := flag.String("addr", ":9191", "listen address")
+	leaseTTL := flag.Duration("lease-ttl", 10*time.Second,
+		"how long a worker may hold a lease without heartbeating before its points are requeued")
+	localShards := flag.Int("local-shards", 1,
+		"in-process shards the coordinator contributes to every distributed job (negative = pure remote)")
+	cacheSize := flag.Int("cache", 64, "LRU result-cache entries (keyed by scenario+options)")
+	maxJobs := flag.Int("jobs", 4, "concurrently running jobs; further submissions queue FIFO")
+	poll := flag.Duration("poll", 200*time.Millisecond, "idle-poll interval hint for workers")
+	flag.Parse()
+
+	c := dist.New(dist.Config{
+		LeaseTTL:    *leaseTTL,
+		Poll:        *poll,
+		LocalShards: *localShards,
+		CacheSize:   *cacheSize,
+		MaxJobs:     *maxJobs,
+		Logf:        log.Printf,
+	})
+	defer c.Close()
+	log.Printf("coordinator listening on %s (lease ttl %s, %d local shard(s), cache %d)",
+		*addr, *leaseTTL, *localShards, *cacheSize)
+	log.Fatal(http.ListenAndServe(*addr, c.Handler()))
+}

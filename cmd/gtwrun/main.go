@@ -18,13 +18,22 @@
 //	-workers N       engine worker pool size
 //	-shards N        shards per sweep scenario (0 = GOMAXPROCS)
 //	-shared          run every scenario on ONE shared, contended testbed
+//	-contiguous      use PR 3's static contiguous batch dispatch for sweeps
 //	-json            print each report as JSON instead of text
 //	-timeout D       cancel the whole run after D (e.g. 30s)
+//	-serve ADDR      run a distributed-run coordinator instead (see gtwd)
+//	-connect URL     run scenarios through a remote coordinator
 //
 // Sweep scenarios (figure1-throughput, backbone-aggregate,
-// mixed-traffic, fmri-pe-sweep) split their parameter grid across
-// -shards kernels; with -json their envelope carries the per-shard
-// timings. Sharding never changes the report itself.
+// mixed-traffic, fmri-pe-sweep) lease their parameter grid to -shards
+// kernels through a work-stealing queue; with -json their envelope
+// carries the participant count and per-shard timings. Neither
+// sharding nor distribution ever changes the report itself.
+//
+// Distributed mode: -serve ADDR turns gtwrun into a coordinator
+// (gtwd's engine inside gtwrun); -connect URL submits the named
+// scenarios to such a coordinator — with its job queue and result
+// cache — and prints the reports exactly as a local run would.
 package main
 
 import (
@@ -34,11 +43,30 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log"
+	"net/http"
 	"os"
 	"time"
 
 	gtw "repro"
+
+	"repro/internal/dist"
 )
+
+// jsonEnvelope is the -json output schema, one object per scenario.
+// The golden test (testdata/envelope.golden) pins it: the report stays
+// byte-identical whatever the shard/worker count, and the envelope
+// carries the execution metadata around it.
+type jsonEnvelope struct {
+	Scenario  string `json:"scenario"`
+	ElapsedMS int64  `json:"elapsed_ms"`
+	// Workers counts the participants (in-process shards or remote
+	// workers) that evaluated at least one grid point; 0 for non-sweep
+	// scenarios.
+	Workers int               `json:"workers,omitempty"`
+	Shards  []gtw.ShardTiming `json:"shards,omitempty"`
+	Report  json.RawMessage   `json:"report"`
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -65,8 +93,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	shards := fs.Int("shards", 0, "shards per sweep scenario (0 = GOMAXPROCS; reports are shard-count independent)")
 	shared := fs.Bool("shared", false,
 		"run scenarios on one shared testbed (scenarios that drive their own simulation kernel still run privately)")
+	contiguous := fs.Bool("contiguous", false,
+		"dispatch sweep grids as static contiguous batches instead of work-stealing leases (perf comparison)")
 	asJSON := fs.Bool("json", false, "print each report as JSON instead of text")
 	timeout := fs.Duration("timeout", 0, "cancel the whole run after this duration (0 = none)")
+	serve := fs.String("serve", "",
+		"listen address: serve as a distributed-run coordinator instead of running scenarios (see also cmd/gtwd)")
+	connect := fs.String("connect", "",
+		"coordinator URL: run the named scenarios through a remote coordinator instead of in-process")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -79,6 +113,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "  %-24s %s\n", s.Name(), s.Description())
 		}
 		return 0
+	}
+
+	if *serve != "" {
+		return runServe(*serve, stderr)
 	}
 
 	rest := fs.Args()
@@ -120,6 +158,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	opts = append(opts, gtw.WithWAN(oc))
+	if *contiguous {
+		opts = append(opts, gtw.WithDispatcher(gtw.NewContiguousDispatcher))
+	}
 	if *shared {
 		opts = append(opts, gtw.WithTestbed(gtw.NewTestbed(gtw.Config{WAN: oc, Extensions: *ext})))
 	}
@@ -129,6 +170,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *connect != "" {
+		// Options that never reach the wire split two ways: -shards,
+		// -workers and -contiguous only change wall-clock time and may
+		// be dropped silently, but -shared changes report content (the
+		// testbed is this process's memory) — dropping it would hand
+		// back a different report than the one asked for.
+		if *shared {
+			fmt.Fprintln(stderr, "gtwrun: -shared cannot be combined with -connect (a shared testbed cannot cross the wire)")
+			return 2
+		}
+		return runConnect(ctx, *connect, names, gtw.NewOptions(opts...), *asJSON, stdout, stderr)
 	}
 
 	start := time.Now()
@@ -152,19 +206,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stderr, "%-24s marshal: %v\n", r.Name, jerr)
 				continue
 			}
-			// Sweep scenarios carry their per-shard timings in the
-			// envelope (never in the report, which stays byte-identical
-			// to a sequential run).
+			// Sweep scenarios carry their participant count and
+			// per-shard timings in the envelope (never in the report,
+			// which stays byte-identical to a sequential run).
+			env := jsonEnvelope{Scenario: r.Name, ElapsedMS: r.Elapsed.Milliseconds(), Report: b}
 			if sr, ok := r.Report.(gtw.ShardedReport); ok {
-				sb, serr := json.Marshal(sr.ShardTimings())
-				if serr == nil {
-					fmt.Fprintf(stdout, "{\"scenario\":%q,\"elapsed_ms\":%d,\"shards\":%s,\"report\":%s}\n",
-						r.Name, r.Elapsed.Milliseconds(), sb, b)
-					continue
-				}
+				env.Shards = sr.ShardTimings()
+				env.Workers = gtw.CountWorkers(env.Shards)
 			}
-			fmt.Fprintf(stdout, "{\"scenario\":%q,\"elapsed_ms\":%d,\"report\":%s}\n",
-				r.Name, r.Elapsed.Milliseconds(), b)
+			printEnvelope(stdout, stderr, env)
 		} else {
 			fmt.Fprintf(stdout, "=== %s (%s)\n", r.Name, r.Elapsed.Round(time.Millisecond))
 			fmt.Fprint(stdout, r.Report.Text())
@@ -176,6 +226,83 @@ func run(args []string, stdout, stderr io.Writer) int {
 			len(results), time.Since(start).Round(time.Millisecond), failed)
 	}
 	if failed > 0 || err != nil {
+		return 1
+	}
+	return 0
+}
+
+// printEnvelope writes one -json line.
+func printEnvelope(stdout, stderr io.Writer, env jsonEnvelope) {
+	b, err := json.Marshal(env)
+	if err != nil {
+		fmt.Fprintf(stderr, "%-24s marshal: %v\n", env.Scenario, err)
+		return
+	}
+	fmt.Fprintln(stdout, string(b))
+}
+
+// runServe turns gtwrun into a distributed-run coordinator — gtwd's
+// engine with gtwrun's defaults. Blocks until the process is killed.
+func runServe(addr string, stderr io.Writer) int {
+	logger := log.New(stderr, "gtwrun: ", log.LstdFlags)
+	c := dist.New(dist.Config{Logf: logger.Printf})
+	defer c.Close()
+	logger.Printf("coordinator listening on %s (gtwd defaults; run gtwd for tuning flags)", addr)
+	if err := http.ListenAndServe(addr, c.Handler()); err != nil {
+		fmt.Fprintf(stderr, "gtwrun: -serve %s: %v\n", addr, err)
+		return 1
+	}
+	return 0
+}
+
+// runConnect submits the named scenarios to a remote coordinator and
+// prints the reports exactly as a local run would: same text layout,
+// same -json envelope (the report bytes are byte-identical to a local
+// run by the dispatch-invariance guarantee).
+func runConnect(ctx context.Context, url string, names []string, o gtw.Options,
+	asJSON bool, stdout, stderr io.Writer) int {
+	if len(names) == 0 {
+		for _, s := range gtw.Scenarios() {
+			names = append(names, s.Name())
+		}
+	}
+	cl := &dist.Client{Base: url}
+	start := time.Now()
+	failed := 0
+	for _, name := range names {
+		st, err := cl.Run(ctx, dist.JobRequest{Scenario: name, Opts: dist.FromOptions(o)})
+		if err != nil {
+			failed++
+			fmt.Fprintf(stderr, "%-24s FAILED: %v\n", name, err)
+			continue
+		}
+		if st.Status != dist.JobDone {
+			failed++
+			fmt.Fprintf(stderr, "%-24s FAILED after %s: %s\n", name,
+				(time.Duration(st.ElapsedMS) * time.Millisecond).Round(time.Millisecond), st.Error)
+			continue
+		}
+		if asJSON {
+			printEnvelope(stdout, stderr, jsonEnvelope{
+				Scenario: name, ElapsedMS: st.ElapsedMS,
+				Workers: st.Workers, Shards: st.Shards, Report: st.Report,
+			})
+		} else {
+			cached := ""
+			if st.Cached {
+				cached = ", cached"
+			}
+			fmt.Fprintf(stdout, "=== %s (%s via %s%s)\n", name,
+				(time.Duration(st.ElapsedMS) * time.Millisecond).Round(time.Millisecond), url, cached)
+			fmt.Fprint(stdout, st.Text)
+			fmt.Fprintln(stdout)
+		}
+	}
+	if !asJSON {
+		fmt.Fprintf(stdout, "ran %d scenario(s) in %s via %s, %d failed\n",
+			len(names), time.Since(start).Round(time.Millisecond), url, failed)
+	}
+	if failed > 0 {
 		return 1
 	}
 	return 0

@@ -1,12 +1,24 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	gtw "repro"
+
+	"repro/internal/dist"
 )
+
+// -update regenerates the golden files:
+//
+//	go test ./cmd/gtwrun -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
 
 func TestListPrintsEveryRegisteredScenario(t *testing.T) {
 	var out, errOut strings.Builder
@@ -121,6 +133,108 @@ func TestJSONSweepEnvelopeCarriesShardTimings(t *testing.T) {
 	}
 	if seqReport != shardReport {
 		t.Errorf("report changed with shard count:\n%s\nvs\n%s", seqReport, shardReport)
+	}
+}
+
+// The -json envelope schema — including the workers and shards fields
+// added with the distributed run service — is pinned by a golden file,
+// so it cannot drift silently: clients parse these envelopes. Volatile
+// values (wall-clock timings) are normalized; everything else,
+// including the report bytes, must match testdata/envelope.golden
+// byte for byte. Regenerate deliberately with -update.
+func TestJSONEnvelopeGolden(t *testing.T) {
+	var out, errOut strings.Builder
+	// One shard pins the per-shard point assignment (with several, the
+	// work-stealing split is a wall-clock race); the envelope schema
+	// and report bytes are identical at any shard count.
+	args := []string{"-json", "-shards", "1", "backbone-aggregate"}
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("run(%v) = %d, stderr: %s", args, code, errOut.String())
+	}
+	var env map[string]any
+	line := strings.TrimSpace(out.String())
+	if err := json.Unmarshal([]byte(line), &env); err != nil {
+		t.Fatalf("envelope is not valid JSON: %v\n%s", err, line)
+	}
+	// Normalize wall-clock values; everything else is deterministic.
+	env["elapsed_ms"] = 0
+	if shards, ok := env["shards"].([]any); ok {
+		for _, s := range shards {
+			s.(map[string]any)["elapsed_ns"] = 0
+		}
+	}
+	got, err := json.MarshalIndent(env, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "envelope.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("-json envelope drifted from %s (regenerate deliberately with -update):\n--- got\n%s--- want\n%s",
+			golden, got, want)
+	}
+}
+
+// -connect must print the same report a local run produces: the
+// coordinator round-trip (job queue, lease dispatch, JSON transport)
+// may not change a single report byte.
+func TestConnectMatchesLocalRun(t *testing.T) {
+	c := dist.New(dist.Config{LocalShards: 2, Logf: t.Logf})
+	defer c.Close()
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	parseEnvelope := func(args ...string) jsonEnvelope {
+		t.Helper()
+		var out, errOut strings.Builder
+		if code := run(args, &out, &errOut); code != 0 {
+			t.Fatalf("run(%v) = %d, stderr: %s", args, code, errOut.String())
+		}
+		var env jsonEnvelope
+		if err := json.Unmarshal([]byte(strings.TrimSpace(out.String())), &env); err != nil {
+			t.Fatalf("invalid envelope: %v", err)
+		}
+		return env
+	}
+	local := parseEnvelope("-json", "-shards", "1", "backbone-aggregate")
+	remote := parseEnvelope("-json", "-connect", srv.URL, "backbone-aggregate")
+	if !bytes.Equal(local.Report, remote.Report) {
+		t.Errorf("-connect report differs from local run:\n%s\nvs\n%s", remote.Report, local.Report)
+	}
+	if remote.Workers < 1 || len(remote.Shards) == 0 {
+		t.Errorf("-connect envelope missing execution metadata: workers=%d shards=%v",
+			remote.Workers, remote.Shards)
+	}
+	// A second -connect run is served from the coordinator's cache,
+	// still byte-identical.
+	again := parseEnvelope("-json", "-connect", srv.URL, "backbone-aggregate")
+	if !bytes.Equal(local.Report, again.Report) {
+		t.Error("cached -connect report differs from local run")
+	}
+}
+
+// -shared cannot travel to a remote coordinator (the shared testbed is
+// this process's memory, and silently dropping it would change report
+// content), so combining it with -connect is a usage error.
+func TestConnectRejectsShared(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-connect", "http://127.0.0.1:1", "-shared", "table1-model"}, &out, &errOut); code != 2 {
+		t.Errorf("run(-connect -shared) = %d, want usage error 2", code)
+	}
+	if !strings.Contains(errOut.String(), "-shared") {
+		t.Errorf("stderr does not explain the -shared conflict: %s", errOut.String())
 	}
 }
 

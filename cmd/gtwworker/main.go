@@ -1,0 +1,58 @@
+// Command gtwworker is the distributed-run worker: it pulls shard
+// leases from a gtwd (or gtwrun -serve) coordinator, evaluates the
+// leased grid points on a fresh simulation kernel — a fresh testbed per
+// lease, exactly as an in-process shard would — and streams the
+// per-point results back, heartbeating while it computes.
+//
+// The worker's ID is sticky for the process lifetime (or across
+// restarts when pinned with -id): the coordinator's per-worker
+// throughput EWMA hangs off it, steering larger leases to workers that
+// have proven fast — so a worker on beefier hardware automatically
+// takes a larger share of the grid, WANify-style.
+//
+// Usage:
+//
+//	gtwworker -coordinator http://host:9191 [-id worker-a] [-poll 200ms]
+//
+// Run as many as you like; killing one mid-lease only delays its
+// points until the lease TTL expires and they are re-run elsewhere.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"os/signal"
+	"syscall"
+	"time"
+
+	_ "repro" // register every scenario
+
+	"repro/internal/dist"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("gtwworker: ")
+	coord := flag.String("coordinator", "http://127.0.0.1:9191", "coordinator base URL")
+	id := flag.String("id", "", "sticky worker ID (default: random, kept for the process lifetime)")
+	poll := flag.Duration("poll", 200*time.Millisecond,
+		"idle-poll interval (the coordinator's register reply overrides it)")
+	flag.Parse()
+
+	w := dist.NewWorker(*coord)
+	if *id != "" {
+		w.ID = *id
+	}
+	w.Poll = *poll
+	w.Logf = log.Printf
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	log.Printf("worker %s serving %s", w.ID, *coord)
+	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		log.Fatal(err)
+	}
+	log.Printf("worker %s stopped", w.ID)
+}

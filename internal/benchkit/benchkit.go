@@ -203,6 +203,79 @@ func SweepSharded(b *testing.B) {
 	}
 }
 
+// benchSweepUneven builds an intentionally uneven grid, the shape that
+// motivated the work-stealing dispatcher: 16 points where point 0 costs
+// ~10x its siblings (the figure1 pattern — its Ethernet-MTU probe
+// simulates ~10x longer than the other paths). Contiguous batching
+// strands the expensive point in a batch with ordinary ones, so that
+// shard finishes long after the rest went idle; work stealing isolates
+// it and the idle shards drain the remaining points.
+func benchSweepUneven() *core.Sweep {
+	vals := make([]any, 16)
+	for i := range vals {
+		vals[i] = i
+	}
+	return core.NewSweep("bench-sweep-uneven", "uneven-grid dispatch benchmark sweep",
+		[]core.Axis{{Name: "point", Values: vals}},
+		func(ctx context.Context, tb *core.Testbed, opts core.Options, pt core.Point) (any, error) {
+			nbytes := int64(24 << 20) // the ~10x point
+			if pt.Index != 0 {
+				nbytes = int64(24<<20) / 10
+			}
+			return tb.TCPTransfer(core.HostWSJuelich, core.HostWSGMD, nbytes,
+				tcpsim.Config{WindowBytes: 4 << 20})
+		},
+		func(opts core.Options, results []any) (core.Report, error) {
+			rep := &core.Figure1Report{}
+			for i, r := range results {
+				res := r.(tcpsim.Result)
+				rep.Rows = append(rep.Rows, core.Figure1Row{
+					Path: fmt.Sprintf("point %d", i), Mbps: res.ThroughputBps / 1e6,
+				})
+			}
+			return rep, nil
+		})
+}
+
+// runUnevenSweep drives the uneven grid on 4 shards with the given
+// dispatch policy. Four shards on 16 points is the contended shape:
+// every contiguous batch holds 4 points, so the batch containing the
+// 10x point costs ~13 units while its siblings cost 4.
+func runUnevenSweep(b *testing.B, maker core.DispatcherMaker) {
+	sw := benchSweepUneven()
+	opts := core.NewOptions(core.WithShards(4), core.WithDispatcher(maker))
+	rep, err := sw.Run(context.Background(), nil, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if sr, ok := rep.(core.ShardedReport); !ok || len(sr.ShardTimings()) == 0 {
+		b.Fatal("sweep report lost its shard timings")
+	}
+}
+
+// SweepContiguousUneven is the pre-dispatcher baseline on the uneven
+// grid: PR 3's static contiguous batches, which leave three shards idle
+// while the fourth grinds through the batch holding the 10x point.
+func SweepContiguousUneven(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runUnevenSweep(b, core.NewContiguousDispatcher)
+	}
+}
+
+// SweepWorkStealing is the same uneven grid under the work-stealing
+// dispatcher (the default): the expensive point gets a lease of its
+// own and the finished shards steal the rest. The tracked number is
+// this row beating SweepContiguousUneven in BENCH_kernel.json.
+func SweepWorkStealing(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runUnevenSweep(b, core.NewWorkStealingDispatcher)
+	}
+}
+
 // Spec names one benchmark for the gtwbench harness.
 type Spec struct {
 	Name string
@@ -221,6 +294,8 @@ func Specs() []Spec {
 		{"BenchmarkTCPTransfer", TCPTransfer},
 		{"BenchmarkSweepSingleKernel", SweepSingleKernel},
 		{"BenchmarkSweepSharded", SweepSharded},
+		{"BenchmarkSweepContiguousUneven", SweepContiguousUneven},
+		{"BenchmarkSweepWorkStealing", SweepWorkStealing},
 	}
 }
 

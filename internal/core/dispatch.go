@@ -1,0 +1,322 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// This file is the sweep engine's work dispatch layer. PR 3's executor
+// split the grid into contiguous batches, one per shard, fixed up
+// front; grids with very uneven point costs (figure1's Ethernet-MTU
+// probe is ~10x its siblings) left shards idle while one ground through
+// the expensive batch. A Dispatcher instead hands out leases — small
+// contiguous runs of grid points — on demand from one shared queue, so
+// a shard that finishes early steals the next lease instead of going
+// idle. The same queue serves two kinds of consumers: the in-process
+// shard goroutines of Sweep.Run, and the remote workers of
+// internal/dist, which check leases out over HTTP and can die holding
+// them (Requeue puts an expired lease's points back).
+//
+// Per-worker throughput EWMAs steer lease sizes: a worker that has
+// proven fast gets proportionally larger leases, a slow one smaller —
+// the WANify-style runtime balancing from PAPERS.md, applied to grid
+// points instead of bytes.
+
+// Lease is a contiguous run of grid points [Lo, Hi) checked out by one
+// worker. Seq is unique within the dispatcher and is what makes result
+// delivery idempotent: a lease completes at most once.
+type Lease struct {
+	Seq    uint64 `json:"seq"`
+	Lo     int    `json:"lo"`
+	Hi     int    `json:"hi"`
+	Worker string `json:"worker"`
+}
+
+// Points reports the number of grid points in the lease.
+func (l Lease) Points() int { return l.Hi - l.Lo }
+
+// Dispatcher hands out grid-point leases to sweep workers and tracks
+// their completion. Implementations are safe for concurrent use.
+type Dispatcher interface {
+	// Next blocks until a lease is available for the named worker and
+	// returns it, or returns ok=false when every point has completed
+	// (or the dispatcher was closed). In-process shard loops use Next.
+	Next(worker string) (Lease, bool)
+	// TryNext is the non-blocking form for polling callers (the
+	// coordinator's HTTP lease handler): ok=false means nothing is
+	// available right now, not that the sweep is over.
+	TryNext(worker string) (Lease, bool)
+	// Complete marks a lease's points evaluated. elapsed feeds the
+	// worker's throughput estimate. Completing a lease that is not
+	// outstanding (already completed, or requeued after expiry) is a
+	// no-op, which is what makes duplicate result uploads idempotent.
+	Complete(l Lease, elapsed time.Duration)
+	// Requeue returns an outstanding lease's points to the queue — the
+	// dead-worker path. Requeueing a lease that already completed is a
+	// no-op.
+	Requeue(l Lease)
+	// Done is closed when every grid point has completed.
+	Done() <-chan struct{}
+	// Close aborts the dispatch: blocked Next calls return false and no
+	// further leases are handed out. Used on context cancellation.
+	Close()
+}
+
+// DispatcherMaker builds a dispatcher for a sweep run over `points`
+// grid points with `workers` expected concurrent consumers.
+type DispatcherMaker func(points, workers int) Dispatcher
+
+// span is a pending run of grid points [lo, hi).
+type span struct{ lo, hi int }
+
+// pointQueue is the shared lease queue behind both dispatch policies.
+// In work-stealing mode leases are carved off the front of the pending
+// spans at a size steered by the worker's throughput EWMA; in
+// contiguous mode the spans are pre-split into one batch per worker and
+// handed out whole (PR 3's static policy, kept for comparison — the
+// benchkit suite races the two on an uneven grid).
+type pointQueue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	spans       []span // pending work, front is handed out next
+	total       int
+	completed   int
+	workers     int // expected concurrency (lease sizing hint)
+	presplit    bool
+	seq         uint64
+	outstanding map[uint64]Lease
+	rate        map[string]float64 // per-worker EWMA, points/sec
+	closed      bool
+	done        chan struct{}
+}
+
+// rateAlpha is the EWMA smoothing factor for per-worker throughput.
+const rateAlpha = 0.4
+
+func newPointQueue(points, workers int, presplit bool) *pointQueue {
+	if workers < 1 {
+		workers = 1
+	}
+	q := &pointQueue{
+		total:       points,
+		workers:     workers,
+		presplit:    presplit,
+		outstanding: make(map[uint64]Lease),
+		rate:        make(map[string]float64),
+		done:        make(chan struct{}),
+	}
+	q.cond = sync.NewCond(&q.mu)
+	if presplit {
+		// PR 3's contiguous batches: worker s's batch is [lo, hi).
+		for s := 0; s < workers && s < points; s++ {
+			lo := s * points / workers
+			hi := (s + 1) * points / workers
+			if hi > lo {
+				q.spans = append(q.spans, span{lo, hi})
+			}
+		}
+	} else if points > 0 {
+		q.spans = []span{{0, points}}
+	}
+	if points == 0 {
+		close(q.done)
+	}
+	return q
+}
+
+// NewWorkStealingDispatcher builds the default dispatcher: one shared
+// point queue all workers lease from, with EWMA-steered lease sizes.
+func NewWorkStealingDispatcher(points, workers int) Dispatcher {
+	return newPointQueue(points, workers, false)
+}
+
+// NewContiguousDispatcher builds the static pre-split dispatcher: the
+// grid is cut into one contiguous batch per worker up front, as the
+// PR 3 executor did. It exists for comparison (benchkit races it
+// against work stealing on an uneven grid) and for callers that want
+// deterministic shard->points assignment.
+func NewContiguousDispatcher(points, workers int) Dispatcher {
+	return newPointQueue(points, workers, true)
+}
+
+// leaseSizeLocked picks how many points to carve for worker w.
+//
+// The base size halves the remaining work across the expected workers
+// (remaining/(2*workers), at least 1): early leases are big enough to
+// amortize dispatch, late leases shrink toward single points so the
+// tail balances. A worker with a throughput history gets the base
+// scaled by its speed relative to the fleet mean, clamped to [1, 2x] —
+// faster workers take proportionally larger bites.
+func (q *pointQueue) leaseSizeLocked(w string, remaining int) int {
+	base := (remaining + 2*q.workers - 1) / (2 * q.workers)
+	if base < 1 {
+		base = 1
+	}
+	if r, ok := q.rate[w]; ok && r > 0 {
+		var sum float64
+		for _, v := range q.rate {
+			sum += v
+		}
+		mean := sum / float64(len(q.rate))
+		if mean > 0 {
+			scaled := int(float64(base)*(r/mean) + 0.5)
+			if scaled < 1 {
+				scaled = 1
+			}
+			if max := 2 * base; scaled > max {
+				scaled = max
+			}
+			base = scaled
+		}
+	}
+	if base > remaining {
+		base = remaining
+	}
+	return base
+}
+
+// tryNextLocked carves the next lease, or returns false if no work is
+// pending right now.
+func (q *pointQueue) tryNextLocked(worker string) (Lease, bool) {
+	if q.closed || len(q.spans) == 0 {
+		return Lease{}, false
+	}
+	sp := q.spans[0]
+	var l Lease
+	if q.presplit {
+		// Contiguous mode: the whole batch, as pre-split.
+		q.spans = q.spans[1:]
+		l = Lease{Lo: sp.lo, Hi: sp.hi}
+	} else {
+		n := q.leaseSizeLocked(worker, sp.hi-sp.lo)
+		l = Lease{Lo: sp.lo, Hi: sp.lo + n}
+		if sp.lo+n == sp.hi {
+			q.spans = q.spans[1:]
+		} else {
+			q.spans[0].lo = sp.lo + n
+		}
+	}
+	q.seq++
+	l.Seq = q.seq
+	l.Worker = worker
+	q.outstanding[l.Seq] = l
+	return l, true
+}
+
+// TryNext implements Dispatcher.
+func (q *pointQueue) TryNext(worker string) (Lease, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.tryNextLocked(worker)
+}
+
+// Next implements Dispatcher.
+func (q *pointQueue) Next(worker string) (Lease, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if l, ok := q.tryNextLocked(worker); ok {
+			return l, true
+		}
+		if q.closed || q.completed == q.total {
+			return Lease{}, false
+		}
+		// Outstanding leases may complete (ending the sweep) or be
+		// requeued (bringing new work); wait for either.
+		q.cond.Wait()
+	}
+}
+
+// completeReporter is the optional dispatcher extension SweepRun uses
+// to learn whether a Complete actually retired the lease (needed for
+// idempotent remote result delivery).
+type completeReporter interface {
+	completeReport(l Lease, elapsed time.Duration) bool
+}
+
+// Complete implements Dispatcher.
+func (q *pointQueue) Complete(l Lease, elapsed time.Duration) {
+	q.completeReport(l, elapsed)
+}
+
+// completeReport is Complete, reporting whether the lease was still
+// outstanding (false: duplicate upload or expired-then-reassigned).
+func (q *pointQueue) completeReport(l Lease, elapsed time.Duration) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, ok := q.outstanding[l.Seq]; !ok {
+		return false // duplicate or expired-then-reassigned: ignore
+	}
+	delete(q.outstanding, l.Seq)
+	q.completed += l.Points()
+	if secs := elapsed.Seconds(); secs > 0 {
+		pps := float64(l.Points()) / secs
+		if old, ok := q.rate[l.Worker]; ok {
+			q.rate[l.Worker] = (1-rateAlpha)*old + rateAlpha*pps
+		} else {
+			q.rate[l.Worker] = pps
+		}
+	}
+	if q.completed == q.total {
+		close(q.done)
+	}
+	q.cond.Broadcast()
+	return true
+}
+
+// Requeue implements Dispatcher.
+func (q *pointQueue) Requeue(l Lease) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, ok := q.outstanding[l.Seq]; !ok {
+		return // completed in the meantime: nothing to retry
+	}
+	delete(q.outstanding, l.Seq)
+	// Front of the queue: retried points should not wait behind the
+	// whole remaining grid.
+	q.spans = append([]span{{l.Lo, l.Hi}}, q.spans...)
+	q.cond.Broadcast()
+}
+
+// Done implements Dispatcher.
+func (q *pointQueue) Done() <-chan struct{} { return q.done }
+
+// Close implements Dispatcher.
+func (q *pointQueue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// SeedRate primes a worker's throughput EWMA (points/sec) from history
+// observed outside this dispatch — the coordinator carries worker rates
+// across jobs so a proven-fast worker gets large leases from its first
+// ask of a new sweep.
+func (q *pointQueue) SeedRate(worker string, pointsPerSec float64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if pointsPerSec > 0 {
+		q.rate[worker] = pointsPerSec
+	}
+}
+
+// Rates snapshots the per-worker throughput EWMAs.
+func (q *pointQueue) Rates() map[string]float64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[string]float64, len(q.rate))
+	for w, r := range q.rate {
+		out[w] = r
+	}
+	return out
+}
+
+// RateKeeper is the optional dispatcher extension for carrying worker
+// throughput estimates across runs; both built-in dispatchers implement
+// it.
+type RateKeeper interface {
+	SeedRate(worker string, pointsPerSec float64)
+	Rates() map[string]float64
+}

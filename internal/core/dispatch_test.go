@@ -1,0 +1,162 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// Every grid point must be leased exactly once when workers drain the
+// queue concurrently, whatever the interleaving.
+func TestWorkStealingLeasesCoverGridExactlyOnce(t *testing.T) {
+	const points, workers = 97, 5
+	d := NewWorkStealingDispatcher(points, workers)
+	var mu sync.Mutex
+	seen := make([]int, points)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := string(rune('a' + w))
+			for {
+				l, ok := d.Next(name)
+				if !ok {
+					return
+				}
+				mu.Lock()
+				for i := l.Lo; i < l.Hi; i++ {
+					seen[i]++
+				}
+				mu.Unlock()
+				d.Complete(l, time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i, n := range seen {
+		if n != 1 {
+			t.Errorf("point %d leased %d times, want exactly once", i, n)
+		}
+	}
+	select {
+	case <-d.Done():
+	default:
+		t.Error("Done not closed after all points completed")
+	}
+}
+
+// A requeued lease's points must come back out of the queue (the
+// dead-worker path), and completing the stale lease afterwards must be
+// ignored.
+func TestRequeueRevivesPointsAndStaleCompleteIsIgnored(t *testing.T) {
+	d := NewWorkStealingDispatcher(4, 1)
+	l1, ok := d.TryNext("w1")
+	if !ok {
+		t.Fatal("no first lease")
+	}
+	d.Requeue(l1)
+	// The same points come back under a new lease seq.
+	l2, ok := d.TryNext("w2")
+	if !ok {
+		t.Fatal("requeued points not available")
+	}
+	if l2.Lo != l1.Lo {
+		t.Errorf("requeued lease starts at %d, want the retried point %d first", l2.Lo, l1.Lo)
+	}
+	if l2.Seq == l1.Seq {
+		t.Error("requeued lease reused the stale seq")
+	}
+	// The dead worker's late upload: completing the stale lease must
+	// not count points twice.
+	q := d.(interface {
+		completeReport(Lease, time.Duration) bool
+	})
+	if q.completeReport(l1, time.Millisecond) {
+		t.Error("stale lease completed; duplicate uploads would double-count")
+	}
+	if !q.completeReport(l2, time.Millisecond) {
+		t.Error("live lease refused")
+	}
+}
+
+// Contiguous mode must reproduce PR 3's static batch split: worker s's
+// batch is [s*n/shards, (s+1)*n/shards).
+func TestContiguousDispatcherPreSplitsBatches(t *testing.T) {
+	const points, workers = 10, 3
+	d := NewContiguousDispatcher(points, workers)
+	for s := 0; s < workers; s++ {
+		l, ok := d.TryNext("w")
+		if !ok {
+			t.Fatalf("batch %d missing", s)
+		}
+		wantLo, wantHi := s*points/workers, (s+1)*points/workers
+		if l.Lo != wantLo || l.Hi != wantHi {
+			t.Errorf("batch %d = [%d,%d), want [%d,%d)", s, l.Lo, l.Hi, wantLo, wantHi)
+		}
+		d.Complete(l, time.Millisecond)
+	}
+	if _, ok := d.TryNext("w"); ok {
+		t.Error("extra batch after the pre-split was drained")
+	}
+}
+
+// A worker with a faster throughput EWMA must get a larger lease than a
+// slower one — the WANify-style steering.
+func TestLeaseSizeFollowsThroughputEWMA(t *testing.T) {
+	d := NewWorkStealingDispatcher(64, 2)
+	rk := d.(RateKeeper)
+	rk.SeedRate("fast", 1000)
+	rk.SeedRate("slow", 10)
+	lf, ok := d.TryNext("fast")
+	if !ok {
+		t.Fatal("no lease for fast worker")
+	}
+	ls, ok := d.TryNext("slow")
+	if !ok {
+		t.Fatal("no lease for slow worker")
+	}
+	if lf.Points() <= ls.Points() {
+		t.Errorf("fast worker leased %d points, slow %d; EWMA steering should favor the fast one",
+			lf.Points(), ls.Points())
+	}
+}
+
+// Close must unblock workers parked in Next (the cancellation path).
+func TestCloseUnblocksNext(t *testing.T) {
+	d := NewWorkStealingDispatcher(1, 2)
+	l, _ := d.TryNext("holder") // drain the only point, don't complete it
+	_ = l
+	unblocked := make(chan bool, 1)
+	go func() {
+		_, ok := d.Next("waiter")
+		unblocked <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	d.Close()
+	select {
+	case ok := <-unblocked:
+		if ok {
+			t.Error("Next returned a lease from a closed dispatcher")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Next still blocked after Close")
+	}
+}
+
+// Rates must survive a run so the coordinator can seed the next job's
+// dispatcher with what it learned.
+func TestRatesSnapshotAfterCompletes(t *testing.T) {
+	d := NewWorkStealingDispatcher(8, 2)
+	for {
+		l, ok := d.TryNext("w")
+		if !ok {
+			break
+		}
+		d.Complete(l, 100*time.Millisecond)
+	}
+	rates := d.(RateKeeper).Rates()
+	if rates["w"] <= 0 {
+		t.Errorf("worker rate = %v, want a positive points/sec EWMA", rates["w"])
+	}
+}

@@ -79,6 +79,10 @@ type Options struct {
 	// not exceeding a Workers bound, capped at the grid size).
 	// Non-sweep scenarios ignore it.
 	Shards int
+	// Dispatcher builds the lease queue sweeps hand their grid out
+	// through (default NewWorkStealingDispatcher). Dispatch policy
+	// changes only wall-clock time, never report bytes.
+	Dispatcher DispatcherMaker
 }
 
 // Option mutates Options (the functional-options pattern).
@@ -129,6 +133,15 @@ func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
 // changes only wall-clock time: shard results merge in grid order, so
 // reports stay byte-identical.
 func WithShards(n int) Option { return func(o *Options) { o.Shards = n } }
+
+// WithDispatcher selects how sweeps lease their grid points to shards
+// (and, through internal/dist, to remote workers). The default is
+// NewWorkStealingDispatcher; NewContiguousDispatcher restores PR 3's
+// static batch split. Dispatch policy changes only wall-clock time:
+// results always merge in grid order, so reports stay byte-identical.
+func WithDispatcher(maker DispatcherMaker) Option {
+	return func(o *Options) { o.Dispatcher = maker }
+}
 
 // funcScenario adapts a function to the Scenario interface.
 type funcScenario struct {
@@ -219,6 +232,18 @@ func Run(ctx context.Context, name string, opts ...Option) (Report, error) {
 		return nil, fmt.Errorf("core: unknown scenario %q", name)
 	}
 	res := runOne(ctx, s, NewOptions(opts...))
+	return res.Report, res.Err
+}
+
+// RunWith is Run with a fully built Options value — the entry point for
+// callers (the internal/dist coordinator) that carry Options across a
+// wire instead of composing functional options.
+func RunWith(ctx context.Context, name string, o Options) (Report, error) {
+	s, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown scenario %q", name)
+	}
+	res := runOne(ctx, s, o)
 	return res.Report, res.Err
 }
 

@@ -2,7 +2,9 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"reflect"
 	"runtime"
 	"sync"
 	"time"
@@ -15,10 +17,14 @@ import (
 // simulation kernel on one core. A Sweep instead describes the grid
 // declaratively (Axes), evaluates one grid point at a time (PointFunc)
 // and reassembles the point results into the ordinary scenario Report
-// (MergeFunc). The executor splits the grid across shards, each shard
-// owning a fresh sim.Kernel/netsim.Network/Testbed, and merges results
-// in grid order — never completion order — so a sharded run's report is
-// byte-identical to the sequential one.
+// (MergeFunc). The executor leases batches of grid points to shards
+// through a work-stealing Dispatcher (dispatch.go) — each shard owning
+// a fresh sim.Kernel/netsim.Network/Testbed — and merges results in
+// grid order — never completion order — so a run's report is
+// byte-identical to the sequential one at any shard or worker count.
+// The same dispatcher queue serves remote workers (internal/dist),
+// which lease points over HTTP; SweepRun is the executor core shared by
+// both paths.
 //
 // A Sweep is an ordinary Scenario: register it with MustRegister and it
 // runs through Run/RunAll/cmd/gtwrun with no special cases.
@@ -62,6 +68,7 @@ type Sweep struct {
 	runPoint   PointFunc
 	merge      MergeFunc
 	noTestbed  bool
+	wireType   reflect.Type
 }
 
 // NoShardTestbed declares that every point function builds its own
@@ -113,10 +120,14 @@ func (sw *Sweep) Points() []Point {
 	return pts
 }
 
-// ShardTiming records one shard's share of a sweep run.
+// ShardTiming records one shard's — or, in a distributed run, one
+// remote worker's — share of a sweep run.
 type ShardTiming struct {
 	// Shard is the shard index.
 	Shard int `json:"shard"`
+	// Worker names the participant: "shard-N" for in-process shards,
+	// the sticky worker ID for remote workers.
+	Worker string `json:"worker,omitempty"`
 	// Points is the number of grid points the shard evaluated.
 	Points int `json:"points"`
 	// ElapsedNS is the shard's wall-clock time in nanoseconds.
@@ -125,6 +136,19 @@ type ShardTiming struct {
 
 // Elapsed returns the shard's wall-clock time.
 func (st ShardTiming) Elapsed() time.Duration { return time.Duration(st.ElapsedNS) }
+
+// CountWorkers counts the participants that evaluated at least one
+// grid point — the "workers" figure of -json envelopes and dist job
+// statuses.
+func CountWorkers(timings []ShardTiming) int {
+	n := 0
+	for _, t := range timings {
+		if t.Points > 0 {
+			n++
+		}
+	}
+	return n
+}
 
 // ShardedReport is implemented by reports coming out of a sweep run: the
 // merged scenario report plus the per-shard execution timings. Text and
@@ -149,10 +173,13 @@ func (r *sweepReport) ShardTimings() []ShardTiming { return r.timings }
 // merge in grid order.
 //
 // Sharding: opts.Shards bounds the shard count (0 = GOMAXPROCS, capped
-// at the number of points). Each shard evaluates a contiguous batch of
-// the grid on its own fresh testbed built from opts — except in shared
-// mode (opts.Testbed non-nil), where every shard uses the one shared
-// testbed so co-allocation stays common and the backbone counters keep
+// at the number of points). Shards lease batches of points from a
+// shared work-stealing queue (or the dispatcher installed by
+// WithDispatcher) — a shard that drains its lease steals the next one,
+// so uneven point costs no longer leave shards idle. Each shard runs on
+// its own fresh testbed built from opts — except in shared mode
+// (opts.Testbed non-nil), where every shard uses the one shared testbed
+// so co-allocation stays common and the backbone counters keep
 // accumulating across scenarios; shards then contend on the testbed's
 // internal locks instead of running truly in parallel. A testbed passed
 // through the tb argument alone serves an unsharded run (the engine's
@@ -161,7 +188,9 @@ func (r *sweepReport) ShardTimings() []ShardTiming { return r.timings }
 //
 // Cancellation stops shards between points and Run returns ctx's error;
 // a panicking point is contained and reported as that point's error.
-// The first error in grid order wins.
+// The first error in grid order wins. Dispatch policy changes only
+// wall-clock time: results merge in grid order, so the report stays
+// byte-identical whatever the shard count or dispatcher.
 func (sw *Sweep) Run(ctx context.Context, tb *Testbed, opts Options) (Report, error) {
 	pts := sw.Points()
 	if len(pts) == 0 {
@@ -189,18 +218,21 @@ func (sw *Sweep) Run(ctx context.Context, tb *Testbed, opts Options) (Report, er
 		shardCfg = tb.Cfg
 	}
 
-	results := make([]any, len(pts))
-	errs := make([]error, len(pts))
-	timings := make([]ShardTiming, shards)
+	maker := opts.Dispatcher
+	if maker == nil {
+		maker = NewWorkStealingDispatcher
+	}
+	run := NewSweepRun(sw, opts, maker(len(pts), shards), shards)
+	// Cancellation closes the dispatcher, unblocking shards waiting on
+	// Next; the per-point ctx check records the error for points still
+	// held in leases.
+	stop := context.AfterFunc(ctx, run.d.Close)
+	defer stop()
 	var wg sync.WaitGroup
 	for s := 0; s < shards; s++ {
-		// Contiguous batches in grid order: shard s gets [lo, hi).
-		lo := s * len(pts) / shards
-		hi := (s + 1) * len(pts) / shards
 		wg.Add(1)
-		go func(s, lo, hi int) {
+		go func(s int) {
 			defer wg.Done()
-			start := time.Now()
 			shardTb := opts.Testbed // shared mode: every shard uses the one testbed
 			if shardTb == nil && shards == 1 {
 				shardTb = tb // unsharded: any testbed the caller handed in
@@ -208,27 +240,11 @@ func (sw *Sweep) Run(ctx context.Context, tb *Testbed, opts Options) (Report, er
 			if shardTb == nil && !sw.noTestbed {
 				shardTb = New(shardCfg)
 			}
-			for i := lo; i < hi; i++ {
-				if err := ctx.Err(); err != nil {
-					errs[i] = err
-					continue
-				}
-				results[i], errs[i] = sw.runOnePoint(ctx, shardTb, opts, pts[i])
-			}
-			timings[s] = ShardTiming{Shard: s, Points: hi - lo, ElapsedNS: time.Since(start).Nanoseconds()}
-		}(s, lo, hi)
+			run.RunShard(ctx, s, fmt.Sprintf("shard-%d", s), shardTb)
+		}(s)
 	}
 	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("core: sweep %q point %d: %w", sw.name, i, err)
-		}
-	}
-	rep, err := sw.merge(opts, results)
-	if err != nil {
-		return nil, err
-	}
-	return &sweepReport{Report: rep, timings: timings}, nil
+	return run.Report(ctx)
 }
 
 // runOnePoint evaluates a single grid point with panic containment, so
@@ -241,4 +257,255 @@ func (sw *Sweep) runOnePoint(ctx context.Context, tb *Testbed, opts Options, pt 
 		}
 	}()
 	return sw.runPoint(ctx, tb, opts, pt)
+}
+
+// NewShardTestbed builds the fresh per-shard (or, remotely, per-lease)
+// testbed a sweep's points run on, or nil for sweeps that declared
+// NoShardTestbed. The coordinator and workers of internal/dist use it
+// so their testbeds match what Sweep.Run would have built locally.
+func (sw *Sweep) NewShardTestbed(opts Options) *Testbed {
+	if sw.noTestbed {
+		return nil
+	}
+	return New(Config{WAN: opts.WAN, Extensions: opts.Extensions})
+}
+
+// ------------------------------------------------------- executor core --
+
+// SweepRun is one in-flight evaluation of a sweep's grid: the results
+// array, the dispatcher feeding it, and the per-participant timings.
+// Sweep.Run drives it with in-process shards only; the internal/dist
+// coordinator additionally delivers remotely evaluated leases into the
+// same run, so local shards and remote workers steal from one queue.
+type SweepRun struct {
+	sw   *Sweep
+	opts Options
+	pts  []Point
+	d    Dispatcher
+
+	mu      sync.Mutex
+	results []any
+	errs    []error
+	visited []bool
+	local   []ShardTiming           // one slot per in-process shard
+	remote  map[string]*ShardTiming // aggregated per remote worker
+	order   []string                // remote workers in first-delivery order
+}
+
+// NewSweepRun prepares an execution of sw's grid with localShards
+// in-process shard slots. The dispatcher d hands out the leases; it
+// must have been built for len(sw.Points()) points.
+func NewSweepRun(sw *Sweep, opts Options, d Dispatcher, localShards int) *SweepRun {
+	pts := sw.Points()
+	return &SweepRun{
+		sw: sw, opts: opts, pts: pts, d: d,
+		results: make([]any, len(pts)),
+		errs:    make([]error, len(pts)),
+		visited: make([]bool, len(pts)),
+		local:   make([]ShardTiming, localShards),
+		remote:  make(map[string]*ShardTiming),
+	}
+}
+
+// Dispatcher returns the queue feeding this run (the coordinator leases
+// from it on behalf of remote workers).
+func (r *SweepRun) Dispatcher() Dispatcher { return r.d }
+
+// RunShard is one in-process shard loop: lease points, evaluate them on
+// tb, complete the lease, repeat until the grid is drained. shard is
+// the timing slot index, worker the dispatch identity.
+func (r *SweepRun) RunShard(ctx context.Context, shard int, worker string, tb *Testbed) {
+	start := time.Now()
+	points := 0
+	for {
+		l, ok := r.d.Next(worker)
+		if !ok {
+			break
+		}
+		leaseStart := time.Now()
+		for i := l.Lo; i < l.Hi; i++ {
+			var res any
+			var err error
+			if err = ctx.Err(); err == nil {
+				res, err = r.sw.runOnePoint(ctx, tb, r.opts, r.pts[i])
+			}
+			r.mu.Lock()
+			r.results[i], r.errs[i] = res, err
+			r.visited[i] = true
+			r.mu.Unlock()
+		}
+		points += l.Points()
+		r.d.Complete(l, time.Since(leaseStart))
+	}
+	elapsed := time.Since(start).Nanoseconds()
+	if elapsed < 1 {
+		elapsed = 1
+	}
+	r.mu.Lock()
+	if shard >= 0 && shard < len(r.local) {
+		r.local[shard] = ShardTiming{Shard: shard, Worker: worker, Points: points, ElapsedNS: elapsed}
+	}
+	r.mu.Unlock()
+}
+
+// Deliver records a remotely evaluated lease: one result or error
+// string per point of [l.Lo, l.Hi), in grid order. The lease is
+// completed against the dispatcher; a lease that is no longer
+// outstanding (duplicate upload, or expired and re-run elsewhere) is
+// ignored and Deliver reports false.
+func (r *SweepRun) Deliver(l Lease, vals []any, errStrs []string, elapsed time.Duration) bool {
+	if len(vals) != l.Points() || len(errStrs) != l.Points() {
+		return false
+	}
+	// Claim the lease first: Complete is the idempotency point, and it
+	// refuses leases that already completed or were requeued.
+	if !r.claim(l, elapsed) {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k := 0; k < l.Points(); k++ {
+		i := l.Lo + k
+		r.results[i] = vals[k]
+		if errStrs[k] != "" {
+			r.errs[i] = fmt.Errorf("worker %s: %s", l.Worker, errStrs[k])
+		} else {
+			r.errs[i] = nil
+		}
+		r.visited[i] = true
+	}
+	t := r.remote[l.Worker]
+	if t == nil {
+		t = &ShardTiming{Worker: l.Worker}
+		r.remote[l.Worker] = t
+		r.order = append(r.order, l.Worker)
+	}
+	t.Points += l.Points()
+	t.ElapsedNS += elapsed.Nanoseconds()
+	return true
+}
+
+// claim completes l against the dispatcher and reports whether this
+// call was the one that retired it (false: duplicate or expired).
+func (r *SweepRun) claim(l Lease, elapsed time.Duration) bool {
+	if cr, ok := r.d.(completeReporter); ok {
+		return cr.completeReport(l, elapsed)
+	}
+	r.d.Complete(l, elapsed)
+	return true
+}
+
+// Wait blocks until every grid point has completed or ctx is done.
+func (r *SweepRun) Wait(ctx context.Context) error {
+	select {
+	case <-r.d.Done():
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Timings returns the per-participant timings: in-process shards first
+// (by slot), then remote workers in first-delivery order, with Shard
+// indices assigned sequentially.
+func (r *SweepRun) Timings() []ShardTiming {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ShardTiming, 0, len(r.local)+len(r.remote))
+	out = append(out, r.local...)
+	for _, w := range r.order {
+		t := *r.remote[w]
+		t.Shard = len(out)
+		out = append(out, t)
+	}
+	return out
+}
+
+// Report merges the results in grid order and decorates the merged
+// report with the run's timings. The first error in grid order wins; a
+// point never evaluated (the run was cancelled or abandoned) reports
+// ctx's error if there is one.
+func (r *SweepRun) Report(ctx context.Context) (Report, error) {
+	r.mu.Lock()
+	for i := range r.pts {
+		err := r.errs[i]
+		if err == nil && !r.visited[i] {
+			if err = ctx.Err(); err == nil {
+				err = fmt.Errorf("point never evaluated (dispatch abandoned)")
+			}
+		}
+		if err != nil {
+			r.mu.Unlock()
+			return nil, fmt.Errorf("core: sweep %q point %d: %w", r.sw.name, i, err)
+		}
+	}
+	results := make([]any, len(r.results))
+	copy(results, r.results)
+	r.mu.Unlock()
+	rep, err := r.sw.merge(r.opts, results)
+	if err != nil {
+		return nil, err
+	}
+	return &sweepReport{Report: rep, timings: r.Timings()}, nil
+}
+
+// --------------------------------------------------- distributed wire --
+
+// WirePoint declares the concrete type a point result decodes into when
+// it travels between a remote worker and the coordinator (JSON over
+// HTTP). proto is a zero value of the per-point result type — e.g.
+// WirePoint(Figure1Row{}). Sweeps without a wire type are not
+// distributable and always run in-process. Returns the sweep for
+// chaining, like NoShardTestbed.
+func (sw *Sweep) WirePoint(proto any) *Sweep {
+	sw.wireType = reflect.TypeOf(proto)
+	return sw
+}
+
+// Distributable reports whether the sweep declared a wire type for its
+// point results and so can run across remote workers.
+func (sw *Sweep) Distributable() bool { return sw.wireType != nil }
+
+// EncodePoint marshals one point result for the wire.
+func (sw *Sweep) EncodePoint(v any) ([]byte, error) { return json.Marshal(v) }
+
+// DecodePoint unmarshals one point result into the declared wire type,
+// so MergeFunc's type assertions see the same concrete type a local
+// evaluation would have produced. encoding/json round-trips float64
+// exactly (shortest-representation encoding), which is what keeps a
+// distributed report byte-identical to a local one.
+func (sw *Sweep) DecodePoint(b []byte) (any, error) {
+	if sw.wireType == nil {
+		return nil, fmt.Errorf("core: sweep %q has no wire type (WirePoint not declared)", sw.name)
+	}
+	pv := reflect.New(sw.wireType)
+	if err := json.Unmarshal(b, pv.Interface()); err != nil {
+		return nil, fmt.Errorf("core: sweep %q: decoding point result: %w", sw.name, err)
+	}
+	return pv.Elem().Interface(), nil
+}
+
+// RunLease evaluates grid points [lo, hi) the way a remote worker does:
+// on a fresh testbed built for this lease (nil for NoShardTestbed
+// sweeps), results and error strings in grid order. Panics are
+// contained per point, like in-process shards.
+func (sw *Sweep) RunLease(ctx context.Context, opts Options, lo, hi int) ([]any, []string, error) {
+	pts := sw.Points()
+	if lo < 0 || hi > len(pts) || lo >= hi {
+		return nil, nil, fmt.Errorf("core: sweep %q: lease [%d,%d) outside grid of %d points", sw.name, lo, hi, len(pts))
+	}
+	tb := sw.NewShardTestbed(opts)
+	vals := make([]any, hi-lo)
+	errStrs := make([]string, hi-lo)
+	for i := lo; i < hi; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		res, err := sw.runOnePoint(ctx, tb, opts, pts[i])
+		vals[i-lo] = res
+		if err != nil {
+			errStrs[i-lo] = err.Error()
+		}
+	}
+	return vals, errStrs, nil
 }

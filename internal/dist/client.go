@@ -1,0 +1,127 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client is the coordinator's job-side API: submit scenario runs, poll
+// them to completion. cmd/gtwrun's -connect mode and the test suite
+// drive coordinators through it.
+type Client struct {
+	// Base is the coordinator URL, e.g. "http://127.0.0.1:9191".
+	Base string
+	// HTTP is the client to use (default: 30s-timeout client).
+	HTTP *http.Client
+	// Poll is the job-poll interval (default 100ms).
+	Poll time.Duration
+}
+
+// defaultHTTPClient serves Clients and Workers that did not bring
+// their own; a shared value keeps concurrent use race-free.
+var defaultHTTPClient = &http.Client{Timeout: 30 * time.Second}
+
+func (cl *Client) http() *http.Client {
+	if cl.HTTP != nil {
+		return cl.HTTP
+	}
+	return defaultHTTPClient
+}
+
+func (cl *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, cl.Base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := cl.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("dist: %s %s: %s: %s", method, path, resp.Status, bytes.TrimSpace(msg))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts a job and returns its (possibly already finished)
+// status.
+func (cl *Client) Submit(ctx context.Context, req JobRequest) (*JobStatus, error) {
+	var st JobStatus
+	if err := cl.do(ctx, http.MethodPost, "/v1/jobs", req, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Job fetches a job's current status.
+func (cl *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := cl.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Wait polls the job until it reaches a terminal state or ctx ends.
+func (cl *Client) Wait(ctx context.Context, id string) (*JobStatus, error) {
+	poll := cl.Poll
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	for {
+		st, err := cl.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if st.Status == JobDone || st.Status == JobFailed {
+			return st, nil
+		}
+		select {
+		case <-time.After(poll):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Run submits a job and waits for it.
+func (cl *Client) Run(ctx context.Context, req JobRequest) (*JobStatus, error) {
+	st, err := cl.Submit(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if st.Status == JobDone || st.Status == JobFailed {
+		return st, nil
+	}
+	return cl.Wait(ctx, st.ID)
+}
+
+// Status fetches the coordinator snapshot.
+func (cl *Client) Status(ctx context.Context) (*StatusReply, error) {
+	var st StatusReply
+	if err := cl.do(ctx, http.MethodGet, "/v1/status", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}

@@ -1,0 +1,689 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Config tunes a Coordinator.
+type Config struct {
+	// LeaseTTL is how long a worker may hold a lease without
+	// heartbeating before its points are requeued (default 10s).
+	LeaseTTL time.Duration
+	// Poll is the idle-poll interval hint handed to workers (default
+	// 200ms).
+	Poll time.Duration
+	// LocalShards is the number of in-process shards the coordinator
+	// itself contributes to every distributed job, stealing from the
+	// same queue as the remote workers. 0 defaults to 1 (so a
+	// coordinator with no workers still makes progress); negative
+	// disables local evaluation entirely (pure remote execution).
+	LocalShards int
+	// CacheSize bounds the LRU result cache (entries; default 64).
+	CacheSize int
+	// MaxJobs bounds concurrently running jobs (default 4); further
+	// submissions queue FIFO.
+	MaxJobs int
+	// RetainJobs bounds how many finished (done/failed) jobs stay
+	// pollable (default 256). Oldest finished jobs are pruned first;
+	// queued and running jobs are never pruned, so coordinator memory
+	// stays bounded however many clients submit.
+	RetainJobs int
+	// Logf, when set, receives coordinator events (lease expiries,
+	// job transitions). Nil discards.
+	Logf func(format string, args ...any)
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 10 * time.Second
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 200 * time.Millisecond
+	}
+	if cfg.LocalShards == 0 {
+		cfg.LocalShards = 1
+	}
+	if cfg.LocalShards < 0 {
+		cfg.LocalShards = -1
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 64
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 4
+	}
+	if cfg.RetainJobs <= 0 {
+		cfg.RetainJobs = 256
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return cfg
+}
+
+// job is one submitted scenario run.
+type job struct {
+	id       string
+	scenario string
+	wopts    WireOptions
+	opts     core.Options
+	status   string
+	cached   bool
+	start    time.Time
+	elapsed  time.Duration
+	cancel   context.CancelFunc
+
+	// run is non-nil while a distributable sweep is executing: the
+	// lease handlers dispatch from run.Dispatcher().
+	run *core.SweepRun
+	sw  *core.Sweep
+
+	report  []byte
+	text    string
+	timings []core.ShardTiming
+	errStr  string
+	done    chan struct{}
+}
+
+// leaseKey identifies an outstanding remote lease.
+type leaseKey struct {
+	jobID string
+	seq   uint64
+}
+
+// leaseRec tracks a lease checked out by a remote worker.
+type leaseRec struct {
+	job     *job
+	lease   core.Lease
+	expires time.Time
+}
+
+// workerState is the coordinator's record of a sticky worker ID.
+type workerState struct {
+	id       string
+	lastSeen time.Time
+	points   int
+}
+
+// Coordinator owns the job queue, the result cache, the worker
+// registry and the outstanding-lease table, and serves the protocol
+// over HTTP. Create with New, mount via Handler, stop with Close.
+type Coordinator struct {
+	cfg Config
+	mux *http.ServeMux
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	order   []*job // submit order, for lease scans and status
+	workers map[string]*workerState
+	leases  map[leaseKey]*leaseRec
+	rates   map[string]float64 // cross-job worker throughput EWMAs
+	cache   *lru
+	jobSeq  int
+
+	sem     chan struct{} // job-concurrency tokens
+	stopped chan struct{}
+	base    context.Context
+	baseCxl context.CancelFunc
+}
+
+// New builds a coordinator and starts its lease reaper.
+func New(cfg Config) *Coordinator {
+	c := &Coordinator{
+		cfg:     cfg.withDefaults(),
+		jobs:    make(map[string]*job),
+		workers: make(map[string]*workerState),
+		leases:  make(map[leaseKey]*leaseRec),
+		rates:   make(map[string]float64),
+		stopped: make(chan struct{}),
+	}
+	c.sem = make(chan struct{}, c.cfg.MaxJobs)
+	c.cache = newLRU(c.cfg.CacheSize)
+	c.base, c.baseCxl = context.WithCancel(context.Background())
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc("POST /v1/jobs", c.handleSubmit)
+	c.mux.HandleFunc("GET /v1/jobs/{id}", c.handleJob)
+	c.mux.HandleFunc("GET /v1/status", c.handleStatus)
+	c.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	c.mux.HandleFunc("POST /v1/workers/register", c.handleRegister)
+	c.mux.HandleFunc("POST /v1/workers/lease", c.handleLease)
+	c.mux.HandleFunc("POST /v1/workers/heartbeat", c.handleHeartbeat)
+	c.mux.HandleFunc("POST /v1/workers/result", c.handleResult)
+	go c.reap()
+	return c
+}
+
+// Handler returns the coordinator's HTTP handler.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Close cancels running jobs and stops the reaper.
+func (c *Coordinator) Close() {
+	c.baseCxl()
+	close(c.stopped)
+}
+
+// reaperInterval derives the expiry scan period from the lease TTL.
+func (c *Coordinator) reaperInterval() time.Duration {
+	iv := c.cfg.LeaseTTL / 4
+	if iv < 10*time.Millisecond {
+		iv = 10 * time.Millisecond
+	}
+	return iv
+}
+
+// reap requeues leases whose workers stopped heartbeating, so their
+// points are re-run by whoever asks next (another worker or a local
+// shard).
+func (c *Coordinator) reap() {
+	t := time.NewTicker(c.reaperInterval())
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stopped:
+			return
+		case now := <-t.C:
+			c.mu.Lock()
+			for k, rec := range c.leases {
+				if now.Before(rec.expires) {
+					continue
+				}
+				delete(c.leases, k)
+				if rec.job.run != nil {
+					rec.job.run.Dispatcher().Requeue(rec.lease)
+				}
+				c.cfg.Logf("dist: lease %s/%d (points [%d,%d), worker %s) expired; requeued",
+					k.jobID, k.seq, rec.lease.Lo, rec.lease.Hi, rec.lease.Worker)
+			}
+			c.mu.Unlock()
+		}
+	}
+}
+
+// cacheKey is the scenario+options identity a result is cached under.
+// Workers/shards/dispatch are deliberately absent: they change only
+// wall-clock time, never report bytes.
+func cacheKey(scenario string, w WireOptions) string {
+	b, _ := json.Marshal(w)
+	return scenario + "|" + string(b)
+}
+
+// Submit queues a scenario run (or serves it from the cache / an
+// identical in-flight job) and returns its job ID.
+func (c *Coordinator) Submit(req JobRequest) (*JobStatus, error) {
+	if _, ok := core.Lookup(req.Scenario); !ok {
+		return nil, fmt.Errorf("dist: unknown scenario %q", req.Scenario)
+	}
+	key := cacheKey(req.Scenario, req.Opts)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Cache hit: synthesize a finished job.
+	if hit, ok := c.cache.get(key); ok {
+		j := c.newJobLocked(req)
+		j.status = JobDone
+		j.cached = true
+		j.report = hit.report
+		j.text = hit.text
+		for _, t := range hit.timings {
+			j.timings = append(j.timings, core.ShardTiming{
+				Shard: t.Shard, Worker: t.Worker, Points: t.Points, ElapsedNS: t.ElapsedNS,
+			})
+		}
+		close(j.done)
+		st := c.statusLocked(j)
+		return &st, nil
+	}
+	// Identical job already queued or running: share it.
+	for _, j := range c.order {
+		if j.status != JobDone && j.status != JobFailed && cacheKey(j.scenario, j.wopts) == key {
+			st := c.statusLocked(j)
+			return &st, nil
+		}
+	}
+	j := c.newJobLocked(req)
+	go c.execute(j)
+	st := c.statusLocked(j)
+	return &st, nil
+}
+
+func (c *Coordinator) newJobLocked(req JobRequest) *job {
+	c.jobSeq++
+	j := &job{
+		id:       "job-" + strconv.Itoa(c.jobSeq),
+		scenario: req.Scenario,
+		wopts:    req.Opts,
+		opts:     req.Opts.Options(),
+		status:   JobQueued,
+		start:    time.Now(),
+		done:     make(chan struct{}),
+	}
+	c.jobs[j.id] = j
+	c.order = append(c.order, j)
+	c.pruneJobsLocked()
+	return j
+}
+
+// pruneJobsLocked evicts the oldest finished jobs past the retention
+// bound, so a long-running coordinator's memory is bounded by
+// RetainJobs finished reports plus whatever is actually in flight.
+// Queued and running jobs are never pruned (their leases and done
+// channels are live).
+func (c *Coordinator) pruneJobsLocked() {
+	finished := 0
+	for _, j := range c.order {
+		if j.status == JobDone || j.status == JobFailed {
+			finished++
+		}
+	}
+	if finished <= c.cfg.RetainJobs {
+		return
+	}
+	kept := c.order[:0]
+	for _, j := range c.order {
+		if finished > c.cfg.RetainJobs && (j.status == JobDone || j.status == JobFailed) {
+			delete(c.jobs, j.id)
+			finished--
+			continue
+		}
+		kept = append(kept, j)
+	}
+	// Drop the tail references so pruned jobs are collectable.
+	for i := len(kept); i < len(c.order); i++ {
+		c.order[i] = nil
+	}
+	c.order = kept
+}
+
+// execute runs one job to completion: distributable sweeps go through
+// the shared lease queue, everything else runs in-process through the
+// ordinary engine.
+func (c *Coordinator) execute(j *job) {
+	select {
+	case c.sem <- struct{}{}:
+		defer func() { <-c.sem }()
+	case <-c.base.Done():
+		c.finish(j, nil, c.base.Err())
+		return
+	}
+	ctx, cancel := context.WithCancel(c.base)
+	defer cancel()
+
+	c.mu.Lock()
+	j.status = JobRunning
+	j.start = time.Now()
+	j.cancel = cancel
+	s, _ := core.Lookup(j.scenario)
+	sw, isSweep := s.(*core.Sweep)
+	c.mu.Unlock()
+
+	var rep core.Report
+	var err error
+	if isSweep && sw.Distributable() {
+		rep, err = c.runDistributed(ctx, j, sw)
+	} else {
+		rep, err = core.RunWith(ctx, j.scenario, j.opts)
+	}
+	c.finish(j, rep, err)
+}
+
+// runDistributed evaluates a sweep job through the shared work-stealing
+// queue: the coordinator's local shards and every polling worker lease
+// from it until the grid drains.
+func (c *Coordinator) runDistributed(ctx context.Context, j *job, sw *core.Sweep) (core.Report, error) {
+	pts := len(sw.Points())
+	if pts == 0 {
+		return nil, fmt.Errorf("dist: sweep %q has an empty grid", j.scenario)
+	}
+	shards := c.cfg.LocalShards
+	if shards < 0 {
+		shards = 0
+	}
+	if shards > pts {
+		shards = pts
+	}
+	c.mu.Lock()
+	sizeHint := shards + len(c.workers)
+	d := core.NewWorkStealingDispatcher(pts, max(sizeHint, 1))
+	// Seed the queue with what earlier jobs learned about each worker,
+	// so a proven-fast worker gets large leases from its first ask.
+	if rk, ok := d.(core.RateKeeper); ok {
+		for w, r := range c.rates {
+			rk.SeedRate(w, r)
+		}
+	}
+	run := core.NewSweepRun(sw, j.opts, d, shards)
+	j.run = run
+	j.sw = sw
+	c.mu.Unlock()
+
+	stop := context.AfterFunc(ctx, d.Close)
+	defer stop()
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			run.RunShard(ctx, s, "local-"+strconv.Itoa(s), sw.NewShardTestbed(j.opts))
+		}(s)
+	}
+	waitErr := run.Wait(ctx)
+	wg.Wait()
+
+	c.mu.Lock()
+	// Harvest throughput observations for the next job's seeding, and
+	// retire any leases still pointing at this job.
+	if rk, ok := d.(core.RateKeeper); ok {
+		for w, r := range rk.Rates() {
+			c.rates[w] = r
+		}
+	}
+	j.run = nil
+	for k, rec := range c.leases {
+		if rec.job == j {
+			delete(c.leases, k)
+		}
+	}
+	c.mu.Unlock()
+	if waitErr != nil {
+		return nil, waitErr
+	}
+	return run.Report(ctx)
+}
+
+// finish records a job's outcome and populates the result cache.
+func (c *Coordinator) finish(j *job, rep core.Report, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j.elapsed = time.Since(j.start)
+	if err != nil {
+		j.status = JobFailed
+		j.errStr = err.Error()
+		c.cfg.Logf("dist: %s (%s) failed after %s: %v", j.id, j.scenario, j.elapsed.Round(time.Millisecond), err)
+		close(j.done)
+		return
+	}
+	j.status = JobDone
+	j.text = rep.Text()
+	if b, jerr := rep.JSON(); jerr == nil {
+		j.report = b
+	} else {
+		j.status = JobFailed
+		j.errStr = "marshal: " + jerr.Error()
+		close(j.done)
+		return
+	}
+	if sr, ok := rep.(core.ShardedReport); ok {
+		j.timings = sr.ShardTimings()
+	}
+	entry := &cachedResult{report: j.report, text: j.text}
+	for _, t := range j.timings {
+		entry.timings = append(entry.timings, shardTimingCopy{
+			Shard: t.Shard, Worker: t.Worker, Points: t.Points, ElapsedNS: t.ElapsedNS,
+		})
+	}
+	c.cache.add(cacheKey(j.scenario, j.wopts), entry)
+	c.cfg.Logf("dist: %s (%s) done in %s across %d participant(s)",
+		j.id, j.scenario, j.elapsed.Round(time.Millisecond), core.CountWorkers(j.timings))
+	close(j.done)
+}
+
+// WaitJob blocks until the job finishes or ctx is done, then returns
+// its status.
+func (c *Coordinator) WaitJob(ctx context.Context, id string) (*JobStatus, error) {
+	c.mu.Lock()
+	j, ok := c.jobs[id]
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("dist: unknown job %q", id)
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.statusLocked(j)
+	return &st, nil
+}
+
+func (c *Coordinator) statusLocked(j *job) JobStatus {
+	st := JobStatus{
+		ID: j.id, Scenario: j.scenario, Status: j.status,
+		Error: j.errStr, Report: j.report, Text: j.text,
+		Workers: core.CountWorkers(j.timings), Shards: j.timings,
+		ElapsedMS: j.elapsed.Milliseconds(), Cached: j.cached,
+	}
+	if j.status == JobRunning {
+		st.ElapsedMS = time.Since(j.start).Milliseconds()
+	}
+	return st
+}
+
+// ------------------------------------------------------ HTTP handlers --
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	st, err := c.Submit(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	j, ok := c.jobs[r.PathValue("id")]
+	var st JobStatus
+	if ok {
+		st = c.statusLocked(j)
+	}
+	c.mu.Unlock()
+	if !ok {
+		http.Error(w, "unknown job", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	st := StatusReply{Jobs: len(c.jobs), CacheSize: c.cache.len(), CacheCap: c.cfg.CacheSize}
+	now := time.Now()
+	for _, ws := range c.workers {
+		st.Workers = append(st.Workers, WorkerStatus{
+			ID: ws.id, LastSeenMSAgo: now.Sub(ws.lastSeen).Milliseconds(),
+			Points: ws.points, RatePPS: c.rates[ws.id],
+		})
+	}
+	c.mu.Unlock()
+	sort.Slice(st.Workers, func(i, k int) bool { return st.Workers[i].ID < st.Workers[k].ID })
+	writeJSON(w, http.StatusOK, st)
+}
+
+// touchWorkerLocked updates the sticky worker record.
+func (c *Coordinator) touchWorkerLocked(id string) *workerState {
+	ws := c.workers[id]
+	if ws == nil {
+		ws = &workerState{id: id}
+		c.workers[id] = ws
+	}
+	ws.lastSeen = time.Now()
+	return ws
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.WorkerID == "" {
+		http.Error(w, "empty worker_id", http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	c.touchWorkerLocked(req.WorkerID)
+	c.mu.Unlock()
+	c.cfg.Logf("dist: worker %s registered", req.WorkerID)
+	writeJSON(w, http.StatusOK, RegisterReply{
+		LeaseTTLMS: c.cfg.LeaseTTL.Milliseconds(),
+		PollMS:     c.cfg.Poll.Milliseconds(),
+	})
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.WorkerID == "" {
+		http.Error(w, "empty worker_id", http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	c.touchWorkerLocked(req.WorkerID)
+	// FIFO over running distributed jobs: oldest submitted first.
+	for _, j := range c.order {
+		if j.run == nil || j.status != JobRunning {
+			continue
+		}
+		l, ok := j.run.Dispatcher().TryNext(req.WorkerID)
+		if !ok {
+			continue
+		}
+		rec := &leaseRec{job: j, lease: l, expires: time.Now().Add(c.cfg.LeaseTTL)}
+		c.leases[leaseKey{j.id, l.Seq}] = rec
+		reply := LeaseReply{
+			JobID: j.id, Scenario: j.scenario, Seq: l.Seq,
+			Lo: l.Lo, Hi: l.Hi, Opts: j.wopts,
+			TTLMS: c.cfg.LeaseTTL.Milliseconds(),
+		}
+		c.mu.Unlock()
+		writeJSON(w, http.StatusOK, reply)
+		return
+	}
+	c.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	c.touchWorkerLocked(req.WorkerID)
+	rec, ok := c.leases[leaseKey{req.JobID, req.Seq}]
+	if ok {
+		rec.expires = time.Now().Add(c.cfg.LeaseTTL)
+	}
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, HeartbeatReply{OK: ok})
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	var up ResultUpload
+	if !readJSON(w, r, &up) {
+		return
+	}
+	key := leaseKey{up.JobID, up.Seq}
+	c.mu.Lock()
+	if up.WorkerID != "" {
+		c.touchWorkerLocked(up.WorkerID)
+	}
+	rec, ok := c.leases[key]
+	if ok && up.WorkerID != "" {
+		// Count points only for uploads that still own a lease, so a
+		// retried upload (response lost, worker resent) does not
+		// inflate the worker's tally in /v1/status.
+		c.workers[up.WorkerID].points += len(up.Points)
+	}
+	if !ok {
+		// Lease already completed (retried upload) or expired and
+		// reassigned: acknowledge so the worker stops retrying, but
+		// change nothing — idempotency.
+		c.mu.Unlock()
+		writeJSON(w, http.StatusOK, ResultReply{Accepted: false, Duplicate: true})
+		return
+	}
+	delete(c.leases, key)
+	j := rec.job
+	run, sw := j.run, j.sw
+	c.mu.Unlock()
+	if run == nil || sw == nil {
+		writeJSON(w, http.StatusOK, ResultReply{Accepted: false, Duplicate: true})
+		return
+	}
+	n := rec.lease.Points()
+	vals := make([]any, n)
+	errStrs := make([]string, n)
+	filled := make([]bool, n)
+	for _, p := range up.Points {
+		k := p.Index - rec.lease.Lo
+		if k < 0 || k >= n {
+			http.Error(w, fmt.Sprintf("point %d outside lease [%d,%d)", p.Index, rec.lease.Lo, rec.lease.Hi),
+				http.StatusBadRequest)
+			c.requeue(rec)
+			return
+		}
+		filled[k] = true
+		if p.Error != "" {
+			errStrs[k] = p.Error
+			continue
+		}
+		v, err := sw.DecodePoint(p.Value)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			c.requeue(rec)
+			return
+		}
+		vals[k] = v
+	}
+	for k, ok := range filled {
+		if !ok {
+			http.Error(w, fmt.Sprintf("upload missing point %d", rec.lease.Lo+k), http.StatusBadRequest)
+			c.requeue(rec)
+			return
+		}
+	}
+	accepted := run.Deliver(rec.lease, vals, errStrs, time.Duration(up.ElapsedNS))
+	writeJSON(w, http.StatusOK, ResultReply{Accepted: accepted, Duplicate: !accepted})
+}
+
+// requeue returns a lease's points to its job's queue after a bad
+// upload, so they are re-run rather than lost.
+func (c *Coordinator) requeue(rec *leaseRec) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rec.job.run != nil {
+		rec.job.run.Dispatcher().Requeue(rec.lease)
+	}
+}

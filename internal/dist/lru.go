@@ -1,0 +1,71 @@
+package dist
+
+import "container/list"
+
+// lru is a small least-recently-used cache for finished scenario
+// reports, keyed by scenario name + wire options. The coordinator
+// serves many clients asking for the same figures; a hit skips the
+// whole simulation.
+type lru struct {
+	cap   int
+	order *list.List // front = most recently used
+	byKey map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val *cachedResult
+}
+
+// cachedResult is what a cache hit serves: the merged report and the
+// timings of the run that produced it (the participant count is
+// recomputed from the timings on the way out).
+type cachedResult struct {
+	report  []byte
+	text    string
+	timings []shardTimingCopy
+}
+
+// shardTimingCopy avoids aliasing the job's live slice.
+type shardTimingCopy struct {
+	Shard     int
+	Worker    string
+	Points    int
+	ElapsedNS int64
+}
+
+func newLRU(capacity int) *lru {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lru{cap: capacity, order: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// get returns the cached value and marks it most recently used.
+func (c *lru) get(key string) (*cachedResult, bool) {
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// add inserts (or refreshes) a value, evicting the least recently used
+// entry past capacity.
+func (c *lru) add(key string, val *cachedResult) {
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&lruEntry{key: key, val: val})
+	if c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.byKey, last.Value.(*lruEntry).key)
+	}
+}
+
+// len reports the number of cached entries.
+func (c *lru) len() int { return c.order.Len() }

@@ -1,0 +1,36 @@
+package dist
+
+import "testing"
+
+func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	c := newLRU(2)
+	a, b, d := &cachedResult{text: "a"}, &cachedResult{text: "b"}, &cachedResult{text: "d"}
+	c.add("a", a)
+	c.add("b", b)
+	// Touch "a" so "b" becomes the eviction candidate.
+	if got, ok := c.get("a"); !ok || got != a {
+		t.Fatal("get(a) failed")
+	}
+	c.add("d", d)
+	if _, ok := c.get("b"); ok {
+		t.Error("least recently used entry survived past capacity")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("recently used entry was evicted")
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+}
+
+func TestLRURefreshReplacesValue(t *testing.T) {
+	c := newLRU(2)
+	c.add("k", &cachedResult{text: "old"})
+	c.add("k", &cachedResult{text: "new"})
+	if got, _ := c.get("k"); got.text != "new" {
+		t.Errorf("refresh kept %q", got.text)
+	}
+	if c.len() != 1 {
+		t.Errorf("len = %d after refresh, want 1", c.len())
+	}
+}

@@ -1,0 +1,192 @@
+// Package dist is the distributed run service: a coordinator that
+// fans a sweep scenario's grid out to remote workers over a small
+// JSON-over-HTTP protocol, and the worker that executes leased grid
+// points on a fresh simulation kernel.
+//
+// The shape follows the WANify/MPWide pattern from PAPERS.md: a thin
+// coordinator owns the work queue and hands out lease-based work units;
+// workers with sticky IDs pull leases, heartbeat while computing, and
+// upload per-point results idempotently. The lease queue is the same
+// work-stealing core.Dispatcher that feeds in-process shards, so the
+// coordinator's local shards and any number of remote workers steal
+// from one queue, per-worker throughput EWMAs steering larger leases to
+// faster workers. Results merge in grid order, so a distributed run's
+// report is byte-identical to a single-kernel run.
+//
+// Protocol (all bodies JSON):
+//
+//	POST /v1/jobs                submit a scenario run  -> JobStatus
+//	GET  /v1/jobs/{id}           poll a job             -> JobStatus
+//	GET  /v1/status              coordinator snapshot   -> StatusReply
+//	GET  /healthz                liveness               -> "ok"
+//	POST /v1/workers/register    announce a worker      -> RegisterReply
+//	POST /v1/workers/lease       pull a work unit       -> LeaseReply | 204
+//	POST /v1/workers/heartbeat   extend a held lease    -> HeartbeatReply
+//	POST /v1/workers/result      upload lease results   -> ResultReply
+//
+// A lease not heartbeaten within its TTL is requeued and its points
+// re-run elsewhere; a result upload for a lease that already completed
+// (duplicate, or expired-and-reassigned) is acknowledged but ignored.
+package dist
+
+import (
+	"encoding/json"
+
+	"repro/internal/atm"
+	"repro/internal/core"
+)
+
+// WireOptions is the cross-machine subset of core.Options: the fields
+// that parameterize a scenario, without the process-local ones
+// (Testbed, Workers, Shards, Dispatcher). It is also the result-cache
+// key, because these are exactly the fields that can change report
+// bytes.
+type WireOptions struct {
+	WAN        int  `json:"wan,omitempty"`
+	Extensions bool `json:"extensions,omitempty"`
+	PEs        int  `json:"pes,omitempty"`
+	Frames     int  `json:"frames,omitempty"`
+	Flows      int  `json:"flows,omitempty"`
+}
+
+// FromOptions extracts the wire fields from a full core.Options.
+func FromOptions(o core.Options) WireOptions {
+	return WireOptions{
+		WAN: int(o.WAN), Extensions: o.Extensions,
+		PEs: o.PEs, Frames: o.Frames, Flows: o.Flows,
+	}
+}
+
+// Options rebuilds a core.Options. Fields map verbatim — the client
+// sends fully resolved values (it applied its own defaults), so the
+// coordinator and workers evaluate exactly what a local run would.
+func (w WireOptions) Options() core.Options {
+	return core.Options{
+		WAN: atm.OC(w.WAN), Extensions: w.Extensions,
+		PEs: w.PEs, Frames: w.Frames, Flows: w.Flows,
+	}
+}
+
+// JobRequest submits one scenario run.
+type JobRequest struct {
+	Scenario string      `json:"scenario"`
+	Opts     WireOptions `json:"opts"`
+}
+
+// Job states.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// JobStatus is the coordinator's view of a job, returned on submit and
+// on every poll.
+type JobStatus struct {
+	ID       string `json:"id"`
+	Scenario string `json:"scenario"`
+	Status   string `json:"status"`
+	Error    string `json:"error,omitempty"`
+	// Report is the scenario report's JSON (byte-identical to a local
+	// run's Report.JSON()); Text its rendered table.
+	Report json.RawMessage `json:"report,omitempty"`
+	Text   string          `json:"text,omitempty"`
+	// Workers counts the distinct participants (local shards + remote
+	// workers) that evaluated at least one point.
+	Workers int `json:"workers,omitempty"`
+	// Shards carries the per-participant timings.
+	Shards    []core.ShardTiming `json:"shards,omitempty"`
+	ElapsedMS int64              `json:"elapsed_ms"`
+	// Cached reports a result served from the LRU cache.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// RegisterRequest announces a worker. Worker IDs are sticky: the same
+// ID across reconnects keeps the worker's identity (and its throughput
+// EWMA) on the coordinator.
+type RegisterRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// RegisterReply tunes the worker's loop.
+type RegisterReply struct {
+	LeaseTTLMS int64 `json:"lease_ttl_ms"`
+	PollMS     int64 `json:"poll_ms"`
+}
+
+// LeaseRequest pulls the next work unit for a worker.
+type LeaseRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// LeaseReply is one leased work unit: grid points [Lo, Hi) of the named
+// sweep scenario. The worker must heartbeat within TTL or the lease is
+// requeued.
+type LeaseReply struct {
+	JobID    string      `json:"job_id"`
+	Scenario string      `json:"scenario"`
+	Seq      uint64      `json:"seq"`
+	Lo       int         `json:"lo"`
+	Hi       int         `json:"hi"`
+	Opts     WireOptions `json:"opts"`
+	TTLMS    int64       `json:"ttl_ms"`
+}
+
+// HeartbeatRequest extends a held lease.
+type HeartbeatRequest struct {
+	WorkerID string `json:"worker_id"`
+	JobID    string `json:"job_id"`
+	Seq      uint64 `json:"seq"`
+}
+
+// HeartbeatReply acknowledges a heartbeat. OK=false means the lease is
+// gone (expired and reassigned, or the job ended): the worker should
+// abandon the work unit.
+type HeartbeatReply struct {
+	OK bool `json:"ok"`
+}
+
+// PointResult is one evaluated grid point on the wire: the sweep's
+// wire-typed value as raw JSON, or the error string that evaluation
+// produced.
+type PointResult struct {
+	Index int             `json:"index"`
+	Value json.RawMessage `json:"value,omitempty"`
+	Error string          `json:"error,omitempty"`
+}
+
+// ResultUpload streams a completed lease's per-point results back.
+type ResultUpload struct {
+	WorkerID  string        `json:"worker_id"`
+	JobID     string        `json:"job_id"`
+	Seq       uint64        `json:"seq"`
+	Lo        int           `json:"lo"`
+	Hi        int           `json:"hi"`
+	ElapsedNS int64         `json:"elapsed_ns"`
+	Points    []PointResult `json:"points"`
+}
+
+// ResultReply acknowledges an upload. Duplicate=true means the lease
+// had already completed (or expired): the upload was ignored, which is
+// what makes retried uploads idempotent.
+type ResultReply struct {
+	Accepted  bool `json:"accepted"`
+	Duplicate bool `json:"duplicate,omitempty"`
+}
+
+// WorkerStatus is one registered worker in the status snapshot.
+type WorkerStatus struct {
+	ID            string  `json:"id"`
+	LastSeenMSAgo int64   `json:"last_seen_ms_ago"`
+	Points        int     `json:"points"`
+	RatePPS       float64 `json:"rate_pps,omitempty"`
+}
+
+// StatusReply is the coordinator snapshot (GET /v1/status).
+type StatusReply struct {
+	Workers   []WorkerStatus `json:"workers"`
+	Jobs      int            `json:"jobs"`
+	CacheSize int            `json:"cache_size"`
+	CacheCap  int            `json:"cache_cap"`
+}

@@ -1,0 +1,263 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Worker pulls shard leases from a coordinator, evaluates the leased
+// grid points on a fresh simulation kernel (a fresh testbed per lease,
+// exactly as an in-process shard would), and streams the per-point
+// results back. A worker keeps one sticky ID for its lifetime, so the
+// coordinator's throughput EWMA and lease accounting survive
+// reconnects.
+type Worker struct {
+	// Coordinator is the coordinator's base URL, e.g.
+	// "http://127.0.0.1:9191".
+	Coordinator string
+	// ID is the sticky worker identity; NewWorker generates one.
+	ID string
+	// Client is the HTTP client (default: 30s-timeout client).
+	Client *http.Client
+	// Poll is the idle-poll interval; the coordinator's register reply
+	// overrides it.
+	Poll time.Duration
+	// Logf, when set, receives worker events. Nil discards.
+	Logf func(format string, args ...any)
+
+	// DropLease, when set, is consulted before evaluating each lease;
+	// returning true makes the worker silently abandon the lease — no
+	// evaluation, no heartbeat, no upload — simulating a worker killed
+	// mid-lease. Test hook for the fault-injection suite.
+	DropLease func(l LeaseReply) bool
+	// BeforeUpload, when set, runs after evaluation and before the
+	// result upload. Test hook (e.g. to double-upload for idempotency
+	// tests).
+	BeforeUpload func(up *ResultUpload)
+
+	ttl time.Duration
+}
+
+// NewWorker builds a worker with a random sticky ID.
+func NewWorker(coordinator string) *Worker {
+	b := make([]byte, 4)
+	_, _ = rand.Read(b)
+	return &Worker{
+		Coordinator: coordinator,
+		ID:          "w-" + hex.EncodeToString(b),
+	}
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}
+
+func (w *Worker) client() *http.Client {
+	if w.Client != nil {
+		return w.Client
+	}
+	return defaultHTTPClient
+}
+
+// postJSON posts in and decodes the reply into out (when non-nil and
+// the status is 200). Returns the HTTP status code.
+func (w *Worker) postJSON(ctx context.Context, path string, in, out any) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK && out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+		return resp.StatusCode, nil
+	}
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	if resp.StatusCode >= 400 {
+		return resp.StatusCode, fmt.Errorf("dist: %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+	}
+	return resp.StatusCode, nil
+}
+
+// Run registers with the coordinator and serves leases until ctx is
+// cancelled. Transient coordinator errors are retried with the poll
+// interval as backoff.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Poll <= 0 {
+		w.Poll = 200 * time.Millisecond
+	}
+	for {
+		var reg RegisterReply
+		_, err := w.postJSON(ctx, "/v1/workers/register", RegisterRequest{WorkerID: w.ID}, &reg)
+		if err == nil {
+			if reg.PollMS > 0 {
+				w.Poll = time.Duration(reg.PollMS) * time.Millisecond
+			}
+			w.ttl = time.Duration(reg.LeaseTTLMS) * time.Millisecond
+			break
+		}
+		w.logf("dist: worker %s: register: %v (retrying)", w.ID, err)
+		if !sleepCtx(ctx, w.Poll) {
+			return ctx.Err()
+		}
+	}
+	w.logf("dist: worker %s serving %s (poll %s, lease ttl %s)", w.ID, w.Coordinator, w.Poll, w.ttl)
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		var lease LeaseReply
+		code, err := w.postJSON(ctx, "/v1/workers/lease", LeaseRequest{WorkerID: w.ID}, &lease)
+		switch {
+		case err != nil:
+			w.logf("dist: worker %s: lease poll: %v", w.ID, err)
+			fallthrough
+		case code == http.StatusNoContent:
+			if !sleepCtx(ctx, w.Poll) {
+				return ctx.Err()
+			}
+			continue
+		}
+		if w.DropLease != nil && w.DropLease(lease) {
+			w.logf("dist: worker %s dropping lease %s/%d (fault injection)", w.ID, lease.JobID, lease.Seq)
+			continue
+		}
+		w.serveLease(ctx, lease)
+	}
+}
+
+// sleepCtx sleeps d or until ctx is done; false means ctx ended.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	select {
+	case <-time.After(d):
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// serveLease evaluates one lease and uploads its results.
+func (w *Worker) serveLease(ctx context.Context, lease LeaseReply) {
+	s, ok := core.Lookup(lease.Scenario)
+	var sw *core.Sweep
+	if ok {
+		sw, ok = s.(*core.Sweep)
+	}
+	up := ResultUpload{
+		WorkerID: w.ID, JobID: lease.JobID, Seq: lease.Seq,
+		Lo: lease.Lo, Hi: lease.Hi,
+	}
+	if !ok {
+		// A coordinator from a newer build may know sweeps this worker
+		// does not; report per-point errors so the job fails loudly
+		// rather than hanging.
+		for i := lease.Lo; i < lease.Hi; i++ {
+			up.Points = append(up.Points, PointResult{
+				Index: i, Error: fmt.Sprintf("worker has no sweep scenario %q", lease.Scenario),
+			})
+		}
+		w.upload(ctx, &up)
+		return
+	}
+
+	// Heartbeat while evaluating, at a third of the lease TTL.
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	if w.ttl > 0 {
+		go w.heartbeat(hbCtx, lease)
+	}
+
+	start := time.Now()
+	vals, errStrs, err := sw.RunLease(ctx, lease.Opts.Options(), lease.Lo, lease.Hi)
+	if err != nil {
+		// Context cancellation mid-lease: abandon, the lease expires
+		// and the points re-run elsewhere.
+		w.logf("dist: worker %s abandoning lease %s/%d: %v", w.ID, lease.JobID, lease.Seq, err)
+		return
+	}
+	up.ElapsedNS = time.Since(start).Nanoseconds()
+	for k := range vals {
+		pr := PointResult{Index: lease.Lo + k, Error: errStrs[k]}
+		if pr.Error == "" {
+			b, err := sw.EncodePoint(vals[k])
+			if err != nil {
+				pr.Error = "encode: " + err.Error()
+			} else {
+				pr.Value = b
+			}
+		}
+		up.Points = append(up.Points, pr)
+	}
+	stopHB()
+	if w.BeforeUpload != nil {
+		w.BeforeUpload(&up)
+	}
+	w.upload(ctx, &up)
+}
+
+// heartbeat extends the lease every ttl/3 until cancelled.
+func (w *Worker) heartbeat(ctx context.Context, lease LeaseReply) {
+	iv := w.ttl / 3
+	if iv < 10*time.Millisecond {
+		iv = 10 * time.Millisecond
+	}
+	t := time.NewTicker(iv)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			var hb HeartbeatReply
+			_, err := w.postJSON(ctx, "/v1/workers/heartbeat",
+				HeartbeatRequest{WorkerID: w.ID, JobID: lease.JobID, Seq: lease.Seq}, &hb)
+			if err == nil && !hb.OK {
+				return // lease is gone; evaluation result will be ignored
+			}
+		}
+	}
+}
+
+// upload posts the result, retrying transient failures. Duplicate
+// replies are success: the lease completed through another path.
+func (w *Worker) upload(ctx context.Context, up *ResultUpload) {
+	for attempt := 0; attempt < 5; attempt++ {
+		var reply ResultReply
+		_, err := w.postJSON(ctx, "/v1/workers/result", up, &reply)
+		if err == nil {
+			if reply.Duplicate {
+				w.logf("dist: worker %s: lease %s/%d already completed (duplicate upload ignored)",
+					w.ID, up.JobID, up.Seq)
+			}
+			return
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		w.logf("dist: worker %s: upload %s/%d failed: %v (retrying)", w.ID, up.JobID, up.Seq, err)
+		if !sleepCtx(ctx, w.Poll) {
+			return
+		}
+	}
+}

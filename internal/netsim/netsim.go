@@ -13,6 +13,7 @@ package netsim
 import (
 	"fmt"
 	"time"
+	"unsafe"
 
 	"repro/internal/sim"
 )
@@ -402,25 +403,25 @@ func (nd *Node) Drops() int64 {
 }
 
 // Closure-free event trampolines: a0 is the node or iface (which
-// reaches the Network), a1 the packet. Both are pointers, so the any
-// conversions in AtFunc/AfterFunc never allocate.
-func forwardStep(a0, a1 any) {
-	nd := a0.(*Node)
-	nd.net.forward(nd, a1.(*Packet))
+// reaches the Network), a1 the packet — raw pointers riding in the
+// event record, cast back to their concrete types here.
+func forwardStep(a0, a1 unsafe.Pointer) {
+	nd := (*Node)(a0)
+	nd.net.forward(nd, (*Packet)(a1))
 }
 
-func transmitStep(a0, _ any) {
-	ifc := a0.(*Iface)
+func transmitStep(a0, _ unsafe.Pointer) {
+	ifc := (*Iface)(a0)
 	ifc.node.net.transmitNext(ifc)
 }
 
-func arriveStep(a0, a1 any) {
-	nd := a0.(*Node)
-	nd.net.arrive(nd, a1.(*Packet))
+func arriveStep(a0, a1 unsafe.Pointer) {
+	nd := (*Node)(a0)
+	nd.net.arrive(nd, (*Packet)(a1))
 }
 
-func deliverStep(a0, a1 any) {
-	a0.(*Node).net.deliver(a1.(*Packet))
+func deliverStep(a0, a1 unsafe.Pointer) {
+	(*Node)(a0).net.deliver((*Packet)(a1))
 }
 
 // Send injects a packet at p.Src. It must be called in kernel context
@@ -429,7 +430,7 @@ func (n *Network) Send(p *Packet) {
 	src := n.nodes[p.Src]
 	if p.Src == p.Dst {
 		// Loopback: deliver at the current instant.
-		n.K.AtFunc(n.K.Now(), deliverStep, src, p)
+		n.K.AtFunc(n.K.Now(), deliverStep, unsafe.Pointer(src), unsafe.Pointer(p))
 		return
 	}
 	// Host injection serialization.
@@ -443,7 +444,7 @@ func (n *Network) Send(p *Packet) {
 		src.txFree = start.Add(dur)
 		delay = src.txFree.Sub(n.K.Now())
 	}
-	n.K.AfterFunc(delay, forwardStep, src, p)
+	n.K.AfterFunc(delay, forwardStep, unsafe.Pointer(src), unsafe.Pointer(p))
 }
 
 // drop invokes the packet's drop callback and recycles it.
@@ -494,9 +495,9 @@ func (n *Network) transmitNext(ifc *Iface) {
 	l.wireBytes += int64(wire)
 	l.busyTime += txTime
 	// Link free after serialization; next packet may start then.
-	n.K.AfterFunc(txTime, transmitStep, ifc, nil)
+	n.K.AfterFunc(txTime, transmitStep, unsafe.Pointer(ifc), nil)
 	// Packet arrives at the peer after serialization + propagation.
-	n.K.AfterFunc(txTime+l.Delay, arriveStep, ifc.peer.node, p)
+	n.K.AfterFunc(txTime+l.Delay, arriveStep, unsafe.Pointer(ifc.peer.node), unsafe.Pointer(p))
 }
 
 // arrive handles a packet reaching node nd.
@@ -519,7 +520,7 @@ func (n *Network) arrive(nd *Node, p *Packet) {
 			nd.rxFree = start.Add(dur)
 			delay = nd.rxFree.Sub(n.K.Now())
 		}
-		n.K.AfterFunc(delay, deliverStep, nd, p)
+		n.K.AfterFunc(delay, deliverStep, unsafe.Pointer(nd), unsafe.Pointer(p))
 		return
 	}
 	// Relay: the forwarding CPU is a serial resource; packets queue
@@ -529,7 +530,7 @@ func (n *Network) arrive(nd *Node, p *Packet) {
 		start = nd.fwdFree
 	}
 	nd.fwdFree = start.Add(nd.relayCost(p.Bytes))
-	n.K.AtFunc(nd.fwdFree, forwardStep, nd, p)
+	n.K.AtFunc(nd.fwdFree, forwardStep, unsafe.Pointer(nd), unsafe.Pointer(p))
 }
 
 func (n *Network) deliver(p *Packet) {

@@ -12,7 +12,9 @@
 // on the hot path performs no heap allocation and no interface boxing
 // once the pool is warm. Callbacks that would otherwise capture their
 // arguments in a per-event closure can use AtFunc/AfterFunc, which
-// carry two pointer-shaped arguments inside the event record itself.
+// carry two raw pointer arguments inside the event record itself. An
+// event record is exactly one cache line (64 bytes, size-asserted in
+// the tests), so the 4-ary heap touches two records per line.
 //
 // The kernel underpins the network model (internal/netsim), the machine
 // cost models (internal/machine) and every experiment driver in this
@@ -23,6 +25,7 @@ import (
 	"fmt"
 	"math"
 	"time"
+	"unsafe"
 )
 
 // Time is an absolute virtual timestamp in nanoseconds since the start
@@ -71,16 +74,21 @@ func (t Time) String() string {
 // event is a pooled scheduled-callback record. Records are recycled
 // after they fire or are cancelled; gen disambiguates a recycled record
 // from the schedule a stale Event handle refers to.
+//
+// The record is packed to one 64-byte cache line: the closure-free
+// arguments are raw pointers (one word each, not two-word interfaces),
+// so two records share a line in the 4-ary heap's touch pattern. The
+// tests assert the size with unsafe.Sizeof.
 type event struct {
 	at  Time
 	seq uint64
 	gen uint64
 	fn  func()
 	// fn2/a0/a1 are the closure-free callback form: fn2 is typically a
-	// package-level func, a0/a1 pointer-shaped arguments that convert
-	// to any without allocating.
-	fn2    func(a0, a1 any)
-	a0, a1 any
+	// package-level func, a0/a1 raw pointers to its context (the
+	// callback knows the concrete types it scheduled).
+	fn2    func(a0, a1 unsafe.Pointer)
+	a0, a1 unsafe.Pointer
 	index  int32 // heap index, -1 while pooled or firing
 }
 
@@ -183,10 +191,12 @@ func (k *Kernel) After(d time.Duration, fn func()) Event {
 }
 
 // AtFunc schedules fn(a0, a1) at virtual time t without a per-event
-// closure: fn is typically a package-level function and a0/a1 its
-// context. Pointer-shaped arguments convert to any without allocating,
-// so hot paths that schedule per-packet work stay allocation-free.
-func (k *Kernel) AtFunc(t Time, fn func(a0, a1 any), a0, a1 any) Event {
+// closure: fn is typically a package-level function and a0/a1 raw
+// pointers to its context (cast back to their concrete types inside
+// fn). Carrying one-word pointers instead of two-word interfaces keeps
+// the event record inside a single cache line and hot paths that
+// schedule per-packet work allocation-free.
+func (k *Kernel) AtFunc(t Time, fn func(a0, a1 unsafe.Pointer), a0, a1 unsafe.Pointer) Event {
 	e := k.alloc(t)
 	e.fn2 = fn
 	e.a0 = a0
@@ -197,7 +207,7 @@ func (k *Kernel) AtFunc(t Time, fn func(a0, a1 any), a0, a1 any) Event {
 
 // AfterFunc is AtFunc relative to the current virtual time. Negative
 // durations are treated as zero.
-func (k *Kernel) AfterFunc(d time.Duration, fn func(a0, a1 any), a0, a1 any) Event {
+func (k *Kernel) AfterFunc(d time.Duration, fn func(a0, a1 unsafe.Pointer), a0, a1 unsafe.Pointer) Event {
 	if d < 0 {
 		d = 0
 	}

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+	"unsafe"
 )
 
 func TestEventOrdering(t *testing.T) {
@@ -268,18 +269,29 @@ func TestAtFunc(t *testing.T) {
 	type box struct{ v int }
 	a, b := &box{1}, &box{2}
 	var got []int
-	k.AfterFunc(2*time.Second, func(a0, a1 any) {
-		got = append(got, a0.(*box).v, a1.(*box).v)
-	}, a, b)
-	ev := k.AtFunc(Time(time.Second), func(a0, _ any) {
-		got = append(got, a0.(*box).v*10)
-	}, b, nil)
+	k.AfterFunc(2*time.Second, func(a0, a1 unsafe.Pointer) {
+		got = append(got, (*box)(a0).v, (*box)(a1).v)
+	}, unsafe.Pointer(a), unsafe.Pointer(b))
+	ev := k.AtFunc(Time(time.Second), func(a0, _ unsafe.Pointer) {
+		got = append(got, (*box)(a0).v*10)
+	}, unsafe.Pointer(b), nil)
 	if ev.When() != Time(time.Second) || !ev.Pending() {
 		t.Errorf("handle reports when=%v pending=%v", ev.When(), ev.Pending())
 	}
 	k.Run()
 	if len(got) != 3 || got[0] != 20 || got[1] != 1 || got[2] != 2 {
 		t.Errorf("AtFunc callbacks produced %v, want [20 1 2]", got)
+	}
+}
+
+// The event record is the unit the 4-ary heap and the freelist shuffle
+// around; keeping it within one 64-byte cache line (two records per
+// line touched during sifts) is a measured property of the kernel, not
+// an accident. This pins it against field additions quietly pushing the
+// record to 80+ bytes again.
+func TestEventRecordFitsOneCacheLine(t *testing.T) {
+	if sz := unsafe.Sizeof(event{}); sz > 64 {
+		t.Errorf("sim.event is %d bytes, must stay <= 64 (one cache line)", sz)
 	}
 }
 

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"time"
+	"unsafe"
 )
 
 // Proc is a cooperative simulation process: a goroutine whose blocking
@@ -45,14 +46,14 @@ func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
 		}()
 		fn(p)
 	}()
-	k.AtFunc(k.now, resumeProc, p, nil)
+	k.AtFunc(k.now, resumeProc, unsafe.Pointer(p), nil)
 	return p
 }
 
 // resumeProc is the closure-free resume trampoline shared by every
 // scheduling site below: the process pointer rides in the event record.
-func resumeProc(a0, _ any) {
-	p := a0.(*Proc)
+func resumeProc(a0, _ unsafe.Pointer) {
+	p := (*Proc)(a0)
 	p.k.resume(p)
 }
 
@@ -78,7 +79,7 @@ func (p *Proc) park() {
 // durations yield the CPU to other events scheduled at the current
 // instant and continue.
 func (p *Proc) Sleep(d time.Duration) {
-	p.k.AfterFunc(d, resumeProc, p, nil)
+	p.k.AfterFunc(d, resumeProc, unsafe.Pointer(p), nil)
 	p.park()
 }
 
@@ -88,7 +89,7 @@ func (p *Proc) WaitUntil(t Time) {
 	if t < p.k.now {
 		t = p.k.now
 	}
-	p.k.AtFunc(t, resumeProc, p, nil)
+	p.k.AtFunc(t, resumeProc, unsafe.Pointer(p), nil)
 	p.park()
 }
 
@@ -100,5 +101,5 @@ func (p *Proc) waitExternal() { p.park() }
 
 // resumeNow schedules p to be resumed at the current virtual instant.
 func (p *Proc) resumeNow() {
-	p.k.AtFunc(p.k.now, resumeProc, p, nil)
+	p.k.AtFunc(p.k.now, resumeProc, unsafe.Pointer(p), nil)
 }

@@ -3,6 +3,7 @@ package tcpsim
 import (
 	"fmt"
 	"sync"
+	"unsafe"
 
 	"repro/internal/netsim"
 )
@@ -115,12 +116,12 @@ func Start(n *netsim.Network, src, dst netsim.NodeID, nbytes int64, cfg Config) 
 		s.finish = s.start
 		return &s.handle, nil
 	}
-	n.K.AtFunc(n.K.Now(), startPump, s, nil)
+	n.K.AtFunc(n.K.Now(), startPump, unsafe.Pointer(s), nil)
 	return &s.handle, nil
 }
 
 // startPump is the closure-free initial-pump trampoline.
-func startPump(a0, _ any) { a0.(*sender).pump() }
+func startPump(a0, _ unsafe.Pointer) { (*sender)(a0).pump() }
 
 // Done reports whether the flow has completed successfully.
 func (f *Flow) Done() bool { return f.s.done }

@@ -10,6 +10,7 @@ package tcpsim
 import (
 	"fmt"
 	"time"
+	"unsafe"
 
 	"repro/internal/netsim"
 	"repro/internal/sim"
@@ -313,7 +314,7 @@ func (s *sender) rto() time.Duration {
 
 // fireRTO is the closure-free RTO trampoline; the sender rides in the
 // event record.
-func fireRTO(a0, _ any) { a0.(*sender).onRTO() }
+func fireRTO(a0, _ unsafe.Pointer) { (*sender)(a0).onRTO() }
 
 func (s *sender) armRTO() {
 	s.n.K.Cancel(s.rtoEv)
@@ -321,7 +322,7 @@ func (s *sender) armRTO() {
 	if s.done || s.ackSeq >= s.nextSeq {
 		return // nothing outstanding
 	}
-	s.rtoEv = s.n.K.AfterFunc(s.rto(), fireRTO, s, nil)
+	s.rtoEv = s.n.K.AfterFunc(s.rto(), fireRTO, unsafe.Pointer(s), nil)
 }
 
 func (s *sender) onRTO() {
