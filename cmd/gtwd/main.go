@@ -1,19 +1,27 @@
 // Command gtwd is the distributed-run coordinator: it serves scenario
-// runs to any number of concurrent clients through a job queue with an
-// LRU result cache, and fans distributable sweep grids out to gtwworker
-// processes over the lease-based JSON/HTTP protocol of internal/dist.
+// runs to any number of concurrent clients through a job queue, and
+// fans every scenario's execution plan — sweep grids and one-point
+// wrapped applications alike — out to gtwworker processes over the
+// lease-based JSON/HTTP protocol of internal/dist.
 //
 // Local shards and remote workers steal from the same work queue, so a
 // coordinator with zero workers still completes every job, and each
-// worker that connects simply makes the queue drain faster. Leases not
-// heartbeaten within -lease-ttl are requeued and re-run elsewhere, so
-// killed workers cost time, never results: reports stay byte-identical
+// worker that connects simply makes the queue drain faster. Workers
+// stream each point's result as it finishes; a lease not heartbeaten
+// within -lease-ttl is requeued, but only its unstreamed tail re-runs.
+// Killed workers cost time, never results: reports stay byte-identical
 // to a single-kernel run at any worker count.
+//
+// Finished points land in a content-addressed store (-cache entries,
+// keyed by scenario + grid coordinates + the options the point actually
+// depends on), so a later job whose grid overlaps — resubmitted, or
+// differing only in irrelevant options — reuses them instead of
+// re-simulating; job statuses report the reuse as point_hits.
 //
 // Usage:
 //
 //	gtwd [-addr :9191] [-lease-ttl 10s] [-local-shards 1]
-//	     [-cache 64] [-jobs 4] [-poll 200ms]
+//	     [-cache 4096] [-jobs 4] [-poll 200ms]
 //
 // Then point workers and clients at it:
 //
@@ -40,7 +48,8 @@ func main() {
 		"how long a worker may hold a lease without heartbeating before its points are requeued")
 	localShards := flag.Int("local-shards", 1,
 		"in-process shards the coordinator contributes to every distributed job (negative = pure remote)")
-	cacheSize := flag.Int("cache", 64, "LRU result-cache entries (keyed by scenario+options)")
+	cacheSize := flag.Int("cache", 4096,
+		"content-addressed point-store entries (finished grid points, LRU-evicted)")
 	maxJobs := flag.Int("jobs", 4, "concurrently running jobs; further submissions queue FIFO")
 	poll := flag.Duration("poll", 200*time.Millisecond, "idle-poll interval hint for workers")
 	flag.Parse()
@@ -54,7 +63,7 @@ func main() {
 		Logf:        log.Printf,
 	})
 	defer c.Close()
-	log.Printf("coordinator listening on %s (lease ttl %s, %d local shard(s), cache %d)",
+	log.Printf("coordinator listening on %s (lease ttl %s, %d local shard(s), point store %d)",
 		*addr, *leaseTTL, *localShards, *cacheSize)
 	log.Fatal(http.ListenAndServe(*addr, c.Handler()))
 }

@@ -54,18 +54,27 @@ import (
 )
 
 // jsonEnvelope is the -json output schema, one object per scenario.
-// The golden test (testdata/envelope.golden) pins it: the report stays
-// byte-identical whatever the shard/worker count, and the envelope
-// carries the execution metadata around it.
+// The golden tests (testdata/envelope.golden, envelope_connect.golden)
+// pin it: the report stays byte-identical whatever the shard/worker
+// count or cache path, and the envelope carries the execution metadata
+// around it.
 type jsonEnvelope struct {
 	Scenario  string `json:"scenario"`
 	ElapsedMS int64  `json:"elapsed_ms"`
 	// Workers counts the participants (in-process shards or remote
 	// workers) that evaluated at least one grid point; 0 for non-sweep
-	// scenarios.
+	// scenarios and for fully cache-served jobs.
 	Workers int               `json:"workers,omitempty"`
 	Shards  []gtw.ShardTiming `json:"shards,omitempty"`
-	Report  json.RawMessage   `json:"report"`
+	// PointHits counts grid points served from the coordinator's
+	// content-addressed point store (-connect runs only); Cached marks
+	// a job every one of whose points was a hit.
+	PointHits int  `json:"point_hits,omitempty"`
+	Cached    bool `json:"cached,omitempty"`
+	// Error carries the failure text when the scenario failed; the
+	// envelope then has no report.
+	Error  string          `json:"error,omitempty"`
+	Report json.RawMessage `json:"report,omitempty"`
 }
 
 func main() {
@@ -259,6 +268,14 @@ func runServe(addr string, stderr io.Writer) int {
 // prints the reports exactly as a local run would: same text layout,
 // same -json envelope (the report bytes are byte-identical to a local
 // run by the dispatch-invariance guarantee).
+//
+// Failures surface the coordinator's view, not just a transport status:
+// a failed job prints its failure text and how far it got
+// (points done/total); a submit-or-poll error after the job was
+// accepted re-polls the coordinator for its last known state; and a
+// "done" job without a report counts as failed. Every failure path
+// exits non-zero, and with -json emits an error envelope so scripted
+// consumers see the failure on stdout too.
 func runConnect(ctx context.Context, url string, names []string, o gtw.Options,
 	asJSON bool, stdout, stderr io.Writer) int {
 	if len(names) == 0 {
@@ -269,28 +286,66 @@ func runConnect(ctx context.Context, url string, names []string, o gtw.Options,
 	cl := &dist.Client{Base: url}
 	start := time.Now()
 	failed := 0
+	fail := func(name, msg string) {
+		failed++
+		if asJSON {
+			printEnvelope(stdout, stderr, jsonEnvelope{Scenario: name, Error: msg})
+		}
+		fmt.Fprintf(stderr, "%-24s FAILED: %s\n", name, msg)
+	}
 	for _, name := range names {
-		st, err := cl.Run(ctx, dist.JobRequest{Scenario: name, Opts: dist.FromOptions(o)})
+		st, err := cl.Submit(ctx, dist.JobRequest{Scenario: name, Opts: dist.FromOptions(o)})
+		jobID := ""
+		if err == nil {
+			jobID = st.ID
+			if st.Status != dist.JobDone && st.Status != dist.JobFailed {
+				st, err = cl.Wait(ctx, st.ID)
+			}
+		}
 		if err != nil {
-			failed++
-			fmt.Fprintf(stderr, "%-24s FAILED: %v\n", name, err)
+			msg := err.Error()
+			// The job may still exist (and even still run) on the
+			// coordinator: surface its last known state and progress
+			// instead of only the transport error.
+			if jobID != "" {
+				if last := lastStatus(cl, jobID); last != nil {
+					msg = fmt.Sprintf("%v (coordinator: job %s %s, %d/%d points done)",
+						err, last.ID, last.Status, last.PointsDone, last.PointsTotal)
+				}
+			}
+			fail(name, msg)
 			continue
 		}
 		if st.Status != dist.JobDone {
-			failed++
-			fmt.Fprintf(stderr, "%-24s FAILED after %s: %s\n", name,
-				(time.Duration(st.ElapsedMS) * time.Millisecond).Round(time.Millisecond), st.Error)
+			msg := st.Error
+			if msg == "" {
+				msg = "job " + st.Status
+			}
+			if st.PointsTotal > 0 {
+				msg = fmt.Sprintf("%s (%d/%d points done)", msg, st.PointsDone, st.PointsTotal)
+			}
+			fail(name, fmt.Sprintf("after %s: %s",
+				(time.Duration(st.ElapsedMS)*time.Millisecond).Round(time.Millisecond), msg))
+			continue
+		}
+		if len(st.Report) == 0 {
+			fail(name, fmt.Sprintf("job %s done but the coordinator returned no report", st.ID))
 			continue
 		}
 		if asJSON {
 			printEnvelope(stdout, stderr, jsonEnvelope{
 				Scenario: name, ElapsedMS: st.ElapsedMS,
-				Workers: st.Workers, Shards: st.Shards, Report: st.Report,
+				Workers: st.Workers, Shards: st.Shards,
+				PointHits: st.PointHits, Cached: st.Cached,
+				Report: st.Report,
 			})
 		} else {
 			cached := ""
-			if st.Cached {
+			switch {
+			case st.Cached:
 				cached = ", cached"
+			case st.PointHits > 0:
+				cached = fmt.Sprintf(", %d/%d points cached", st.PointHits, st.PointsTotal)
 			}
 			fmt.Fprintf(stdout, "=== %s (%s via %s%s)\n", name,
 				(time.Duration(st.ElapsedMS) * time.Millisecond).Round(time.Millisecond), url, cached)
@@ -306,4 +361,18 @@ func runConnect(ctx context.Context, url string, names []string, o gtw.Options,
 		return 1
 	}
 	return 0
+}
+
+// lastStatus fetches a job's status on a fresh short-lived context, for
+// error paths where the caller's context is already dead (timeout) or
+// the poll just failed transiently. Nil when the coordinator cannot be
+// asked.
+func lastStatus(cl *dist.Client, jobID string) *dist.JobStatus {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	st, err := cl.Job(ctx, jobID)
+	if err != nil {
+		return nil
+	}
+	return st
 }

@@ -2,8 +2,10 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -217,11 +219,131 @@ func TestConnectMatchesLocalRun(t *testing.T) {
 		t.Errorf("-connect envelope missing execution metadata: workers=%d shards=%v",
 			remote.Workers, remote.Shards)
 	}
-	// A second -connect run is served from the coordinator's cache,
+	// A second -connect run is served from the coordinator's
+	// content-addressed point store — every grid point hits — and is
 	// still byte-identical.
 	again := parseEnvelope("-json", "-connect", srv.URL, "backbone-aggregate")
 	if !bytes.Equal(local.Report, again.Report) {
 		t.Error("cached -connect report differs from local run")
+	}
+	if !again.Cached || again.PointHits == 0 {
+		t.Errorf("second -connect run not served from the point store: cached=%v point_hits=%d",
+			again.Cached, again.PointHits)
+	}
+}
+
+// A coordinator-side job failure must surface the coordinator's failure
+// text and the job's progress — not just an HTTP status — and exit
+// non-zero; with -json the failure lands on stdout as an error
+// envelope, so scripted consumers see it too.
+func TestConnectSurfacesJobFailureText(t *testing.T) {
+	gtw.MustRegister(gtw.NewSweep("gtwrun-fail-sweep", "always fails at point 1",
+		[]gtw.Axis{{Name: "i", Values: []any{0, 1, 2}}},
+		func(ctx context.Context, tb *gtw.Testbed, opts gtw.Options, pt gtw.Point) (any, error) {
+			if pt.Index == 1 {
+				return nil, fmt.Errorf("synthetic point failure")
+			}
+			return gtw.Figure1Row{Path: "ok"}, nil
+		},
+		func(opts gtw.Options, results []any) (gtw.Report, error) {
+			return &gtw.Figure1Report{}, nil
+		}).NoShardTestbed().WirePoint(gtw.Figure1Row{}))
+
+	c := dist.New(dist.Config{LocalShards: 1, Logf: t.Logf})
+	defer c.Close()
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-connect", srv.URL, "gtwrun-fail-sweep"}, &out, &errOut); code != 1 {
+		t.Fatalf("run(-connect failing job) = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "synthetic point failure") {
+		t.Errorf("stderr does not surface the coordinator-side failure text: %s", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "points done") {
+		t.Errorf("stderr does not surface the job's progress: %s", errOut.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-json", "-connect", srv.URL, "gtwrun-fail-sweep"}, &out, &errOut); code != 1 {
+		t.Fatalf("run(-json -connect failing job) = %d, want 1", code)
+	}
+	var env jsonEnvelope
+	if err := json.Unmarshal([]byte(strings.TrimSpace(out.String())), &env); err != nil {
+		t.Fatalf("no error envelope on stdout: %v\n%s", err, out.String())
+	}
+	if env.Error == "" || !strings.Contains(env.Error, "synthetic point failure") {
+		t.Errorf("error envelope missing failure text: %+v", env)
+	}
+	if len(env.Report) != 0 {
+		t.Errorf("error envelope carries a report: %s", env.Report)
+	}
+}
+
+// An unreachable coordinator is a failure with the transport error in
+// the text, not a silent success.
+func TestConnectUnreachableCoordinatorFails(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-connect", "http://127.0.0.1:1", "table1-model"}, &out, &errOut); code != 1 {
+		t.Errorf("run(-connect unreachable) = %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "FAILED") {
+		t.Errorf("stderr missing failure line: %s", errOut.String())
+	}
+}
+
+// The -connect envelope schema — including the point_hits and cached
+// fields of the content-addressed point store — pinned by its own
+// golden file. A job is submitted twice: the second is served entirely
+// from the store, so its envelope is deterministic (volatile timings
+// normalized). Regenerate deliberately with -update.
+func TestConnectJSONEnvelopeGolden(t *testing.T) {
+	c := dist.New(dist.Config{LocalShards: 1, Logf: t.Logf})
+	defer c.Close()
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	runConnectJSON := func() string {
+		t.Helper()
+		var out, errOut strings.Builder
+		args := []string{"-json", "-connect", srv.URL, "backbone-aggregate"}
+		if code := run(args, &out, &errOut); code != 0 {
+			t.Fatalf("run(%v) = %d, stderr: %s", args, code, errOut.String())
+		}
+		return strings.TrimSpace(out.String())
+	}
+	runConnectJSON() // warm the point store
+	line := runConnectJSON()
+	var env map[string]any
+	if err := json.Unmarshal([]byte(line), &env); err != nil {
+		t.Fatalf("envelope is not valid JSON: %v\n%s", err, line)
+	}
+	env["elapsed_ms"] = 0
+	if shards, ok := env["shards"].([]any); ok {
+		for _, s := range shards {
+			s.(map[string]any)["elapsed_ns"] = 0
+		}
+	}
+	got, err := json.MarshalIndent(env, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "envelope_connect.golden")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("-connect envelope drifted from %s (regenerate deliberately with -update):\n--- got\n%s--- want\n%s",
+			golden, got, want)
 	}
 }
 

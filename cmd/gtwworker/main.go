@@ -1,8 +1,11 @@
-// Command gtwworker is the distributed-run worker: it pulls shard
-// leases from a gtwd (or gtwrun -serve) coordinator, evaluates the
-// leased grid points on a fresh simulation kernel — a fresh testbed per
-// lease, exactly as an in-process shard would — and streams the
-// per-point results back, heartbeating while it computes.
+// Command gtwworker is the distributed-run worker: it pulls leases from
+// a gtwd (or gtwrun -serve) coordinator, evaluates the leased grid
+// points on its own simulation kernels, and streams each point's result
+// back the moment it finishes, heartbeating while it computes. Any
+// scenario can arrive — sweeps lease runs of their grid, one-shot
+// applications lease their single wrapped point — and testbeds are
+// cached per job (keyed by Config), so the leases of one sweep stop
+// rebuilding the same topology.
 //
 // The worker's ID is sticky for the process lifetime (or across
 // restarts when pinned with -id): the coordinator's per-worker

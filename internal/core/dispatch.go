@@ -94,7 +94,7 @@ type pointQueue struct {
 // rateAlpha is the EWMA smoothing factor for per-worker throughput.
 const rateAlpha = 0.4
 
-func newPointQueue(points, workers int, presplit bool) *pointQueue {
+func newPointQueue(points, workers int, presplit bool, skip []bool) *pointQueue {
 	if workers < 1 {
 		workers = 1
 	}
@@ -107,7 +107,15 @@ func newPointQueue(points, workers int, presplit bool) *pointQueue {
 		done:        make(chan struct{}),
 	}
 	q.cond = sync.NewCond(&q.mu)
-	if presplit {
+	switch {
+	case len(skip) == points && points > 0:
+		// Points already done (content-addressed store hits) count as
+		// completed and are never leased: the pending spans are the
+		// maximal runs of missing points.
+		var credited int
+		q.spans, credited = missingSpans(0, skip)
+		q.completed += credited
+	case presplit:
 		// PR 3's contiguous batches: worker s's batch is [lo, hi).
 		for s := 0; s < workers && s < points; s++ {
 			lo := s * points / workers
@@ -116,10 +124,10 @@ func newPointQueue(points, workers int, presplit bool) *pointQueue {
 				q.spans = append(q.spans, span{lo, hi})
 			}
 		}
-	} else if points > 0 {
+	case points > 0:
 		q.spans = []span{{0, points}}
 	}
-	if points == 0 {
+	if q.completed == q.total {
 		close(q.done)
 	}
 	return q
@@ -128,7 +136,16 @@ func newPointQueue(points, workers int, presplit bool) *pointQueue {
 // NewWorkStealingDispatcher builds the default dispatcher: one shared
 // point queue all workers lease from, with EWMA-steered lease sizes.
 func NewWorkStealingDispatcher(points, workers int) Dispatcher {
-	return newPointQueue(points, workers, false)
+	return newPointQueue(points, workers, false, nil)
+}
+
+// NewWorkStealingDispatcherSkipping is the work-stealing dispatcher
+// over a grid where some points are already done (served from the
+// coordinator's point store): done points are credited as completed up
+// front and only the missing runs are leased. A nil done slice means
+// nothing is skipped.
+func NewWorkStealingDispatcherSkipping(points, workers int, done []bool) Dispatcher {
+	return newPointQueue(points, workers, false, done)
 }
 
 // NewContiguousDispatcher builds the static pre-split dispatcher: the
@@ -137,7 +154,7 @@ func NewWorkStealingDispatcher(points, workers int) Dispatcher {
 // against work stealing on an uneven grid) and for callers that want
 // deterministic shard->points assignment.
 func NewContiguousDispatcher(points, workers int) Dispatcher {
-	return newPointQueue(points, workers, true)
+	return newPointQueue(points, workers, true, nil)
 }
 
 // leaseSizeLocked picks how many points to carve for worker w.
@@ -277,6 +294,55 @@ func (q *pointQueue) Requeue(l Lease) {
 	// whole remaining grid.
 	q.spans = append([]span{{l.Lo, l.Hi}}, q.spans...)
 	q.cond.Broadcast()
+}
+
+// partialRequeuer is the optional dispatcher extension behind
+// SweepRun.Abandon: retire an expired lease crediting the points its
+// worker streamed before dying, requeueing only the unfinished rest.
+type partialRequeuer interface {
+	RequeuePartial(l Lease, finished []bool)
+}
+
+// RequeuePartial retires an outstanding lease whose worker died after
+// streaming some of its points: finished[k] (covering point l.Lo+k)
+// counts as completed, the unfinished runs go back to the front of the
+// queue. A lease that already completed is ignored, like Requeue.
+func (q *pointQueue) RequeuePartial(l Lease, finished []bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, ok := q.outstanding[l.Seq]; !ok {
+		return
+	}
+	delete(q.outstanding, l.Seq)
+	retry, credited := missingSpans(l.Lo, finished)
+	q.completed += credited
+	q.spans = append(retry, q.spans...)
+	if q.completed == q.total {
+		close(q.done)
+	}
+	q.cond.Broadcast()
+}
+
+// missingSpans turns a done-mask into the maximal runs of not-done
+// points (offset by base into grid coordinates) plus the count of done
+// points — shared by the skip-construction and partial-requeue paths so
+// their boundary arithmetic cannot drift apart.
+func missingSpans(base int, done []bool) (spans []span, credited int) {
+	lo := -1
+	for i := 0; i <= len(done); i++ {
+		missing := i < len(done) && !done[i]
+		if missing && lo < 0 {
+			lo = base + i
+		}
+		if !missing && lo >= 0 {
+			spans = append(spans, span{lo, base + i})
+			lo = -1
+		}
+		if i < len(done) && done[i] {
+			credited++
+		}
+	}
+	return spans, credited
 }
 
 // Done implements Dispatcher.

@@ -320,6 +320,8 @@ feed:
 }
 
 // runOne executes a single scenario with panic containment and timing.
+// The testbed decision (fresh, shared, or shard-built) lives in the
+// scenario's Plan, not here.
 func runOne(ctx context.Context, s Scenario, o Options) (res RunResult) {
 	res.Name = s.Name()
 	start := time.Now()
@@ -333,14 +335,6 @@ func runOne(ctx context.Context, s Scenario, o Options) (res RunResult) {
 		res.Err = err
 		return res
 	}
-	tb := o.Testbed
-	if tb == nil {
-		// Sweeps build their shards' testbeds themselves; constructing
-		// one here would only be thrown away.
-		if _, sweep := s.(*Sweep); !sweep {
-			tb = New(Config{WAN: o.WAN, Extensions: o.Extensions})
-		}
-	}
-	res.Report, res.Err = s.Run(ctx, tb, o)
+	res.Report, res.Err = PlanFor(s).Run(ctx, o)
 	return res
 }

@@ -37,7 +37,7 @@ func init() {
 				rows = append(rows, r.(Figure1Row))
 			}
 			return &Figure1Report{Rows: append(rows, figure1AnalyticRows()...)}, nil
-		}).WirePoint(Figure1Row{}))
+		}).WirePoint(Figure1Row{}).PointDeps(OptWAN, OptExtensions))
 
 	MustRegister(NewScenario("figure2-endtoend",
 		"Section 4: realtime-fMRI end-to-end latency budget (Figure 2)",
@@ -114,7 +114,7 @@ func init() {
 				rep.Aggregate = append(rep.Aggregate, r.(AggregateRow))
 			}
 			return rep, nil
-		}).NoShardTestbed().WirePoint(AggregateRow{}))
+		}).NoShardTestbed().WirePoint(AggregateRow{}).PointDeps(OptFlows))
 
 	MustRegister(NewSweep("mixed-traffic",
 		"Section 2: 270 Mbit/s D1 video sharing the backbone with bulk TCP",
@@ -128,7 +128,7 @@ func init() {
 				rep.Mixed = append(rep.Mixed, r.(MixedTrafficResult))
 			}
 			return rep, nil
-		}).NoShardTestbed().WirePoint(MixedTrafficResult{}))
+		}).NoShardTestbed().WirePoint(MixedTrafficResult{}).PointDeps())
 
 	// The fMRI dataflow as a partition-size sweep: one five-computer
 	// DES (its own kernel, network and testbed) per PE count, sharded
@@ -150,7 +150,7 @@ func init() {
 				rep.Rows = append(rep.Rows, r.(FMRIDataflowReport))
 			}
 			return rep, nil
-		}).NoShardTestbed().WirePoint(FMRIDataflowReport{}))
+		}).NoShardTestbed().WirePoint(FMRIDataflowReport{}).PointDeps(OptFrames))
 
 	MustRegister(NewScenario("future-work",
 		"Sections 1+4 outlook: B-WiN saturation and multi-echo feasibility",

@@ -2,10 +2,13 @@ package core
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"reflect"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 )
@@ -68,7 +71,19 @@ type Sweep struct {
 	runPoint   PointFunc
 	merge      MergeFunc
 	noTestbed  bool
-	wireType   reflect.Type
+	// encode/decode are the wire codec for point results; nil means the
+	// sweep is not distributable. WirePoint installs the default
+	// JSON-of-concrete-type codec; plan wrappers install a report codec.
+	encode func(v any) ([]byte, error)
+	decode func(b []byte) (any, error)
+	// keyDeps lists the Options fields the point function reads (nil:
+	// assume all wire fields), narrowing each point's content address.
+	keyDeps []OptField
+	// grid memoizes Points(): axes are fixed at construction, and the
+	// per-point paths (EvalPoint in the worker's streaming loop) must
+	// not re-enumerate the whole grid per point.
+	gridOnce sync.Once
+	grid     []Point
 }
 
 // NoShardTestbed declares that every point function builds its own
@@ -98,26 +113,30 @@ func (sw *Sweep) Description() string { return sw.desc }
 func (sw *Sweep) Axes() []Axis { return sw.axes }
 
 // Points enumerates the grid in row-major order (last axis fastest).
+// The slice is computed once and shared; callers must not mutate it.
 func (sw *Sweep) Points() []Point {
-	total := 1
-	for _, ax := range sw.axes {
-		total *= len(ax.Values)
-	}
-	if len(sw.axes) == 0 {
-		total = 0
-	}
-	pts := make([]Point, total)
-	for i := 0; i < total; i++ {
-		coords := make([]any, len(sw.axes))
-		rem := i
-		for a := len(sw.axes) - 1; a >= 0; a-- {
-			n := len(sw.axes[a].Values)
-			coords[a] = sw.axes[a].Values[rem%n]
-			rem /= n
+	sw.gridOnce.Do(func() {
+		total := 1
+		for _, ax := range sw.axes {
+			total *= len(ax.Values)
 		}
-		pts[i] = Point{Index: i, Coords: coords}
-	}
-	return pts
+		if len(sw.axes) == 0 {
+			total = 0
+		}
+		pts := make([]Point, total)
+		for i := 0; i < total; i++ {
+			coords := make([]any, len(sw.axes))
+			rem := i
+			for a := len(sw.axes) - 1; a >= 0; a-- {
+				n := len(sw.axes[a].Values)
+				coords[a] = sw.axes[a].Values[rem%n]
+				rem /= n
+			}
+			pts[i] = Point{Index: i, Coords: coords}
+		}
+		sw.grid = pts
+	})
+	return sw.grid
 }
 
 // ShardTiming records one shard's — or, in a distributed run, one
@@ -385,6 +404,91 @@ func (r *SweepRun) Deliver(l Lease, vals []any, errStrs []string, elapsed time.D
 	return true
 }
 
+// Prefill records a point result obtained outside this run — the
+// coordinator's content-addressed point store — before dispatch begins.
+// Prefilled points must also be marked done in the dispatcher
+// (NewWorkStealingDispatcherSkipping), so they are never leased.
+func (r *SweepRun) Prefill(i int, val any) {
+	r.mu.Lock()
+	r.results[i] = val
+	r.errs[i] = nil
+	r.visited[i] = true
+	r.mu.Unlock()
+}
+
+// DeliverPoint records one point of an outstanding lease, streamed by a
+// remote worker before the lease completes. It does not touch the
+// dispatcher: the lease either completes normally later (Deliver) or
+// expires, in which case Abandon credits the streamed points and
+// requeues only the unfinished tail. Reports false for an index outside
+// the lease.
+func (r *SweepRun) DeliverPoint(l Lease, index int, val any, errStr string) bool {
+	if index < l.Lo || index >= l.Hi {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.results[index] = val
+	if errStr != "" {
+		r.errs[index] = fmt.Errorf("worker %s: %s", l.Worker, errStr)
+	} else {
+		r.errs[index] = nil
+	}
+	r.visited[index] = true
+	return true
+}
+
+// Abandon retires a lease whose worker died, crediting the points it
+// already streamed (finished[k] covers point l.Lo+k) and requeueing
+// only the unfinished tail, so a worker lost late in a lease costs only
+// its unstreamed points. A nil or all-false finished degrades to a full
+// Requeue.
+func (r *SweepRun) Abandon(l Lease, finished []bool) {
+	partial := false
+	for _, f := range finished {
+		if f {
+			partial = true
+			break
+		}
+	}
+	if partial && len(finished) == l.Points() {
+		if pr, ok := r.d.(partialRequeuer); ok {
+			pr.RequeuePartial(l, finished)
+			return
+		}
+	}
+	r.d.Requeue(l)
+}
+
+// Progress reports how many grid points have a recorded result (from
+// any path: local shards, streamed points, completed leases, prefills)
+// out of the grid total.
+func (r *SweepRun) Progress() (done, total int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, v := range r.visited {
+		if v {
+			done++
+		}
+	}
+	return done, len(r.visited)
+}
+
+// Values snapshots the per-point results; ok[i] is true where point i
+// completed without error. The coordinator uses it to persist freshly
+// computed points into its store after a run.
+func (r *SweepRun) Values() (vals []any, ok []bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	vals = make([]any, len(r.results))
+	ok = make([]bool, len(r.results))
+	copy(vals, r.results)
+	for i := range r.results {
+		ok[i] = r.visited[i] && r.errs[i] == nil
+	}
+	return vals, ok
+}
+
 // claim completes l against the dispatcher and reports whether this
 // call was the one that retired it (false: duplicate or expired).
 func (r *SweepRun) claim(l Lease, elapsed time.Duration) bool {
@@ -454,20 +558,34 @@ func (r *SweepRun) Report(ctx context.Context) (Report, error) {
 // WirePoint declares the concrete type a point result decodes into when
 // it travels between a remote worker and the coordinator (JSON over
 // HTTP). proto is a zero value of the per-point result type — e.g.
-// WirePoint(Figure1Row{}). Sweeps without a wire type are not
+// WirePoint(Figure1Row{}). Sweeps without a wire codec are not
 // distributable and always run in-process. Returns the sweep for
 // chaining, like NoShardTestbed.
 func (sw *Sweep) WirePoint(proto any) *Sweep {
-	sw.wireType = reflect.TypeOf(proto)
+	wireType := reflect.TypeOf(proto)
+	sw.encode = json.Marshal
+	sw.decode = func(b []byte) (any, error) {
+		pv := reflect.New(wireType)
+		if err := json.Unmarshal(b, pv.Interface()); err != nil {
+			return nil, fmt.Errorf("core: sweep %q: decoding point result: %w", sw.name, err)
+		}
+		return pv.Elem().Interface(), nil
+	}
 	return sw
 }
 
-// Distributable reports whether the sweep declared a wire type for its
+// Distributable reports whether the sweep has a wire codec for its
 // point results and so can run across remote workers.
-func (sw *Sweep) Distributable() bool { return sw.wireType != nil }
+func (sw *Sweep) Distributable() bool { return sw.decode != nil }
 
-// EncodePoint marshals one point result for the wire.
-func (sw *Sweep) EncodePoint(v any) ([]byte, error) { return json.Marshal(v) }
+// EncodePoint marshals one point result for the wire (and for the
+// coordinator's content-addressed point store).
+func (sw *Sweep) EncodePoint(v any) ([]byte, error) {
+	if sw.encode == nil {
+		return json.Marshal(v)
+	}
+	return sw.encode(v)
+}
 
 // DecodePoint unmarshals one point result into the declared wire type,
 // so MergeFunc's type assertions see the same concrete type a local
@@ -475,20 +593,17 @@ func (sw *Sweep) EncodePoint(v any) ([]byte, error) { return json.Marshal(v) }
 // exactly (shortest-representation encoding), which is what keeps a
 // distributed report byte-identical to a local one.
 func (sw *Sweep) DecodePoint(b []byte) (any, error) {
-	if sw.wireType == nil {
-		return nil, fmt.Errorf("core: sweep %q has no wire type (WirePoint not declared)", sw.name)
+	if sw.decode == nil {
+		return nil, fmt.Errorf("core: sweep %q has no wire codec (WirePoint not declared)", sw.name)
 	}
-	pv := reflect.New(sw.wireType)
-	if err := json.Unmarshal(b, pv.Interface()); err != nil {
-		return nil, fmt.Errorf("core: sweep %q: decoding point result: %w", sw.name, err)
-	}
-	return pv.Elem().Interface(), nil
+	return sw.decode(b)
 }
 
-// RunLease evaluates grid points [lo, hi) the way a remote worker does:
-// on a fresh testbed built for this lease (nil for NoShardTestbed
-// sweeps), results and error strings in grid order. Panics are
-// contained per point, like in-process shards.
+// RunLease evaluates grid points [lo, hi) the way a non-streaming
+// remote worker does: on a fresh testbed built for this lease (nil for
+// NoShardTestbed sweeps), results and error strings in grid order.
+// Panics are contained per point, like in-process shards. (The real
+// worker streams instead: EvalPoint per point on its cached testbed.)
 func (sw *Sweep) RunLease(ctx context.Context, opts Options, lo, hi int) ([]any, []string, error) {
 	pts := sw.Points()
 	if lo < 0 || hi > len(pts) || lo >= hi {
@@ -508,4 +623,91 @@ func (sw *Sweep) RunLease(ctx context.Context, opts Options, lo, hi int) ([]any,
 		}
 	}
 	return vals, errStrs, nil
+}
+
+// EvalPoint evaluates the single grid point at index i on tb, with the
+// same panic containment an in-process shard applies — the unit the
+// streaming worker uploads as soon as it finishes.
+func (sw *Sweep) EvalPoint(ctx context.Context, tb *Testbed, opts Options, i int) (any, error) {
+	pts := sw.Points()
+	if i < 0 || i >= len(pts) {
+		return nil, fmt.Errorf("core: sweep %q: point %d outside grid of %d points", sw.name, i, len(pts))
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return sw.runOnePoint(ctx, tb, opts, pts[i])
+}
+
+// NeedsShardTestbed reports whether the sweep's points run on a
+// shard-built testbed (false after NoShardTestbed).
+func (sw *Sweep) NeedsShardTestbed() bool { return !sw.noTestbed }
+
+// ----------------------------------------------- content addressing --
+
+// OptField names one cross-machine Options field for PointDeps.
+type OptField string
+
+// The Options fields a point's content address can depend on.
+const (
+	OptWAN        OptField = "wan"
+	OptExtensions OptField = "ext"
+	OptPEs        OptField = "pes"
+	OptFrames     OptField = "frames"
+	OptFlows      OptField = "flows"
+)
+
+// allOptFields is the conservative default: every wire field is assumed
+// to influence every point.
+var allOptFields = []OptField{OptWAN, OptExtensions, OptPEs, OptFrames, OptFlows}
+
+// PointDeps declares which Options fields the sweep's points actually
+// read — directly, or through the shard testbed they run on. It narrows
+// each point's content address, so jobs that differ only in irrelevant
+// options (say, Frames for a sweep that never reads it) reuse each
+// other's finished points in the coordinator's store. Calling it with
+// no arguments declares the points option-independent. The default
+// (never called) keys points on every wire field: always correct,
+// least reuse. Returns the sweep for chaining, like NoShardTestbed.
+func (sw *Sweep) PointDeps(fields ...OptField) *Sweep {
+	sw.keyDeps = append([]OptField{}, fields...)
+	return sw
+}
+
+// PointKey returns the content address of one grid point: a hash of the
+// scenario name, the point's grid index and coordinates, and the
+// declared option dependencies. Two jobs whose keys match are asking
+// for the same computation, so a finished point's wire bytes can be
+// served to either — the cross-job reuse behind the coordinator's point
+// store. The index is the authoritative discriminator within a grid
+// (axis values need not marshal distinctly); coordinates and options
+// guard against grids or parameters changing between submissions.
+func (sw *Sweep) PointKey(opts Options, pt Point) string {
+	coords, err := json.Marshal(pt.Coords)
+	if err != nil {
+		coords = []byte("unmarshalable")
+	}
+	deps := sw.keyDeps
+	if deps == nil {
+		deps = allOptFields
+	}
+	var b strings.Builder
+	b.WriteString(sw.name)
+	for _, f := range deps {
+		switch f {
+		case OptWAN:
+			fmt.Fprintf(&b, "|wan=%d", int(opts.WAN))
+		case OptExtensions:
+			fmt.Fprintf(&b, "|ext=%t", opts.Extensions)
+		case OptPEs:
+			fmt.Fprintf(&b, "|pes=%d", opts.PEs)
+		case OptFrames:
+			fmt.Fprintf(&b, "|frames=%d", opts.Frames)
+		case OptFlows:
+			fmt.Fprintf(&b, "|flows=%d", opts.Flows)
+		}
+	}
+	fmt.Fprintf(&b, "|pt=%d:%s", pt.Index, coords)
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
 }

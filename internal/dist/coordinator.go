@@ -27,7 +27,8 @@ type Config struct {
 	// coordinator with no workers still makes progress); negative
 	// disables local evaluation entirely (pure remote execution).
 	LocalShards int
-	// CacheSize bounds the LRU result cache (entries; default 64).
+	// CacheSize bounds the content-addressed point store (finished
+	// grid points, LRU-evicted; default 4096).
 	CacheSize int
 	// MaxJobs bounds concurrently running jobs (default 4); further
 	// submissions queue FIFO.
@@ -56,7 +57,7 @@ func (cfg Config) withDefaults() Config {
 		cfg.LocalShards = -1
 	}
 	if cfg.CacheSize <= 0 {
-		cfg.CacheSize = 64
+		cfg.CacheSize = 4096
 	}
 	if cfg.MaxJobs <= 0 {
 		cfg.MaxJobs = 4
@@ -82,10 +83,19 @@ type job struct {
 	elapsed  time.Duration
 	cancel   context.CancelFunc
 
-	// run is non-nil while a distributable sweep is executing: the
-	// lease handlers dispatch from run.Dispatcher().
+	// run is non-nil while a distributable plan is executing: the
+	// lease handlers dispatch from run.Dispatcher(). sw is the plan's
+	// executable grid (the scenario itself, or its one-point wrapper).
 	run *core.SweepRun
 	sw  *core.Sweep
+	// keys holds each grid point's content address; prefilled marks the
+	// points served from the store when the job started.
+	keys      []string
+	prefilled []bool
+
+	pointsTotal int
+	pointsDone  int
+	pointHits   int
 
 	report  []byte
 	text    string
@@ -100,11 +110,15 @@ type leaseKey struct {
 	seq   uint64
 }
 
-// leaseRec tracks a lease checked out by a remote worker.
+// leaseRec tracks a lease checked out by a remote worker. streamed
+// marks the points the worker already uploaded mid-lease (index k
+// covers grid point lease.Lo+k): if the lease expires, only the
+// unstreamed remainder is requeued.
 type leaseRec struct {
-	job     *job
-	lease   core.Lease
-	expires time.Time
+	job      *job
+	lease    core.Lease
+	expires  time.Time
+	streamed []bool
 }
 
 // workerState is the coordinator's record of a sticky worker ID.
@@ -127,8 +141,11 @@ type Coordinator struct {
 	workers map[string]*workerState
 	leases  map[leaseKey]*leaseRec
 	rates   map[string]float64 // cross-job worker throughput EWMAs
-	cache   *lru
 	jobSeq  int
+
+	// store is the content-addressed point store; it has its own lock
+	// and is safe to touch without c.mu.
+	store *pointStore
 
 	sem     chan struct{} // job-concurrency tokens
 	stopped chan struct{}
@@ -147,7 +164,7 @@ func New(cfg Config) *Coordinator {
 		stopped: make(chan struct{}),
 	}
 	c.sem = make(chan struct{}, c.cfg.MaxJobs)
-	c.cache = newLRU(c.cfg.CacheSize)
+	c.store = newPointStore(c.cfg.CacheSize)
 	c.base, c.baseCxl = context.WithCancel(context.Background())
 	c.mux = http.NewServeMux()
 	c.mux.HandleFunc("POST /v1/jobs", c.handleSubmit)
@@ -159,6 +176,7 @@ func New(cfg Config) *Coordinator {
 	c.mux.HandleFunc("POST /v1/workers/register", c.handleRegister)
 	c.mux.HandleFunc("POST /v1/workers/lease", c.handleLease)
 	c.mux.HandleFunc("POST /v1/workers/heartbeat", c.handleHeartbeat)
+	c.mux.HandleFunc("POST /v1/workers/points", c.handlePoints)
 	c.mux.HandleFunc("POST /v1/workers/result", c.handleResult)
 	go c.reap()
 	return c
@@ -200,52 +218,52 @@ func (c *Coordinator) reap() {
 				}
 				delete(c.leases, k)
 				if rec.job.run != nil {
-					rec.job.run.Dispatcher().Requeue(rec.lease)
+					// Points the worker streamed before dying are kept;
+					// only the unfinished tail goes back to the queue.
+					rec.job.run.Abandon(rec.lease, rec.streamed)
 				}
-				c.cfg.Logf("dist: lease %s/%d (points [%d,%d), worker %s) expired; requeued",
-					k.jobID, k.seq, rec.lease.Lo, rec.lease.Hi, rec.lease.Worker)
+				c.cfg.Logf("dist: lease %s/%d (points [%d,%d), worker %s) expired; requeued %d unstreamed point(s)",
+					k.jobID, k.seq, rec.lease.Lo, rec.lease.Hi, rec.lease.Worker,
+					rec.lease.Points()-countTrue(rec.streamed))
 			}
 			c.mu.Unlock()
 		}
 	}
 }
 
-// cacheKey is the scenario+options identity a result is cached under.
-// Workers/shards/dispatch are deliberately absent: they change only
-// wall-clock time, never report bytes.
-func cacheKey(scenario string, w WireOptions) string {
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// jobKey is the scenario+options identity used to share identical
+// in-flight jobs. Workers/shards/dispatch are deliberately absent: they
+// change only wall-clock time, never report bytes.
+func jobKey(scenario string, w WireOptions) string {
 	b, _ := json.Marshal(w)
 	return scenario + "|" + string(b)
 }
 
-// Submit queues a scenario run (or serves it from the cache / an
-// identical in-flight job) and returns its job ID.
+// Submit queues a scenario run (or shares an identical in-flight job)
+// and returns its job ID. There is no whole-report cache: a repeated
+// submission runs through the point store, where every grid point hits
+// and only the merge is recomputed — the same path that serves partial
+// overlaps.
 func (c *Coordinator) Submit(req JobRequest) (*JobStatus, error) {
 	if _, ok := core.Lookup(req.Scenario); !ok {
 		return nil, fmt.Errorf("dist: unknown scenario %q", req.Scenario)
 	}
-	key := cacheKey(req.Scenario, req.Opts)
+	key := jobKey(req.Scenario, req.Opts)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	// Cache hit: synthesize a finished job.
-	if hit, ok := c.cache.get(key); ok {
-		j := c.newJobLocked(req)
-		j.status = JobDone
-		j.cached = true
-		j.report = hit.report
-		j.text = hit.text
-		for _, t := range hit.timings {
-			j.timings = append(j.timings, core.ShardTiming{
-				Shard: t.Shard, Worker: t.Worker, Points: t.Points, ElapsedNS: t.ElapsedNS,
-			})
-		}
-		close(j.done)
-		st := c.statusLocked(j)
-		return &st, nil
-	}
 	// Identical job already queued or running: share it.
 	for _, j := range c.order {
-		if j.status != JobDone && j.status != JobFailed && cacheKey(j.scenario, j.wopts) == key {
+		if j.status != JobDone && j.status != JobFailed && jobKey(j.scenario, j.wopts) == key {
 			st := c.statusLocked(j)
 			return &st, nil
 		}
@@ -304,9 +322,10 @@ func (c *Coordinator) pruneJobsLocked() {
 	c.order = kept
 }
 
-// execute runs one job to completion: distributable sweeps go through
-// the shared lease queue, everything else runs in-process through the
-// ordinary engine.
+// execute runs one job to completion: every distributable plan — sweep
+// grids and one-point-wrapped scenarios alike — goes through the shared
+// lease queue and the point store; only sweeps without a wire codec
+// fall back to a plain in-process run.
 func (c *Coordinator) execute(j *job) {
 	select {
 	case c.sem <- struct{}{}:
@@ -323,37 +342,63 @@ func (c *Coordinator) execute(j *job) {
 	j.start = time.Now()
 	j.cancel = cancel
 	s, _ := core.Lookup(j.scenario)
-	sw, isSweep := s.(*core.Sweep)
+	plan := core.PlanFor(s)
 	c.mu.Unlock()
 
 	var rep core.Report
 	var err error
-	if isSweep && sw.Distributable() {
-		rep, err = c.runDistributed(ctx, j, sw)
+	if plan.Distributable() {
+		rep, err = c.runDistributed(ctx, j, plan)
 	} else {
 		rep, err = core.RunWith(ctx, j.scenario, j.opts)
 	}
 	c.finish(j, rep, err)
 }
 
-// runDistributed evaluates a sweep job through the shared work-stealing
-// queue: the coordinator's local shards and every polling worker lease
-// from it until the grid drains.
-func (c *Coordinator) runDistributed(ctx context.Context, j *job, sw *core.Sweep) (core.Report, error) {
-	pts := len(sw.Points())
-	if pts == 0 {
-		return nil, fmt.Errorf("dist: sweep %q has an empty grid", j.scenario)
+// runDistributed evaluates a plan's grid through the shared
+// work-stealing queue: grid points already in the content-addressed
+// store are prefilled (never leased), and the coordinator's local
+// shards plus every polling worker lease the rest until the grid
+// drains.
+func (c *Coordinator) runDistributed(ctx context.Context, j *job, plan *core.Plan) (core.Report, error) {
+	sw := plan.Sweep()
+	points := sw.Points()
+	n := len(points)
+	if n == 0 {
+		return nil, fmt.Errorf("dist: scenario %q has an empty grid", j.scenario)
+	}
+	// Content-addressed reuse: a point another job already computed —
+	// same scenario, same coordinates, same relevant options — is
+	// decoded from its stored wire bytes exactly as a fresh worker
+	// upload would be, so reports assembled either way are
+	// byte-identical.
+	keys := make([]string, n)
+	done := make([]bool, n)
+	prevals := make([]any, n)
+	hits := 0
+	for i, pt := range points {
+		keys[i] = sw.PointKey(j.opts, pt)
+		b, ok := c.store.get(keys[i])
+		if !ok {
+			continue
+		}
+		v, err := sw.DecodePoint(b)
+		if err != nil {
+			continue // stored under an incompatible build: treat as miss
+		}
+		done[i], prevals[i] = true, v
+		hits++
 	}
 	shards := c.cfg.LocalShards
 	if shards < 0 {
 		shards = 0
 	}
-	if shards > pts {
-		shards = pts
+	if shards > n {
+		shards = n
 	}
 	c.mu.Lock()
 	sizeHint := shards + len(c.workers)
-	d := core.NewWorkStealingDispatcher(pts, max(sizeHint, 1))
+	d := core.NewWorkStealingDispatcherSkipping(n, max(sizeHint, 1), done)
 	// Seed the queue with what earlier jobs learned about each worker,
 	// so a proven-fast worker gets large leases from its first ask.
 	if rk, ok := d.(core.RateKeeper); ok {
@@ -362,9 +407,21 @@ func (c *Coordinator) runDistributed(ctx context.Context, j *job, sw *core.Sweep
 		}
 	}
 	run := core.NewSweepRun(sw, j.opts, d, shards)
+	for i := range done {
+		if done[i] {
+			run.Prefill(i, prevals[i])
+		}
+	}
 	j.run = run
 	j.sw = sw
+	j.keys = keys
+	j.prefilled = done
+	j.pointsTotal = n
+	j.pointHits = hits
 	c.mu.Unlock()
+	if hits > 0 {
+		c.cfg.Logf("dist: %s (%s) reusing %d/%d point(s) from the store", j.id, j.scenario, hits, n)
+	}
 
 	stop := context.AfterFunc(ctx, d.Close)
 	defer stop()
@@ -387,6 +444,8 @@ func (c *Coordinator) runDistributed(ctx context.Context, j *job, sw *core.Sweep
 			c.rates[w] = r
 		}
 	}
+	pd, _ := run.Progress()
+	j.pointsDone = pd
 	j.run = nil
 	for k, rec := range c.leases {
 		if rec.job == j {
@@ -394,13 +453,36 @@ func (c *Coordinator) runDistributed(ctx context.Context, j *job, sw *core.Sweep
 		}
 	}
 	c.mu.Unlock()
+	c.storePoints(j, run)
 	if waitErr != nil {
 		return nil, waitErr
 	}
 	return run.Report(ctx)
 }
 
-// finish records a job's outcome and populates the result cache.
+// storePoints persists a run's freshly computed point results into the
+// content-addressed store. Remotely evaluated points are already there
+// (their wire bytes were stored on upload receipt), so only the
+// locally sharded ones are encoded here. Encoding produces the same
+// bytes a worker upload carries (one json.Marshal of the same concrete
+// type), so a later hit decodes identically either way.
+func (c *Coordinator) storePoints(j *job, run *core.SweepRun) {
+	vals, ok := run.Values()
+	for i := range vals {
+		if !ok[i] || j.prefilled[i] || j.keys[i] == "" || c.store.contains(j.keys[i]) {
+			continue
+		}
+		b, err := j.sw.EncodePoint(vals[i])
+		if err != nil {
+			continue
+		}
+		c.store.put(j.keys[i], b)
+	}
+}
+
+// finish records a job's outcome. Freshly computed points were already
+// persisted to the store by runDistributed; a job every one of whose
+// points came from the store is flagged Cached.
 func (c *Coordinator) finish(j *job, rep core.Report, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -408,11 +490,14 @@ func (c *Coordinator) finish(j *job, rep core.Report, err error) {
 	if err != nil {
 		j.status = JobFailed
 		j.errStr = err.Error()
-		c.cfg.Logf("dist: %s (%s) failed after %s: %v", j.id, j.scenario, j.elapsed.Round(time.Millisecond), err)
+		c.cfg.Logf("dist: %s (%s) failed after %s (%d/%d point(s) done): %v",
+			j.id, j.scenario, j.elapsed.Round(time.Millisecond), j.pointsDone, j.pointsTotal, err)
 		close(j.done)
 		return
 	}
 	j.status = JobDone
+	j.pointsDone = j.pointsTotal
+	j.cached = j.pointsTotal > 0 && j.pointHits == j.pointsTotal
 	j.text = rep.Text()
 	if b, jerr := rep.JSON(); jerr == nil {
 		j.report = b
@@ -425,15 +510,9 @@ func (c *Coordinator) finish(j *job, rep core.Report, err error) {
 	if sr, ok := rep.(core.ShardedReport); ok {
 		j.timings = sr.ShardTimings()
 	}
-	entry := &cachedResult{report: j.report, text: j.text}
-	for _, t := range j.timings {
-		entry.timings = append(entry.timings, shardTimingCopy{
-			Shard: t.Shard, Worker: t.Worker, Points: t.Points, ElapsedNS: t.ElapsedNS,
-		})
-	}
-	c.cache.add(cacheKey(j.scenario, j.wopts), entry)
-	c.cfg.Logf("dist: %s (%s) done in %s across %d participant(s)",
-		j.id, j.scenario, j.elapsed.Round(time.Millisecond), core.CountWorkers(j.timings))
+	c.cfg.Logf("dist: %s (%s) done in %s across %d participant(s), %d/%d point(s) from the store",
+		j.id, j.scenario, j.elapsed.Round(time.Millisecond), core.CountWorkers(j.timings),
+		j.pointHits, j.pointsTotal)
 	close(j.done)
 }
 
@@ -463,9 +542,14 @@ func (c *Coordinator) statusLocked(j *job) JobStatus {
 		Error: j.errStr, Report: j.report, Text: j.text,
 		Workers: core.CountWorkers(j.timings), Shards: j.timings,
 		ElapsedMS: j.elapsed.Milliseconds(), Cached: j.cached,
+		PointsDone: j.pointsDone, PointsTotal: j.pointsTotal,
+		PointHits: j.pointHits,
 	}
 	if j.status == JobRunning {
 		st.ElapsedMS = time.Since(j.start).Milliseconds()
+		if j.run != nil {
+			st.PointsDone, _ = j.run.Progress()
+		}
 	}
 	return st
 }
@@ -515,8 +599,10 @@ func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
 }
 
 func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	var st StatusReply
+	st.StorePoints, st.StoreCap, st.StoreHits, st.StoreMisses = c.store.stats()
 	c.mu.Lock()
-	st := StatusReply{Jobs: len(c.jobs), CacheSize: c.cache.len(), CacheCap: c.cfg.CacheSize}
+	st.Jobs = len(c.jobs)
 	now := time.Now()
 	for _, ws := range c.workers {
 		st.Workers = append(st.Workers, WorkerStatus{
@@ -609,6 +695,70 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, HeartbeatReply{OK: ok})
 }
 
+// handlePoints records points streamed mid-lease: each is delivered
+// into the run (partial progress the job status surfaces) and its wire
+// bytes go into the content-addressed store immediately, so even a job
+// that later fails leaves them behind. Streaming proves the worker is
+// alive, so it extends the lease like a heartbeat. OK=false tells the
+// worker its lease is gone and the rest of the work is wasted.
+func (c *Coordinator) handlePoints(w http.ResponseWriter, r *http.Request) {
+	var up PointsUpload
+	if !readJSON(w, r, &up) {
+		return
+	}
+	key := leaseKey{up.JobID, up.Seq}
+	c.mu.Lock()
+	if up.WorkerID != "" {
+		c.touchWorkerLocked(up.WorkerID)
+	}
+	rec, ok := c.leases[key]
+	var run *core.SweepRun
+	var sw *core.Sweep
+	var keys []string
+	if ok {
+		rec.expires = time.Now().Add(c.cfg.LeaseTTL)
+		if rec.streamed == nil {
+			rec.streamed = make([]bool, rec.lease.Points())
+		}
+		run, sw, keys = rec.job.run, rec.job.sw, rec.job.keys
+	}
+	c.mu.Unlock()
+	if !ok || run == nil || sw == nil {
+		writeJSON(w, http.StatusOK, PointsReply{OK: false})
+		return
+	}
+	for _, p := range up.Points {
+		k := p.Index - rec.lease.Lo
+		if k < 0 || k >= rec.lease.Points() {
+			http.Error(w, fmt.Sprintf("point %d outside lease [%d,%d)", p.Index, rec.lease.Lo, rec.lease.Hi),
+				http.StatusBadRequest)
+			return
+		}
+		var val any
+		if p.Error == "" {
+			v, err := sw.DecodePoint(p.Value)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			val = v
+			if p.Index < len(keys) {
+				c.store.put(keys[p.Index], p.Value)
+			}
+		}
+		run.DeliverPoint(rec.lease, p.Index, val, p.Error)
+		c.mu.Lock()
+		// Re-check ownership: if the lease expired while we decoded,
+		// the point is already delivered (harmless — the value is
+		// deterministic) but must not count as streamed on a dead rec.
+		if cur := c.leases[key]; cur == rec {
+			rec.streamed[k] = true
+		}
+		c.mu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, PointsReply{OK: true})
+}
+
 func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	var up ResultUpload
 	if !readJSON(w, r, &up) {
@@ -636,7 +786,7 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	delete(c.leases, key)
 	j := rec.job
-	run, sw := j.run, j.sw
+	run, sw, keys := j.run, j.sw, j.keys
 	c.mu.Unlock()
 	if run == nil || sw == nil {
 		writeJSON(w, http.StatusOK, ResultReply{Accepted: false, Duplicate: true})
@@ -651,7 +801,7 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		if k < 0 || k >= n {
 			http.Error(w, fmt.Sprintf("point %d outside lease [%d,%d)", p.Index, rec.lease.Lo, rec.lease.Hi),
 				http.StatusBadRequest)
-			c.requeue(rec)
+			c.abandon(rec)
 			return
 		}
 		filled[k] = true
@@ -662,15 +812,18 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		v, err := sw.DecodePoint(p.Value)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
-			c.requeue(rec)
+			c.abandon(rec)
 			return
 		}
 		vals[k] = v
+		if p.Index < len(keys) {
+			c.store.put(keys[p.Index], p.Value)
+		}
 	}
 	for k, ok := range filled {
 		if !ok {
 			http.Error(w, fmt.Sprintf("upload missing point %d", rec.lease.Lo+k), http.StatusBadRequest)
-			c.requeue(rec)
+			c.abandon(rec)
 			return
 		}
 	}
@@ -678,12 +831,13 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ResultReply{Accepted: accepted, Duplicate: !accepted})
 }
 
-// requeue returns a lease's points to its job's queue after a bad
-// upload, so they are re-run rather than lost.
-func (c *Coordinator) requeue(rec *leaseRec) {
+// abandon returns a lease's unstreamed points to its job's queue after
+// a bad upload, so they are re-run rather than lost (points the worker
+// streamed earlier are already delivered and stay).
+func (c *Coordinator) abandon(rec *leaseRec) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if rec.job.run != nil {
-		rec.job.run.Dispatcher().Requeue(rec.lease)
+		rec.job.run.Abandon(rec.lease, rec.streamed)
 	}
 }

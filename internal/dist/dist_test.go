@@ -316,9 +316,10 @@ func TestDuplicateResultUploadIgnored(t *testing.T) {
 	}
 }
 
-// The LRU result cache: an identical second submission is served
-// without re-running the simulation, byte-identical, flagged Cached.
-func TestResultCacheServesRepeatJobs(t *testing.T) {
+// The content-addressed point store: an identical second submission is
+// served without re-running the simulation (every point hits; only the
+// merge recomputes), byte-identical, flagged Cached.
+func TestPointStoreServesRepeatJobs(t *testing.T) {
 	registerWireSweep("dist-test-cache", 4, 0)
 	tc := newCluster(t, Config{LocalShards: 2})
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -421,8 +422,9 @@ func TestFinishedJobsPrunedPastRetention(t *testing.T) {
 	}
 }
 
-// Non-sweep scenarios run in-process on the coordinator and still come
-// back with report + text.
+// A non-sweep scenario submitted to a workerless coordinator runs as a
+// one-point plan on the local shard and still comes back with report +
+// text (the remote-worker path is TestNonSweepScenarioExecutesOnWorkers).
 func TestNonSweepScenarioRunsOnCoordinator(t *testing.T) {
 	tc := newCluster(t, Config{})
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)

@@ -1,17 +1,30 @@
-// Package dist is the distributed run service: a coordinator that
-// fans a sweep scenario's grid out to remote workers over a small
+// Package dist is the distributed run service: a coordinator that fans
+// any scenario's execution plan out to remote workers over a small
 // JSON-over-HTTP protocol, and the worker that executes leased grid
-// points on a fresh simulation kernel.
+// points on a fresh simulation kernel. The grid point is the universal
+// unit of work: parameter sweeps lease their grids, and every other
+// scenario travels as a one-point sweep through the same plan
+// abstraction (core.PlanFor), so one-shot coupled applications and
+// metacomputing sweeps share the queue, the workers and the cache —
+// as the paper's applications shared one testbed.
 //
 // The shape follows the WANify/MPWide pattern from PAPERS.md: a thin
 // coordinator owns the work queue and hands out lease-based work units;
-// workers with sticky IDs pull leases, heartbeat while computing, and
-// upload per-point results idempotently. The lease queue is the same
+// workers with sticky IDs pull leases, heartbeat while computing,
+// stream each point's result as it finishes, and complete the lease
+// with an idempotent final upload. The lease queue is the same
 // work-stealing core.Dispatcher that feeds in-process shards, so the
 // coordinator's local shards and any number of remote workers steal
 // from one queue, per-worker throughput EWMAs steering larger leases to
 // faster workers. Results merge in grid order, so a distributed run's
 // report is byte-identical to a single-kernel run.
+//
+// Finished points land in a content-addressed result store keyed by
+// core.Sweep.PointKey (scenario + grid coordinates + the option fields
+// the point depends on): a later job whose grid overlaps — resubmitted,
+// or differing only in options the points never read — is served the
+// stored wire bytes instead of re-simulating, and a job that fails
+// still leaves its completed points behind.
 //
 // Protocol (all bodies JSON):
 //
@@ -22,11 +35,14 @@
 //	POST /v1/workers/register    announce a worker      -> RegisterReply
 //	POST /v1/workers/lease       pull a work unit       -> LeaseReply | 204
 //	POST /v1/workers/heartbeat   extend a held lease    -> HeartbeatReply
-//	POST /v1/workers/result      upload lease results   -> ResultReply
+//	POST /v1/workers/points      stream finished points -> PointsReply
+//	POST /v1/workers/result      complete a lease       -> ResultReply
 //
-// A lease not heartbeaten within its TTL is requeued and its points
-// re-run elsewhere; a result upload for a lease that already completed
-// (duplicate, or expired-and-reassigned) is acknowledged but ignored.
+// A lease not heartbeaten within its TTL is requeued — but points the
+// worker already streamed are kept, so a worker dying late in a lease
+// costs only its unfinished tail. A result upload for a lease that
+// already completed (duplicate, or expired-and-reassigned) is
+// acknowledged but ignored.
 package dist
 
 import (
@@ -98,7 +114,17 @@ type JobStatus struct {
 	// Shards carries the per-participant timings.
 	Shards    []core.ShardTiming `json:"shards,omitempty"`
 	ElapsedMS int64              `json:"elapsed_ms"`
-	// Cached reports a result served from the LRU cache.
+	// PointsDone/PointsTotal surface execution progress: grid points
+	// with a recorded result (streamed mid-lease, completed, or served
+	// from the store) out of the plan's grid. A failed job reports how
+	// far it got.
+	PointsDone  int `json:"points_done,omitempty"`
+	PointsTotal int `json:"points_total,omitempty"`
+	// PointHits counts grid points served from the content-addressed
+	// point store instead of being re-simulated.
+	PointHits int `json:"point_hits,omitempty"`
+	// Cached reports a job served entirely from the point store (every
+	// grid point was a hit; only the merge ran).
 	Cached bool `json:"cached,omitempty"`
 }
 
@@ -156,7 +182,27 @@ type PointResult struct {
 	Error string          `json:"error,omitempty"`
 }
 
-// ResultUpload streams a completed lease's per-point results back.
+// PointsUpload streams finished points of a still-held lease, as each
+// point completes — partial progress the coordinator records (and
+// caches) immediately, so a worker that dies later in the lease only
+// costs its unstreamed tail. Streaming also proves liveness: it extends
+// the lease like a heartbeat.
+type PointsUpload struct {
+	WorkerID string        `json:"worker_id"`
+	JobID    string        `json:"job_id"`
+	Seq      uint64        `json:"seq"`
+	Points   []PointResult `json:"points"`
+}
+
+// PointsReply acknowledges a stream upload. OK=false means the lease is
+// gone (expired and reassigned, or the job ended): the worker should
+// abandon the rest of the lease.
+type PointsReply struct {
+	OK bool `json:"ok"`
+}
+
+// ResultUpload completes a lease: the full per-point results, including
+// any points already streamed (re-recording them is idempotent).
 type ResultUpload struct {
 	WorkerID  string        `json:"worker_id"`
 	JobID     string        `json:"job_id"`
@@ -185,8 +231,12 @@ type WorkerStatus struct {
 
 // StatusReply is the coordinator snapshot (GET /v1/status).
 type StatusReply struct {
-	Workers   []WorkerStatus `json:"workers"`
-	Jobs      int            `json:"jobs"`
-	CacheSize int            `json:"cache_size"`
-	CacheCap  int            `json:"cache_cap"`
+	Workers []WorkerStatus `json:"workers"`
+	Jobs    int            `json:"jobs"`
+	// The content-addressed point store: resident points, capacity, and
+	// lifetime hit/miss counters.
+	StorePoints int   `json:"store_points"`
+	StoreCap    int   `json:"store_cap"`
+	StoreHits   int64 `json:"store_hits"`
+	StoreMisses int64 `json:"store_misses"`
 }

@@ -1,0 +1,101 @@
+package dist
+
+import (
+	"container/list"
+	"sync"
+)
+
+// pointStore is the coordinator's content-addressed result store: the
+// wire bytes of finished grid points, keyed by the point's content
+// address (core.Sweep.PointKey — a hash of scenario, grid coordinates
+// and the option fields the point depends on). It replaces the old
+// whole-report LRU: caching at point granularity means two jobs whose
+// grids merely overlap reuse each other's finished points, a job
+// resubmitted with different-but-irrelevant options is served entirely
+// from the store, and a job that fails or is cancelled still leaves its
+// completed points behind for the next submission.
+//
+// Eviction is least-recently-used over a bounded entry count. The store
+// keeps encoded wire bytes, not live values: what a worker uploads is
+// stored verbatim, and a hit decodes exactly as a fresh upload would —
+// which is what keeps reports assembled from cached points
+// byte-identical to freshly computed ones.
+type pointStore struct {
+	mu           sync.Mutex
+	cap          int
+	order        *list.List // front = most recently used
+	byKey        map[string]*list.Element
+	hits, misses int64
+}
+
+type storeEntry struct {
+	key string
+	val []byte
+}
+
+func newPointStore(capacity int) *pointStore {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &pointStore{cap: capacity, order: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// get returns the stored wire bytes for a point key and marks the entry
+// most recently used. The empty key (an unkeyable point) never hits.
+func (s *pointStore) get(key string) ([]byte, bool) {
+	if key == "" {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.byKey[key]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	s.hits++
+	s.order.MoveToFront(el)
+	return el.Value.(*storeEntry).val, true
+}
+
+// contains reports residency without touching the LRU order or the
+// hit/miss counters — for callers deciding whether a put is needed,
+// not serving a result.
+func (s *pointStore) contains(key string) bool {
+	if key == "" {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.byKey[key]
+	return ok
+}
+
+// put inserts (or refreshes) a point's wire bytes, evicting the least
+// recently used entry past capacity. Empty keys and empty values are
+// ignored.
+func (s *pointStore) put(key string, val []byte) {
+	if key == "" || len(val) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byKey[key]; ok {
+		el.Value.(*storeEntry).val = val
+		s.order.MoveToFront(el)
+		return
+	}
+	s.byKey[key] = s.order.PushFront(&storeEntry{key: key, val: val})
+	if s.order.Len() > s.cap {
+		last := s.order.Back()
+		s.order.Remove(last)
+		delete(s.byKey, last.Value.(*storeEntry).key)
+	}
+}
+
+// stats snapshots the store for /v1/status.
+func (s *pointStore) stats() (points, capacity int, hits, misses int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.order.Len(), s.cap, s.hits, s.misses
+}

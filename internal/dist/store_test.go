@@ -1,0 +1,72 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The point store's contract: content hits and misses are counted,
+// entries refresh on use, and eviction is least-recently-used over the
+// capacity bound.
+func TestPointStoreHitMissEviction(t *testing.T) {
+	s := newPointStore(3)
+	if _, ok := s.get("k1"); ok {
+		t.Fatal("empty store served a hit")
+	}
+	s.put("k1", []byte("v1"))
+	s.put("k2", []byte("v2"))
+	s.put("k3", []byte("v3"))
+	if v, ok := s.get("k1"); !ok || string(v) != "v1" {
+		t.Fatalf("get(k1) = %q, %v", v, ok)
+	}
+	// k1 is now most recently used; inserting a fourth entry evicts k2.
+	s.put("k4", []byte("v4"))
+	if _, ok := s.get("k2"); ok {
+		t.Error("least recently used entry k2 survived past capacity")
+	}
+	for _, k := range []string{"k1", "k3", "k4"} {
+		if _, ok := s.get(k); !ok {
+			t.Errorf("entry %s evicted out of LRU order", k)
+		}
+	}
+	points, capacity, hits, misses := s.stats()
+	if points != 3 || capacity != 3 {
+		t.Errorf("stats: %d/%d entries, want 3/3", points, capacity)
+	}
+	if hits != 4 || misses != 2 {
+		t.Errorf("stats: %d hits %d misses, want 4/2", hits, misses)
+	}
+}
+
+// Refreshing a key replaces its value without growing the store, and
+// unkeyable (empty) entries are ignored.
+func TestPointStoreRefreshAndEmptyKey(t *testing.T) {
+	s := newPointStore(2)
+	s.put("k", []byte("old"))
+	s.put("k", []byte("new"))
+	if v, _ := s.get("k"); string(v) != "new" {
+		t.Errorf("refresh kept %q", v)
+	}
+	if n, _, _, _ := s.stats(); n != 1 {
+		t.Errorf("refresh grew the store to %d entries", n)
+	}
+	s.put("", []byte("x"))
+	s.put("e", nil)
+	if n, _, _, _ := s.stats(); n != 1 {
+		t.Error("empty key or value was stored")
+	}
+	if _, ok := s.get(""); ok {
+		t.Error("empty key served a hit")
+	}
+}
+
+// Capacity is bounded under sustained insertion.
+func TestPointStoreBounded(t *testing.T) {
+	s := newPointStore(8)
+	for i := 0; i < 100; i++ {
+		s.put(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	if n, _, _, _ := s.stats(); n != 8 {
+		t.Errorf("store holds %d entries past capacity 8", n)
+	}
+}

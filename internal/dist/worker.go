@@ -14,12 +14,16 @@ import (
 	"repro/internal/core"
 )
 
-// Worker pulls shard leases from a coordinator, evaluates the leased
-// grid points on a fresh simulation kernel (a fresh testbed per lease,
-// exactly as an in-process shard would), and streams the per-point
-// results back. A worker keeps one sticky ID for its lifetime, so the
-// coordinator's throughput EWMA and lease accounting survive
-// reconnects.
+// Worker pulls leases from a coordinator, evaluates the leased grid
+// points on its own simulation kernels, and streams each point's result
+// back the moment it finishes — so the coordinator sees partial
+// progress, and a worker killed late in a lease only costs the points
+// it had not streamed yet. Any scenario can arrive: parameter sweeps
+// lease grid runs, one-shot applications lease their single wrapped
+// point. Testbeds are cached per job (keyed by their Config), so the
+// leases of one sweep stop rebuilding the same topology. A worker keeps
+// one sticky ID for its lifetime, so the coordinator's throughput EWMA
+// and lease accounting survive reconnects.
 type Worker struct {
 	// Coordinator is the coordinator's base URL, e.g.
 	// "http://127.0.0.1:9191".
@@ -39,12 +43,24 @@ type Worker struct {
 	// evaluation, no heartbeat, no upload — simulating a worker killed
 	// mid-lease. Test hook for the fault-injection suite.
 	DropLease func(l LeaseReply) bool
+	// DropAfterPoints, when set, is consulted after each point is
+	// evaluated and streamed; returning true makes the worker abandon
+	// the rest of the lease — no further points, no final upload —
+	// simulating a worker killed partway through a lease it had been
+	// streaming. Test hook for the streamed-tail fault suite.
+	DropAfterPoints func(l LeaseReply, streamed int) bool
 	// BeforeUpload, when set, runs after evaluation and before the
 	// result upload. Test hook (e.g. to double-upload for idempotency
 	// tests).
 	BeforeUpload func(up *ResultUpload)
 
 	ttl time.Duration
+
+	// Per-job testbed cache: leases of the same job reuse one testbed
+	// per Config instead of rebuilding it per lease. The worker loop is
+	// sequential, so no locking.
+	tbJobID string
+	tbCache map[core.Config]*core.Testbed
 }
 
 // NewWorker builds a worker with a random sticky ID.
@@ -157,29 +173,52 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 	}
 }
 
-// serveLease evaluates one lease and uploads its results.
+// leaseTestbed resolves the testbed a lease's points run on: nil for
+// NoShardTestbed sweeps, otherwise one testbed per (job, Config) cached
+// across the job's leases — reusing a testbed across leases is exactly
+// reusing it across the points of one in-process shard, which the
+// byte-identity guarantee already requires to be result-invariant.
+func (w *Worker) leaseTestbed(jobID string, sw *core.Sweep, opts core.Options) *core.Testbed {
+	if !sw.NeedsShardTestbed() {
+		return nil
+	}
+	if w.tbJobID != jobID {
+		w.tbJobID = jobID
+		w.tbCache = make(map[core.Config]*core.Testbed)
+	}
+	cfg := core.Config{WAN: opts.WAN, Extensions: opts.Extensions}
+	tb := w.tbCache[cfg]
+	if tb == nil {
+		tb = core.New(cfg)
+		w.tbCache[cfg] = tb
+	}
+	return tb
+}
+
+// serveLease evaluates one lease point by point, streaming each result
+// as it finishes, then completes the lease with the full upload.
 func (w *Worker) serveLease(ctx context.Context, lease LeaseReply) {
 	s, ok := core.Lookup(lease.Scenario)
-	var sw *core.Sweep
-	if ok {
-		sw, ok = s.(*core.Sweep)
-	}
 	up := ResultUpload{
 		WorkerID: w.ID, JobID: lease.JobID, Seq: lease.Seq,
 		Lo: lease.Lo, Hi: lease.Hi,
 	}
 	if !ok {
-		// A coordinator from a newer build may know sweeps this worker
-		// does not; report per-point errors so the job fails loudly
-		// rather than hanging.
+		// A coordinator from a newer build may know scenarios this
+		// worker does not; report per-point errors so the job fails
+		// loudly rather than hanging.
 		for i := lease.Lo; i < lease.Hi; i++ {
 			up.Points = append(up.Points, PointResult{
-				Index: i, Error: fmt.Sprintf("worker has no sweep scenario %q", lease.Scenario),
+				Index: i, Error: fmt.Sprintf("worker has no scenario %q", lease.Scenario),
 			})
 		}
 		w.upload(ctx, &up)
 		return
 	}
+	// Every scenario is executable as a plan: sweeps lease grid runs,
+	// anything else arrives as its one-point wrapper.
+	sw := core.PlanFor(s).Sweep()
+	opts := lease.Opts.Options()
 
 	// Heartbeat while evaluating, at a third of the lease TTL.
 	hbCtx, stopHB := context.WithCancel(ctx)
@@ -188,32 +227,58 @@ func (w *Worker) serveLease(ctx context.Context, lease LeaseReply) {
 		go w.heartbeat(hbCtx, lease)
 	}
 
+	tb := w.leaseTestbed(lease.JobID, sw, opts)
+	stream := lease.Hi-lease.Lo > 1 // a 1-point lease's final upload IS its stream
 	start := time.Now()
-	vals, errStrs, err := sw.RunLease(ctx, lease.Opts.Options(), lease.Lo, lease.Hi)
-	if err != nil {
-		// Context cancellation mid-lease: abandon, the lease expires
-		// and the points re-run elsewhere.
-		w.logf("dist: worker %s abandoning lease %s/%d: %v", w.ID, lease.JobID, lease.Seq, err)
-		return
-	}
-	up.ElapsedNS = time.Since(start).Nanoseconds()
-	for k := range vals {
-		pr := PointResult{Index: lease.Lo + k, Error: errStrs[k]}
-		if pr.Error == "" {
-			b, err := sw.EncodePoint(vals[k])
-			if err != nil {
-				pr.Error = "encode: " + err.Error()
-			} else {
-				pr.Value = b
-			}
+	for i := lease.Lo; i < lease.Hi; i++ {
+		res, err := sw.EvalPoint(ctx, tb, opts, i)
+		if ctx.Err() != nil {
+			w.logf("dist: worker %s abandoning lease %s/%d: %v", w.ID, lease.JobID, lease.Seq, ctx.Err())
+			return
+		}
+		pr := PointResult{Index: i}
+		if err != nil {
+			pr.Error = err.Error()
+		} else if b, encErr := sw.EncodePoint(res); encErr != nil {
+			pr.Error = "encode: " + encErr.Error()
+		} else {
+			pr.Value = b
 		}
 		up.Points = append(up.Points, pr)
+		if stream && !w.streamPoint(ctx, lease, pr) {
+			w.logf("dist: worker %s: lease %s/%d gone mid-stream; abandoning its tail",
+				w.ID, lease.JobID, lease.Seq)
+			return
+		}
+		if w.DropAfterPoints != nil && w.DropAfterPoints(lease, len(up.Points)) {
+			w.logf("dist: worker %s dying after streaming %d point(s) of lease %s/%d (fault injection)",
+				w.ID, len(up.Points), lease.JobID, lease.Seq)
+			return
+		}
 	}
+	up.ElapsedNS = time.Since(start).Nanoseconds()
 	stopHB()
 	if w.BeforeUpload != nil {
 		w.BeforeUpload(&up)
 	}
 	w.upload(ctx, &up)
+}
+
+// streamPoint uploads one finished point of a held lease. It reports
+// false only when the coordinator says the lease is gone; transient
+// errors are tolerated — the final upload carries every point again.
+func (w *Worker) streamPoint(ctx context.Context, lease LeaseReply, pr PointResult) bool {
+	var reply PointsReply
+	_, err := w.postJSON(ctx, "/v1/workers/points", PointsUpload{
+		WorkerID: w.ID, JobID: lease.JobID, Seq: lease.Seq,
+		Points: []PointResult{pr},
+	}, &reply)
+	if err != nil {
+		w.logf("dist: worker %s: streaming point %d of lease %s/%d: %v (final upload will cover it)",
+			w.ID, pr.Index, lease.JobID, lease.Seq, err)
+		return true
+	}
+	return reply.OK
 }
 
 // heartbeat extends the lease every ttl/3 until cancelled.

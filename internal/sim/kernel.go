@@ -129,6 +129,17 @@ type Kernel struct {
 	procs    int           // live (started, not yet finished) processes
 	panicVal any
 	stopped  bool
+
+	// Inline-drive state: while Run/RunUntil is live (running), a
+	// parking process drives the event loop on its own goroutine
+	// (driving) instead of round-tripping through the kernel goroutine —
+	// a process whose own resume is the next event never switches
+	// goroutines at all. bounded/bound carry RunUntil's horizon so an
+	// inline driver stops exactly where the kernel loop would.
+	driving *Proc
+	running bool
+	bounded bool
+	bound   Time
 }
 
 // NewKernel returns a kernel with the clock at zero and no pending
@@ -258,8 +269,10 @@ func (k *Kernel) Step() bool {
 // final virtual time.
 func (k *Kernel) Run() Time {
 	k.stopped = false
+	k.running, k.bounded = true, false
 	for !k.stopped && k.Step() {
 	}
+	k.running = false
 	return k.now
 }
 
@@ -267,9 +280,11 @@ func (k *Kernel) Run() Time {
 // (if it is not already past it) and returns.
 func (k *Kernel) RunUntil(t Time) Time {
 	k.stopped = false
+	k.running, k.bounded, k.bound = true, true, t
 	for !k.stopped && len(k.heap) > 0 && k.heap[0].at <= t {
 		k.Step()
 	}
+	k.running, k.bounded = false, false
 	if k.now < t {
 		k.now = t
 	}

@@ -58,21 +58,76 @@ func resumeProc(a0, _ unsafe.Pointer) {
 }
 
 // resume hands the virtual CPU to p and blocks until p parks or exits.
-// It must only be called from the kernel goroutine (i.e. from event
-// callbacks).
+// It runs in event-callback context — on the kernel goroutine, or on
+// the goroutine of a parked process that is driving the loop inline.
 func (k *Kernel) resume(p *Proc) {
 	if p.done {
+		return
+	}
+	if d := k.driving; d != nil {
+		// A parked process is driving the event loop from its own park.
+		if d == p {
+			// The fired event resumes the driver itself: just stop
+			// driving — the park returns with zero goroutine switches.
+			k.driving = nil
+			return
+		}
+		// Hand the virtual CPU to p directly, process to process,
+		// without waking the kernel goroutine; the driver stays parked
+		// until its own resume fires.
+		k.driving = nil
+		p.wake <- struct{}{}
+		<-d.wake
 		return
 	}
 	p.wake <- struct{}{}
 	<-k.ctl
 }
 
-// park returns the virtual CPU to the kernel and blocks until another
-// event resumes this process.
+// park returns the virtual CPU and blocks until another event resumes
+// this process. Inside Run/RunUntil the parking process drives the
+// event loop itself (see drive) instead of switching to the kernel
+// goroutine; under manual Step the classic two-switch handoff is kept,
+// so Step still fires exactly one event per call.
 func (p *Proc) park() {
-	p.k.ctl <- struct{}{}
+	k := p.k
+	if k.running && k.driving == nil {
+		k.driving = p
+		k.drive(p)
+		return
+	}
+	k.ctl <- struct{}{}
 	<-p.wake
+}
+
+// drive runs the event loop on the parked process's goroutine until an
+// event resumes the process (resume clears k.driving, possibly after
+// handing the CPU to another process directly). When no more events may
+// fire here — queue drained, Stop called, or past the RunUntil bound —
+// the CPU goes back to the kernel goroutine and the process waits
+// parked, exactly as the classic handoff would have left it.
+func (k *Kernel) drive(p *Proc) {
+	defer func() {
+		if r := recover(); r != nil {
+			// An event callback panicked while this goroutine drove the
+			// loop. Stash the value for the kernel goroutine to rethrow
+			// out of Run and stay parked, as this process would have
+			// been had the kernel goroutine hit the same panic.
+			k.panicVal = r
+			k.driving = nil
+			k.ctl <- struct{}{}
+			<-p.wake
+		}
+	}()
+	for k.driving == p {
+		if k.stopped || len(k.heap) == 0 || (k.bounded && k.heap[0].at > k.bound) {
+			k.driving = nil
+			k.ctl <- struct{}{}
+			<-p.wake
+			return
+		}
+		k.Step()
+	}
 }
 
 // Sleep blocks the process for d of virtual time. Non-positive

@@ -1,0 +1,43 @@
+package gtw
+
+import (
+	"repro/internal/core"
+)
+
+// This file is the execution-plane layer of the public API: every
+// registered scenario — parameter sweep or one-shot application —
+// resolves to a Plan whose unit of work is the grid point, exactly as
+// the paper's testbed ran metacomputing sweeps and one-shot coupled
+// applications over one distributed infrastructure. A non-sweep
+// scenario becomes a one-point sweep behind the same abstraction, so
+// the dispatcher, the shard executor and the distributed run service
+// (cmd/gtwd, cmd/gtwworker) execute and cache all of them uniformly.
+
+// PointRunner is the point-based execution contract every scenario
+// reduces to: enumerate a grid, evaluate points independently, merge in
+// grid order, round-trip point results through a wire codec.
+type PointRunner = core.PointRunner
+
+// Plan is a scenario resolved to its executable form: the scenario
+// itself for sweeps, a synthesized one-point sweep otherwise.
+type Plan = core.Plan
+
+// PlanFor resolves any scenario to its execution plan.
+func PlanFor(s Scenario) *Plan { return core.PlanFor(s) }
+
+// WireReport is a report reconstructed from its wire form (JSON +
+// rendered text) — what a non-sweep scenario's point decodes into after
+// remote execution.
+type WireReport = core.WireReport
+
+// OptField names one cross-machine Options field for Sweep.PointDeps.
+type OptField = core.OptField
+
+// The Options fields a point's content address can depend on.
+const (
+	OptWAN        = core.OptWAN
+	OptExtensions = core.OptExtensions
+	OptPEs        = core.OptPEs
+	OptFrames     = core.OptFrames
+	OptFlows      = core.OptFlows
+)
