@@ -13,15 +13,28 @@
 // to a single-kernel run at any worker count.
 //
 // Finished points land in a content-addressed store (-cache entries,
-// keyed by scenario + grid coordinates + the options the point actually
-// depends on), so a later job whose grid overlaps — resubmitted, or
-// differing only in irrelevant options — reuses them instead of
-// re-simulating; job statuses report the reuse as point_hits.
+// optionally -cache-bytes total wire bytes with -cache-entry-bytes per
+// point, keyed by scenario + grid coordinates + the options the point
+// actually depends on), so a later job whose grid overlaps —
+// resubmitted, or differing only in irrelevant options — reuses them
+// instead of re-simulating; job statuses report the reuse as
+// point_hits.
+//
+// With -data-dir the coordinator is durable: every state transition —
+// job lifecycle, each streamed point, worker stats — is journaled to a
+// write-ahead log under the directory (compacted into snapshots every
+// -snapshot). A gtwd killed mid-sweep — SIGKILL included — and
+// restarted on the same -data-dir recovers the store, resumes
+// interrupted jobs under their old IDs re-running only never-streamed
+// points, keeps finished jobs pollable, and remembers reconnecting
+// workers' throughput. Without -data-dir state is in-memory and dies
+// with the process, as before.
 //
 // Usage:
 //
 //	gtwd [-addr :9191] [-lease-ttl 10s] [-local-shards 1]
-//	     [-cache 4096] [-jobs 4] [-poll 200ms]
+//	     [-cache 4096] [-cache-bytes 0] [-cache-entry-bytes 0]
+//	     [-jobs 4] [-poll 200ms] [-data-dir DIR] [-snapshot 1m]
 //
 // Then point workers and clients at it:
 //
@@ -30,14 +43,19 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
 	_ "repro" // register every scenario
 
 	"repro/internal/dist"
+	"repro/internal/persist"
 )
 
 func main() {
@@ -50,20 +68,72 @@ func main() {
 		"in-process shards the coordinator contributes to every distributed job (negative = pure remote)")
 	cacheSize := flag.Int("cache", 4096,
 		"content-addressed point-store entries (finished grid points, LRU-evicted)")
+	cacheBytes := flag.Int64("cache-bytes", 0,
+		"point-store total wire-byte budget, LRU-evicted (0 = entry bound only)")
+	cacheEntryBytes := flag.Int("cache-entry-bytes", 0,
+		"largest single point result the store will keep, in bytes (0 = no cap)")
 	maxJobs := flag.Int("jobs", 4, "concurrently running jobs; further submissions queue FIFO")
 	poll := flag.Duration("poll", 200*time.Millisecond, "idle-poll interval hint for workers")
+	dataDir := flag.String("data-dir", "",
+		"journal coordinator state here (WAL + snapshots) and recover it on restart; empty = in-memory only")
+	snapshot := flag.Duration("snapshot", time.Minute,
+		"how often to compact the -data-dir journal into a snapshot (negative: only on shutdown and log growth)")
 	flag.Parse()
 
+	var store persist.Store
+	var disk *persist.Disk
+	if *dataDir != "" {
+		var err error
+		disk, err = persist.Open(*dataDir, persist.DiskOptions{
+			SnapshotEvery: *snapshot,
+			Logf:          log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("open -data-dir %s: %v", *dataDir, err)
+		}
+		store = disk
+	}
+
 	c := dist.New(dist.Config{
-		LeaseTTL:    *leaseTTL,
-		Poll:        *poll,
-		LocalShards: *localShards,
-		CacheSize:   *cacheSize,
-		MaxJobs:     *maxJobs,
-		Logf:        log.Printf,
+		LeaseTTL:        *leaseTTL,
+		Poll:            *poll,
+		LocalShards:     *localShards,
+		CacheSize:       *cacheSize,
+		CacheBytes:      *cacheBytes,
+		CacheEntryBytes: *cacheEntryBytes,
+		MaxJobs:         *maxJobs,
+		Store:           store,
+		Logf:            log.Printf,
 	})
-	defer c.Close()
-	log.Printf("coordinator listening on %s (lease ttl %s, %d local shard(s), point store %d)",
-		*addr, *leaseTTL, *localShards, *cacheSize)
-	log.Fatal(http.ListenAndServe(*addr, c.Handler()))
+
+	srv := &http.Server{Addr: *addr, Handler: c.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutCtx)
+	}()
+
+	durable := "in-memory state"
+	if disk != nil {
+		durable = "journaling to " + *dataDir
+	}
+	log.Printf("coordinator listening on %s (lease ttl %s, %d local shard(s), point store %d, %s)",
+		*addr, *leaseTTL, *localShards, *cacheSize, durable)
+	err := srv.ListenAndServe()
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	// Shutdown order matters for durability: Close() cancels running
+	// jobs and waits for them to journal their interrupted state, THEN
+	// the disk store compacts its final snapshot.
+	c.Close()
+	if disk != nil {
+		if err := disk.Close(); err != nil {
+			log.Fatalf("closing -data-dir journal: %v", err)
+		}
+	}
+	log.Printf("coordinator stopped")
 }

@@ -16,6 +16,14 @@
 // Usage:
 //
 //	gtwworker -coordinator http://host:9191 [-id worker-a] [-poll 200ms]
+//	          [-stream-window 0] [-stream-batch 16]
+//
+// By default every finished point streams in its own upload. A
+// -stream-window coalesces points finishing within the window into one
+// upload body of at most -stream-batch points — fewer round trips on
+// chatty sweeps, at the price of a slightly longer unstreamed tail if
+// the worker dies between flushes (those points simply re-run
+// elsewhere; reports stay byte-identical).
 //
 // Run as many as you like; killing one mid-lease only delays its
 // points until the lease TTL expires and they are re-run elsewhere.
@@ -42,6 +50,10 @@ func main() {
 	id := flag.String("id", "", "sticky worker ID (default: random, kept for the process lifetime)")
 	poll := flag.Duration("poll", 200*time.Millisecond,
 		"idle-poll interval (the coordinator's register reply overrides it)")
+	streamWindow := flag.Duration("stream-window", 0,
+		"coalesce points finishing within this window into one stream upload (0 = one upload per point)")
+	streamBatch := flag.Int("stream-batch", 16,
+		"most points per coalesced stream upload (with -stream-window)")
 	flag.Parse()
 
 	w := dist.NewWorker(*coord)
@@ -49,6 +61,8 @@ func main() {
 		w.ID = *id
 	}
 	w.Poll = *poll
+	w.BatchWindow = *streamWindow
+	w.BatchMax = *streamBatch
 	w.Logf = log.Printf
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

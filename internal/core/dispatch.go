@@ -386,3 +386,136 @@ type RateKeeper interface {
 	SeedRate(worker string, pointsPerSec float64)
 	Rates() map[string]float64
 }
+
+// ------------------------------------------------- lease filtering --
+
+// LeaseFilterFunc inspects a freshly carved lease before it is handed
+// to a worker and returns a mask (one entry per point, index k covering
+// grid point l.Lo+k) of points the caller already has results for —
+// having delivered them out of band (SweepRun.DeliverPoint). A nil
+// return, or an all-false mask, passes the lease through untouched.
+//
+// The coordinator's mid-job store pickup is the canonical filter: a
+// point that landed in the content-addressed store after this job's
+// submit-time prefill — streamed by a concurrent overlapping job — is
+// served from the store at lease-grant time instead of being leased and
+// re-simulated.
+type LeaseFilterFunc func(l Lease) []bool
+
+// filterDispatcher wraps a Dispatcher with a grant-time lease filter:
+// points the filter claims are credited as completed (RequeuePartial)
+// and the remaining runs re-carved, so workers only ever receive points
+// that still need computing. Everything else delegates to the inner
+// dispatcher.
+type filterDispatcher struct {
+	inner  Dispatcher
+	filter LeaseFilterFunc
+}
+
+// NewFilteringDispatcher wraps inner so every lease is screened by
+// filter before a worker sees it. The inner dispatcher should support
+// partial requeue (both built-ins do); without it, filtered leases pass
+// through unfiltered.
+func NewFilteringDispatcher(inner Dispatcher, filter LeaseFilterFunc) Dispatcher {
+	return &filterDispatcher{inner: inner, filter: filter}
+}
+
+// screen applies the filter to a carved lease. ok=false means the lease
+// was wholly or partially absorbed: the caller should carve again.
+func (f *filterDispatcher) screen(l Lease) (Lease, bool) {
+	mask := f.filter(l)
+	hit := false
+	for _, m := range mask {
+		if m {
+			hit = true
+			break
+		}
+	}
+	if !hit || len(mask) != l.Points() {
+		return l, true
+	}
+	pr, ok := f.inner.(partialRequeuer)
+	if !ok {
+		// No partial support: the filter's out-of-band deliveries are
+		// harmless re-records of deterministic values; lease unchanged.
+		return l, true
+	}
+	// Credit the filtered points as completed; the missing runs go back
+	// to the front of the queue, so the re-carve below picks up exactly
+	// the points that still need computing.
+	pr.RequeuePartial(l, mask)
+	return Lease{}, false
+}
+
+// Next implements Dispatcher.
+func (f *filterDispatcher) Next(worker string) (Lease, bool) {
+	for {
+		l, ok := f.inner.Next(worker)
+		if !ok {
+			return l, false
+		}
+		if l, ok := f.screen(l); ok {
+			return l, true
+		}
+	}
+}
+
+// TryNext implements Dispatcher.
+func (f *filterDispatcher) TryNext(worker string) (Lease, bool) {
+	for {
+		l, ok := f.inner.TryNext(worker)
+		if !ok {
+			return l, false
+		}
+		if l, ok := f.screen(l); ok {
+			return l, true
+		}
+	}
+}
+
+// Complete implements Dispatcher.
+func (f *filterDispatcher) Complete(l Lease, elapsed time.Duration) { f.inner.Complete(l, elapsed) }
+
+// completeReport delegates idempotent completion to the inner
+// dispatcher (SweepRun.claim depends on it for remote delivery).
+func (f *filterDispatcher) completeReport(l Lease, elapsed time.Duration) bool {
+	if cr, ok := f.inner.(completeReporter); ok {
+		return cr.completeReport(l, elapsed)
+	}
+	f.inner.Complete(l, elapsed)
+	return true
+}
+
+// Requeue implements Dispatcher.
+func (f *filterDispatcher) Requeue(l Lease) { f.inner.Requeue(l) }
+
+// RequeuePartial delegates the streamed-tail credit path.
+func (f *filterDispatcher) RequeuePartial(l Lease, finished []bool) {
+	if pr, ok := f.inner.(partialRequeuer); ok {
+		pr.RequeuePartial(l, finished)
+		return
+	}
+	f.inner.Requeue(l)
+}
+
+// Done implements Dispatcher.
+func (f *filterDispatcher) Done() <-chan struct{} { return f.inner.Done() }
+
+// Close implements Dispatcher.
+func (f *filterDispatcher) Close() { f.inner.Close() }
+
+// SeedRate implements RateKeeper by delegation (no-op when the inner
+// dispatcher keeps no rates).
+func (f *filterDispatcher) SeedRate(worker string, pointsPerSec float64) {
+	if rk, ok := f.inner.(RateKeeper); ok {
+		rk.SeedRate(worker, pointsPerSec)
+	}
+}
+
+// Rates implements RateKeeper by delegation.
+func (f *filterDispatcher) Rates() map[string]float64 {
+	if rk, ok := f.inner.(RateKeeper); ok {
+		return rk.Rates()
+	}
+	return nil
+}

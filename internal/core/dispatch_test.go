@@ -160,3 +160,132 @@ func TestRatesSnapshotAfterCompletes(t *testing.T) {
 		t.Errorf("worker rate = %v, want a positive points/sec EWMA", rates["w"])
 	}
 }
+
+// The filtering dispatcher: points the filter claims at grant time are
+// credited as completed and never reach a worker; the worker receives
+// exactly the runs that still need computing, and the dispatcher drains
+// to Done.
+func TestFilteringDispatcherSkipsClaimedPoints(t *testing.T) {
+	inner := NewWorkStealingDispatcher(10, 1)
+	// The filter claims points 2, 3 and 7 the first time a lease covers
+	// them — the shape of results landing in the point store mid-job.
+	claimed := map[int]bool{2: true, 3: true, 7: true}
+	var claimedSeen []int
+	fd := NewFilteringDispatcher(inner, func(l Lease) []bool {
+		var mask []bool
+		hit := false
+		for i := l.Lo; i < l.Hi; i++ {
+			m := claimed[i]
+			if m {
+				hit = true
+				claimedSeen = append(claimedSeen, i)
+				delete(claimed, i)
+			}
+			mask = append(mask, m)
+		}
+		if !hit {
+			return nil
+		}
+		return mask
+	})
+	var leased []int
+	for {
+		l, ok := fd.TryNext("w")
+		if !ok {
+			break
+		}
+		for i := l.Lo; i < l.Hi; i++ {
+			leased = append(leased, i)
+		}
+		fd.Complete(l, time.Millisecond)
+	}
+	select {
+	case <-fd.Done():
+	default:
+		t.Fatal("dispatcher not drained after all leases completed")
+	}
+	if len(claimedSeen) != 3 {
+		t.Fatalf("filter claimed %v, want all of 2,3,7 probed", claimedSeen)
+	}
+	seen := map[int]int{}
+	for _, i := range leased {
+		seen[i]++
+	}
+	for i := 0; i < 10; i++ {
+		want := 1
+		if i == 2 || i == 3 || i == 7 {
+			want = 0
+		}
+		if seen[i] != want {
+			t.Errorf("point %d leased %d time(s), want %d (leased: %v)", i, seen[i], want, leased)
+		}
+	}
+}
+
+// A filter that claims every point must drive the dispatcher to Done
+// without any lease reaching a worker.
+func TestFilteringDispatcherFullyClaimedGrid(t *testing.T) {
+	inner := NewWorkStealingDispatcher(6, 2)
+	fd := NewFilteringDispatcher(inner, func(l Lease) []bool {
+		mask := make([]bool, l.Points())
+		for k := range mask {
+			mask[k] = true
+		}
+		return mask
+	})
+	if l, ok := fd.TryNext("w"); ok {
+		t.Fatalf("fully claimed grid still leased [%d,%d)", l.Lo, l.Hi)
+	}
+	select {
+	case <-fd.Done():
+	default:
+		t.Fatal("fully claimed grid did not drain to Done")
+	}
+}
+
+// The wrapper preserves the extensions SweepRun and the coordinator
+// rely on: idempotent completion, partial requeue, rate seeding.
+func TestFilteringDispatcherDelegatesExtensions(t *testing.T) {
+	inner := NewWorkStealingDispatcher(8, 1)
+	fd := NewFilteringDispatcher(inner, func(Lease) []bool { return nil })
+	rk, ok := fd.(RateKeeper)
+	if !ok {
+		t.Fatal("filtering dispatcher lost RateKeeper")
+	}
+	rk.SeedRate("w", 100)
+	if rates := rk.Rates(); rates["w"] != 100 {
+		t.Errorf("seeded rate did not reach the inner dispatcher: %v", rates)
+	}
+	l, _ := fd.TryNext("w")
+	cr, ok := fd.(interface {
+		completeReport(l Lease, elapsed time.Duration) bool
+	})
+	if !ok {
+		t.Fatal("filtering dispatcher lost completeReport")
+	}
+	if !cr.completeReport(l, time.Millisecond) {
+		t.Error("first completion reported not-outstanding")
+	}
+	if cr.completeReport(l, time.Millisecond) {
+		t.Error("duplicate completion reported outstanding")
+	}
+	l2, _ := fd.TryNext("w")
+	pr, ok := fd.(interface {
+		RequeuePartial(l Lease, finished []bool)
+	})
+	if !ok {
+		t.Fatal("filtering dispatcher lost RequeuePartial")
+	}
+	finished := make([]bool, l2.Points())
+	if len(finished) > 0 {
+		finished[0] = true
+	}
+	pr.RequeuePartial(l2, finished)
+	l3, ok := fd.TryNext("w")
+	if !ok {
+		t.Fatal("partially requeued points not re-leased")
+	}
+	if l3.Lo != l2.Lo+1 {
+		t.Errorf("re-lease starts at %d, want %d (the first unfinished point)", l3.Lo, l2.Lo+1)
+	}
+}

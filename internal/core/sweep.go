@@ -302,6 +302,15 @@ type SweepRun struct {
 	pts  []Point
 	d    Dispatcher
 
+	// OnPoint, when set before the run starts, observes every freshly
+	// recorded error-free point result — local shard evaluations,
+	// streamed remote points and completed leases alike, but not
+	// Prefill (those results came from the observer's own store). The
+	// coordinator uses it to persist each point the moment it exists, so
+	// a crash loses at most the points still being computed. Called
+	// outside the run's lock, possibly from several goroutines at once.
+	OnPoint func(i int, val any)
+
 	mu      sync.Mutex
 	results []any
 	errs    []error
@@ -352,6 +361,9 @@ func (r *SweepRun) RunShard(ctx context.Context, shard int, worker string, tb *T
 			r.results[i], r.errs[i] = res, err
 			r.visited[i] = true
 			r.mu.Unlock()
+			if r.OnPoint != nil && err == nil {
+				r.OnPoint(i, res)
+			}
 		}
 		points += l.Points()
 		r.d.Complete(l, time.Since(leaseStart))
@@ -382,7 +394,6 @@ func (r *SweepRun) Deliver(l Lease, vals []any, errStrs []string, elapsed time.D
 		return false
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	for k := 0; k < l.Points(); k++ {
 		i := l.Lo + k
 		r.results[i] = vals[k]
@@ -401,6 +412,14 @@ func (r *SweepRun) Deliver(l Lease, vals []any, errStrs []string, elapsed time.D
 	}
 	t.Points += l.Points()
 	t.ElapsedNS += elapsed.Nanoseconds()
+	r.mu.Unlock()
+	if r.OnPoint != nil {
+		for k := 0; k < l.Points(); k++ {
+			if errStrs[k] == "" {
+				r.OnPoint(l.Lo+k, vals[k])
+			}
+		}
+	}
 	return true
 }
 
@@ -427,7 +446,6 @@ func (r *SweepRun) DeliverPoint(l Lease, index int, val any, errStr string) bool
 		return false
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.results[index] = val
 	if errStr != "" {
 		r.errs[index] = fmt.Errorf("worker %s: %s", l.Worker, errStr)
@@ -435,6 +453,10 @@ func (r *SweepRun) DeliverPoint(l Lease, index int, val any, errStr string) bool
 		r.errs[index] = nil
 	}
 	r.visited[index] = true
+	r.mu.Unlock()
+	if r.OnPoint != nil && errStr == "" {
+		r.OnPoint(index, val)
+	}
 	return true
 }
 
@@ -682,6 +704,15 @@ func (sw *Sweep) PointDeps(fields ...OptField) *Sweep {
 // store. The index is the authoritative discriminator within a grid
 // (axis values need not marshal distinctly); coordinates and options
 // guard against grids or parameters changing between submissions.
+//
+// The key format is a persistence contract: the coordinator's point
+// store survives restarts (internal/persist), so a key computed by one
+// process must match the key the restarted process computes for the
+// same point — which it does, because every input is deterministic
+// (registration-ordered axis values, json.Marshal's stable field order
+// and shortest-float encoding, and the fixed dep spelling above).
+// Changing the format silently orphans every persisted point;
+// TestPointKeyStableAcrossProcesses pins it.
 func (sw *Sweep) PointKey(opts Options, pt Point) string {
 	coords, err := json.Marshal(pt.Coords)
 	if err != nil {

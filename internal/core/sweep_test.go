@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -391,5 +392,111 @@ func TestRunAllCancellationMidSweepNoLeaks(t *testing.T) {
 	}
 	if got := runtime.NumGoroutine(); got > before+1 {
 		t.Errorf("goroutines %d -> %d after cancelled RunAll; sweep shards leaked", before, got)
+	}
+}
+
+// PointKey is a persistence contract: the coordinator's point store
+// survives restarts, so the key one process computes must match what a
+// later process — same build or not — computes for the same point.
+// These golden hashes pin the format; if this test fails, the key
+// format changed and every persisted point store is silently orphaned
+// (bump with care, and say so in the changelog).
+func TestPointKeyStableAcrossProcesses(t *testing.T) {
+	sw := NewSweep("keystability", "", []Axis{
+		{Name: "mtu", Values: []any{1500, 9180}},
+		{Name: "load", Values: []any{0.25, 0.9}},
+	}, nil, nil)
+	opts := Options{PEs: 4, Frames: 7}
+	golden := []string{
+		"eb913bee657cc5451c09cff0b9396bcbf7de57e3ca015c3afce6095b9b2c876c",
+		"303ec8db45e9ab4e59100ae5eb8ea163f0350c5d7fefbf3a0347a4de8e49cad9",
+		"6141611b174ca5d2cb47ed931fc36918b8002c451c4c4aeb4a7daaaca4573347",
+		"11554bdd478f7bb7dbc343b647f73e8e4de6b91329616ffb8c678b39ea883615",
+	}
+	for i, pt := range sw.Points() {
+		if got := sw.PointKey(opts, pt); got != golden[i] {
+			t.Errorf("PointKey(point %d) = %s, want %s — the format is a persistence contract",
+				i, got, golden[i])
+		}
+	}
+	// Narrowed deps: fields outside the declaration must not move the
+	// key (that invariance is what makes restart reuse broad), and the
+	// narrowed key is itself pinned.
+	sw2 := NewSweep("keystability-deps", "", []Axis{{Name: "i", Values: []any{1}}}, nil, nil).
+		PointDeps(OptFrames)
+	const goldenDeps = "981333c9fb2e5ef8bd03fd7b90818d666585b9b54c332c3775df79239f00930f"
+	k1 := sw2.PointKey(Options{PEs: 99, Frames: 7}, sw2.Points()[0])
+	k2 := sw2.PointKey(Options{PEs: 4, Frames: 7}, sw2.Points()[0])
+	if k1 != k2 {
+		t.Errorf("an undeclared option moved the key: %s vs %s", k1, k2)
+	}
+	if k1 != goldenDeps {
+		t.Errorf("narrowed PointKey = %s, want %s", k1, goldenDeps)
+	}
+}
+
+// The OnPoint observer sees every freshly computed point exactly once —
+// from local shards, remote deliveries and streamed points alike — and
+// never sees prefills.
+func TestSweepRunOnPointObserver(t *testing.T) {
+	sw := NewSweep("onpoint-sweep", "", []Axis{{Name: "i", Values: []any{0, 1, 2, 3, 4, 5}}},
+		func(ctx context.Context, tb *Testbed, opts Options, pt Point) (any, error) {
+			return pt.Index * 10, nil
+		}, func(opts Options, results []any) (Report, error) {
+			return nil, nil
+		}).NoShardTestbed()
+	done := []bool{true, false, false, false, false, false} // point 0 prefilled
+	d := NewWorkStealingDispatcherSkipping(6, 1, done)
+	run := NewSweepRun(sw, Options{}, d, 1)
+	var mu sync.Mutex
+	seen := map[int]int{}
+	run.OnPoint = func(i int, val any) {
+		mu.Lock()
+		defer mu.Unlock()
+		seen[i]++
+		if want := i * 10; val != want {
+			// Remote points carry the strings delivered below.
+			if val != "streamed" && val != "completed" {
+				t.Errorf("OnPoint(%d) = %v, want %d or a delivered value", i, val, want)
+			}
+		}
+	}
+	run.Prefill(0, 0)
+	// Points 3 and 5 arrive remotely: 3 streamed mid-lease, 5 via a
+	// completed lease; the rest run on the local shard.
+	l, ok := d.TryNext("remote")
+	if !ok {
+		t.Fatal("no lease for the remote worker")
+	}
+	if l.Lo != 1 {
+		t.Fatalf("first lease starts at %d, want 1 (0 is prefilled)", l.Lo)
+	}
+	for i := l.Lo; i < l.Hi; i++ {
+		run.DeliverPoint(l, i, "streamed", "")
+	}
+	vals := make([]any, l.Points())
+	errs := make([]string, l.Points())
+	for k := range vals {
+		vals[k] = "completed"
+	}
+	run.Deliver(l, vals, errs, time.Millisecond)
+	run.RunShard(context.Background(), 0, "local", nil)
+	if err := run.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if seen[0] != 0 {
+		t.Errorf("observer saw prefilled point 0 (%d times)", seen[0])
+	}
+	for i := l.Lo; i < l.Hi; i++ {
+		if seen[i] != 2 { // once streamed + once on lease completion
+			t.Errorf("remote point %d observed %d times, want 2 (stream + completion)", i, seen[i])
+		}
+	}
+	for i := int(l.Hi); i < 6; i++ {
+		if seen[i] != 1 {
+			t.Errorf("local point %d observed %d times, want 1", i, seen[i])
+		}
 	}
 }

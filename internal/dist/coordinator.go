@@ -7,10 +7,13 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/persist"
 )
 
 // Config tunes a Coordinator.
@@ -38,6 +41,21 @@ type Config struct {
 	// queued and running jobs are never pruned, so coordinator memory
 	// stays bounded however many clients submit.
 	RetainJobs int
+	// CacheBytes bounds the point store's total wire bytes (0: the
+	// entry-count bound alone applies).
+	CacheBytes int64
+	// CacheEntryBytes caps one stored point's wire bytes; larger results
+	// are not cached at all (0: no per-entry cap).
+	CacheEntryBytes int
+	// Store receives every coordinator state transition — job lifecycle,
+	// finished points, worker stats — and provides the recovered state at
+	// startup: finished points are served from the store again, jobs that
+	// were queued or running resume, and reconnecting workers keep their
+	// sticky IDs and throughput EWMAs. Nil defaults to a fresh in-memory
+	// store (persist.NewMem()), which journals identically but recovers
+	// nothing; hand a persist.Disk (gtwd -data-dir) for crash durability,
+	// or share one Mem across two Coordinators to test recovery.
+	Store persist.Store
 	// Logf, when set, receives coordinator events (lease expiries,
 	// job transitions). Nil discards.
 	Logf func(format string, args ...any)
@@ -88,14 +106,16 @@ type job struct {
 	// executable grid (the scenario itself, or its one-point wrapper).
 	run *core.SweepRun
 	sw  *core.Sweep
-	// keys holds each grid point's content address; prefilled marks the
-	// points served from the store when the job started.
-	keys      []string
-	prefilled []bool
+	// keys holds each grid point's content address.
+	keys []string
 
 	pointsTotal int
 	pointsDone  int
-	pointHits   int
+	// pointHits counts grid points served from the store — at submit
+	// time and at lease-grant pickup. Atomic because grant-time pickups
+	// happen inside the dispatcher's lease path, where c.mu is held by
+	// the caller (handleLease) or not held at all (local shards).
+	pointHits atomic.Int64
 
 	report  []byte
 	text    string
@@ -146,14 +166,23 @@ type Coordinator struct {
 	// store is the content-addressed point store; it has its own lock
 	// and is safe to touch without c.mu.
 	store *pointStore
+	// pstore is the persistence journal (never nil: defaults to a fresh
+	// persist.Mem). Implementations lock internally; safe without c.mu.
+	pstore persist.Store
 
-	sem     chan struct{} // job-concurrency tokens
-	stopped chan struct{}
-	base    context.Context
-	baseCxl context.CancelFunc
+	sem       chan struct{}  // job-concurrency tokens
+	wg        sync.WaitGroup // in-flight execute goroutines
+	stopped   chan struct{}
+	closeOnce sync.Once
+	base      context.Context
+	baseCxl   context.CancelFunc
 }
 
-// New builds a coordinator and starts its lease reaper.
+// New builds a coordinator, recovers any state its Store journaled in a
+// previous life (finished points, finished job reports, worker stats,
+// and interrupted jobs — which are re-enqueued and resume with their
+// already-streamed points served from the store), and starts the lease
+// reaper.
 func New(cfg Config) *Coordinator {
 	c := &Coordinator{
 		cfg:     cfg.withDefaults(),
@@ -163,8 +192,17 @@ func New(cfg Config) *Coordinator {
 		rates:   make(map[string]float64),
 		stopped: make(chan struct{}),
 	}
+	c.pstore = c.cfg.Store
+	if c.pstore == nil {
+		c.pstore = persist.NewMem()
+	}
 	c.sem = make(chan struct{}, c.cfg.MaxJobs)
-	c.store = newPointStore(c.cfg.CacheSize)
+	c.store = newPointStore(c.cfg.CacheSize, c.cfg.CacheBytes, c.cfg.CacheEntryBytes)
+	// Every accepted point and every eviction is journaled, so the
+	// durable image tracks the store's residency exactly.
+	c.store.onPut = func(key string, val []byte) { c.pstore.PutPoint(key, val) }
+	c.store.onEvict = func(key string) { c.pstore.DeletePoint(key) }
+	resume := c.recoverState()
 	c.base, c.baseCxl = context.WithCancel(context.Background())
 	c.mux = http.NewServeMux()
 	c.mux.HandleFunc("POST /v1/jobs", c.handleSubmit)
@@ -179,16 +217,96 @@ func New(cfg Config) *Coordinator {
 	c.mux.HandleFunc("POST /v1/workers/points", c.handlePoints)
 	c.mux.HandleFunc("POST /v1/workers/result", c.handleResult)
 	go c.reap()
+	for _, j := range resume {
+		c.cfg.Logf("dist: resuming %s (%s) recovered from the store", j.id, j.scenario)
+		c.startJob(j)
+	}
 	return c
+}
+
+// recoverState seeds the coordinator from the journal's last image.
+// Called from New before any handler runs, so no locking. Returns the
+// non-terminal jobs to re-enqueue.
+func (c *Coordinator) recoverState() []*job {
+	st := c.pstore.Load()
+	// Oldest-first seeding reproduces the store's LRU order (each seed
+	// pushes to the front); a shrunken budget evicts — and journals —
+	// the oldest overflow.
+	for _, p := range st.Points {
+		c.store.seed(p.Key, p.Val)
+	}
+	now := time.Now()
+	for _, w := range st.Workers {
+		c.workers[w.ID] = &workerState{id: w.ID, lastSeen: now, points: w.Points}
+		if w.RatePPS > 0 {
+			c.rates[w.ID] = w.RatePPS
+		}
+	}
+	var resume []*job
+	for _, jr := range st.Jobs {
+		var wopts WireOptions
+		if len(jr.Opts) > 0 {
+			_ = json.Unmarshal(jr.Opts, &wopts)
+		}
+		j := &job{
+			id: jr.ID, scenario: jr.Scenario, wopts: wopts, opts: wopts.Options(),
+			status: jr.Status, cached: jr.Cached, start: now,
+			elapsed:     time.Duration(jr.ElapsedMS) * time.Millisecond,
+			pointsTotal: jr.PointsTotal, pointsDone: jr.PointsDone,
+			report: jr.Report, text: jr.Text, errStr: jr.Error,
+			done: make(chan struct{}),
+		}
+		j.pointHits.Store(int64(jr.PointHits))
+		if len(jr.Timings) > 0 {
+			_ = json.Unmarshal(jr.Timings, &j.timings)
+		}
+		if n, err := strconv.Atoi(strings.TrimPrefix(jr.ID, "job-")); err == nil && n > c.jobSeq {
+			c.jobSeq = n
+		}
+		switch jr.Status {
+		case JobDone, JobFailed:
+			close(j.done)
+		default:
+			// Queued or running at the crash: re-run from the top. The
+			// points it streamed before dying are in the store, so the
+			// resumed execution prefills them and re-leases only the
+			// unstreamed tail.
+			j.status = JobQueued
+			j.pointsDone, j.report, j.text, j.errStr = 0, nil, "", ""
+			j.pointHits.Store(0)
+			resume = append(resume, j)
+		}
+		c.jobs[j.id] = j
+		c.order = append(c.order, j)
+	}
+	return resume
+}
+
+// startJob launches a job's execute goroutine, tracked so Close can
+// wait for in-flight jobs to wind down before the caller snapshots and
+// closes the persistence store.
+func (c *Coordinator) startJob(j *job) {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.execute(j)
+	}()
 }
 
 // Handler returns the coordinator's HTTP handler.
 func (c *Coordinator) Handler() http.Handler { return c.mux }
 
-// Close cancels running jobs and stops the reaper.
+// Close cancels running jobs, stops the reaper, and waits for in-flight
+// job goroutines to finish journaling — interrupted jobs are recorded
+// as queued, so a restart on the same store resumes them. The caller
+// owns the persistence store's lifetime (close it after Close returns,
+// so the final snapshot carries every last record).
 func (c *Coordinator) Close() {
-	c.baseCxl()
-	close(c.stopped)
+	c.closeOnce.Do(func() {
+		c.baseCxl()
+		close(c.stopped)
+	})
+	c.wg.Wait()
 }
 
 // reaperInterval derives the expiry scan period from the lease TTL.
@@ -269,7 +387,7 @@ func (c *Coordinator) Submit(req JobRequest) (*JobStatus, error) {
 		}
 	}
 	j := c.newJobLocked(req)
-	go c.execute(j)
+	c.startJob(j)
 	st := c.statusLocked(j)
 	return &st, nil
 }
@@ -287,8 +405,32 @@ func (c *Coordinator) newJobLocked(req JobRequest) *job {
 	}
 	c.jobs[j.id] = j
 	c.order = append(c.order, j)
+	c.pstore.PutJob(c.jobRecordLocked(j))
 	c.pruneJobsLocked()
 	return j
+}
+
+// optsJSON marshals a job's wire options for its journal record.
+func optsJSON(w WireOptions) json.RawMessage {
+	b, _ := json.Marshal(w)
+	return b
+}
+
+// jobRecordLocked builds the journal image of a job's current state.
+func (c *Coordinator) jobRecordLocked(j *job) persist.JobRecord {
+	rec := persist.JobRecord{
+		ID: j.id, Scenario: j.scenario, Opts: optsJSON(j.wopts),
+		Status: j.status, Error: j.errStr, Report: j.report, Text: j.text,
+		ElapsedMS:   j.elapsed.Milliseconds(),
+		PointsTotal: j.pointsTotal, PointsDone: j.pointsDone,
+		PointHits: int(j.pointHits.Load()), Cached: j.cached,
+	}
+	if len(j.timings) > 0 {
+		if b, err := json.Marshal(j.timings); err == nil {
+			rec.Timings = b
+		}
+	}
+	return rec
 }
 
 // pruneJobsLocked evicts the oldest finished jobs past the retention
@@ -310,6 +452,7 @@ func (c *Coordinator) pruneJobsLocked() {
 	for _, j := range c.order {
 		if finished > c.cfg.RetainJobs && (j.status == JobDone || j.status == JobFailed) {
 			delete(c.jobs, j.id)
+			c.pstore.DeleteJob(j.id)
 			finished--
 			continue
 		}
@@ -337,12 +480,20 @@ func (c *Coordinator) execute(j *job) {
 	ctx, cancel := context.WithCancel(c.base)
 	defer cancel()
 
+	// A job recovered from the store may name a scenario this build no
+	// longer registers; fail it loudly instead of executing a nil plan.
+	s, ok := core.Lookup(j.scenario)
+	if !ok {
+		c.finish(j, nil, fmt.Errorf("dist: unknown scenario %q (recovered from a different build?)", j.scenario))
+		return
+	}
+
 	c.mu.Lock()
 	j.status = JobRunning
 	j.start = time.Now()
 	j.cancel = cancel
-	s, _ := core.Lookup(j.scenario)
 	plan := core.PlanFor(s)
+	c.pstore.PutJob(c.jobRecordLocked(j))
 	c.mu.Unlock()
 
 	var rep core.Report
@@ -398,26 +549,76 @@ func (c *Coordinator) runDistributed(ctx context.Context, j *job, plan *core.Pla
 	}
 	c.mu.Lock()
 	sizeHint := shards + len(c.workers)
-	d := core.NewWorkStealingDispatcherSkipping(n, max(sizeHint, 1), done)
+	c.mu.Unlock()
+	inner := core.NewWorkStealingDispatcherSkipping(n, max(sizeHint, 1), done)
 	// Seed the queue with what earlier jobs learned about each worker,
 	// so a proven-fast worker gets large leases from its first ask.
-	if rk, ok := d.(core.RateKeeper); ok {
+	if rk, ok := inner.(core.RateKeeper); ok {
+		c.mu.Lock()
 		for w, r := range c.rates {
 			rk.SeedRate(w, r)
 		}
+		c.mu.Unlock()
 	}
-	run := core.NewSweepRun(sw, j.opts, d, shards)
+	// Grant-time store pickup: a point that landed in the store after
+	// this job's submit-time prefill — streamed by a concurrent job with
+	// an overlapping grid — is served from the store the moment a lease
+	// would cover it, instead of being re-simulated. The filter runs
+	// inside the dispatcher's lease path (under c.mu when handleLease is
+	// the caller), so it must not take c.mu itself.
+	var run *core.SweepRun
+	filter := func(l core.Lease) []bool {
+		mask := make([]bool, l.Points())
+		picked := 0
+		for k := range mask {
+			i := l.Lo + k
+			b, ok := c.store.get(keys[i])
+			if !ok {
+				continue
+			}
+			v, err := sw.DecodePoint(b)
+			if err != nil {
+				continue
+			}
+			run.Prefill(i, v)
+			mask[k] = true
+			picked++
+		}
+		if picked == 0 {
+			return nil
+		}
+		j.pointHits.Add(int64(picked))
+		c.cfg.Logf("dist: %s (%s) picked up %d stored point(s) at lease grant", j.id, j.scenario, picked)
+		return mask
+	}
+	d := core.NewFilteringDispatcher(inner, filter)
+	run = core.NewSweepRun(sw, j.opts, d, shards)
+	// Persist each freshly computed point the moment it is recorded —
+	// local shard results included — so a crash loses at most the points
+	// still being evaluated. Remotely delivered points are already in
+	// the store (their wire bytes were put on upload receipt), which the
+	// contains probe skips.
+	run.OnPoint = func(i int, val any) {
+		if keys[i] == "" || c.store.contains(keys[i]) {
+			return
+		}
+		b, err := sw.EncodePoint(val)
+		if err != nil {
+			return
+		}
+		c.store.put(keys[i], b)
+	}
 	for i := range done {
 		if done[i] {
 			run.Prefill(i, prevals[i])
 		}
 	}
+	c.mu.Lock()
 	j.run = run
 	j.sw = sw
 	j.keys = keys
-	j.prefilled = done
 	j.pointsTotal = n
-	j.pointHits = hits
+	j.pointHits.Store(int64(hits))
 	c.mu.Unlock()
 	if hits > 0 {
 		c.cfg.Logf("dist: %s (%s) reusing %d/%d point(s) from the store", j.id, j.scenario, hits, n)
@@ -438,11 +639,17 @@ func (c *Coordinator) runDistributed(ctx context.Context, j *job, plan *core.Pla
 
 	c.mu.Lock()
 	// Harvest throughput observations for the next job's seeding, and
-	// retire any leases still pointing at this job.
+	// retire any leases still pointing at this job. The observations —
+	// and each registered worker's points tally — are journaled, so a
+	// restarted coordinator seeds its first dispatch with what this one
+	// learned (reconnecting workers keep their sticky IDs and EWMAs).
 	if rk, ok := d.(core.RateKeeper); ok {
 		for w, r := range rk.Rates() {
 			c.rates[w] = r
 		}
+	}
+	for id, ws := range c.workers {
+		c.pstore.PutWorker(persist.WorkerRecord{ID: id, Points: ws.points, RatePPS: c.rates[id]})
 	}
 	pd, _ := run.Progress()
 	j.pointsDone = pd
@@ -453,36 +660,18 @@ func (c *Coordinator) runDistributed(ctx context.Context, j *job, plan *core.Pla
 		}
 	}
 	c.mu.Unlock()
-	c.storePoints(j, run)
 	if waitErr != nil {
 		return nil, waitErr
 	}
 	return run.Report(ctx)
 }
 
-// storePoints persists a run's freshly computed point results into the
-// content-addressed store. Remotely evaluated points are already there
-// (their wire bytes were stored on upload receipt), so only the
-// locally sharded ones are encoded here. Encoding produces the same
-// bytes a worker upload carries (one json.Marshal of the same concrete
-// type), so a later hit decodes identically either way.
-func (c *Coordinator) storePoints(j *job, run *core.SweepRun) {
-	vals, ok := run.Values()
-	for i := range vals {
-		if !ok[i] || j.prefilled[i] || j.keys[i] == "" || c.store.contains(j.keys[i]) {
-			continue
-		}
-		b, err := j.sw.EncodePoint(vals[i])
-		if err != nil {
-			continue
-		}
-		c.store.put(j.keys[i], b)
-	}
-}
-
-// finish records a job's outcome. Freshly computed points were already
-// persisted to the store by runDistributed; a job every one of whose
-// points came from the store is flagged Cached.
+// finish records — and journals — a job's outcome. Freshly computed
+// points were already persisted as they were recorded; a job every one
+// of whose points came from the store is flagged Cached. A job cut down
+// by coordinator shutdown (not its own failure) is journaled as queued,
+// so a restart on the same store resumes it instead of reporting a
+// phantom failure.
 func (c *Coordinator) finish(j *job, rep core.Report, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -490,29 +679,41 @@ func (c *Coordinator) finish(j *job, rep core.Report, err error) {
 	if err != nil {
 		j.status = JobFailed
 		j.errStr = err.Error()
-		c.cfg.Logf("dist: %s (%s) failed after %s (%d/%d point(s) done): %v",
-			j.id, j.scenario, j.elapsed.Round(time.Millisecond), j.pointsDone, j.pointsTotal, err)
+		if c.base.Err() != nil {
+			c.pstore.PutJob(persist.JobRecord{
+				ID: j.id, Scenario: j.scenario, Opts: optsJSON(j.wopts),
+				Status: JobQueued, PointsTotal: j.pointsTotal,
+			})
+			c.cfg.Logf("dist: %s (%s) interrupted by shutdown after %d/%d point(s); journaled as queued for the next start",
+				j.id, j.scenario, j.pointsDone, j.pointsTotal)
+		} else {
+			c.pstore.PutJob(c.jobRecordLocked(j))
+			c.cfg.Logf("dist: %s (%s) failed after %s (%d/%d point(s) done): %v",
+				j.id, j.scenario, j.elapsed.Round(time.Millisecond), j.pointsDone, j.pointsTotal, err)
+		}
 		close(j.done)
 		return
 	}
 	j.status = JobDone
 	j.pointsDone = j.pointsTotal
-	j.cached = j.pointsTotal > 0 && j.pointHits == j.pointsTotal
+	j.cached = j.pointsTotal > 0 && int(j.pointHits.Load()) == j.pointsTotal
 	j.text = rep.Text()
 	if b, jerr := rep.JSON(); jerr == nil {
 		j.report = b
 	} else {
 		j.status = JobFailed
 		j.errStr = "marshal: " + jerr.Error()
+		c.pstore.PutJob(c.jobRecordLocked(j))
 		close(j.done)
 		return
 	}
 	if sr, ok := rep.(core.ShardedReport); ok {
 		j.timings = sr.ShardTimings()
 	}
+	c.pstore.PutJob(c.jobRecordLocked(j))
 	c.cfg.Logf("dist: %s (%s) done in %s across %d participant(s), %d/%d point(s) from the store",
 		j.id, j.scenario, j.elapsed.Round(time.Millisecond), core.CountWorkers(j.timings),
-		j.pointHits, j.pointsTotal)
+		j.pointHits.Load(), j.pointsTotal)
 	close(j.done)
 }
 
@@ -543,7 +744,7 @@ func (c *Coordinator) statusLocked(j *job) JobStatus {
 		Workers: core.CountWorkers(j.timings), Shards: j.timings,
 		ElapsedMS: j.elapsed.Milliseconds(), Cached: j.cached,
 		PointsDone: j.pointsDone, PointsTotal: j.pointsTotal,
-		PointHits: j.pointHits,
+		PointHits: int(j.pointHits.Load()),
 	}
 	if j.status == JobRunning {
 		st.ElapsedMS = time.Since(j.start).Milliseconds()
@@ -600,7 +801,9 @@ func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 	var st StatusReply
-	st.StorePoints, st.StoreCap, st.StoreHits, st.StoreMisses = c.store.stats()
+	ss := c.store.stats()
+	st.StorePoints, st.StoreCap, st.StoreHits, st.StoreMisses = ss.points, ss.cap, ss.hits, ss.misses
+	st.StoreBytes, st.StoreBytesCap, st.StoreEntryCap, st.StoreRejected = ss.bytes, ss.capBytes, ss.entryCap, ss.rejected
 	c.mu.Lock()
 	st.Jobs = len(c.jobs)
 	now := time.Now()
@@ -774,7 +977,9 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		// Count points only for uploads that still own a lease, so a
 		// retried upload (response lost, worker resent) does not
 		// inflate the worker's tally in /v1/status.
-		c.workers[up.WorkerID].points += len(up.Points)
+		ws := c.workers[up.WorkerID]
+		ws.points += len(up.Points)
+		c.pstore.PutWorker(persist.WorkerRecord{ID: ws.id, Points: ws.points, RatePPS: c.rates[ws.id]})
 	}
 	if !ok {
 		// Lease already completed (retried upload) or expired and

@@ -239,4 +239,11 @@ type StatusReply struct {
 	StoreCap    int   `json:"store_cap"`
 	StoreHits   int64 `json:"store_hits"`
 	StoreMisses int64 `json:"store_misses"`
+	// The store's byte accounting: resident wire bytes, the total byte
+	// budget (0: entries-only bound), the per-entry size cap (0: none)
+	// and how many oversized results the cap rejected.
+	StoreBytes    int64 `json:"store_bytes"`
+	StoreBytesCap int64 `json:"store_bytes_cap,omitempty"`
+	StoreEntryCap int   `json:"store_entry_cap,omitempty"`
+	StoreRejected int64 `json:"store_rejected,omitempty"`
 }

@@ -9,7 +9,7 @@ import (
 // entries refresh on use, and eviction is least-recently-used over the
 // capacity bound.
 func TestPointStoreHitMissEviction(t *testing.T) {
-	s := newPointStore(3)
+	s := newPointStore(3, 0, 0)
 	if _, ok := s.get("k1"); ok {
 		t.Fatal("empty store served a hit")
 	}
@@ -29,30 +29,30 @@ func TestPointStoreHitMissEviction(t *testing.T) {
 			t.Errorf("entry %s evicted out of LRU order", k)
 		}
 	}
-	points, capacity, hits, misses := s.stats()
-	if points != 3 || capacity != 3 {
-		t.Errorf("stats: %d/%d entries, want 3/3", points, capacity)
+	ss := s.stats()
+	if ss.points != 3 || ss.cap != 3 {
+		t.Errorf("stats: %d/%d entries, want 3/3", ss.points, ss.cap)
 	}
-	if hits != 4 || misses != 2 {
-		t.Errorf("stats: %d hits %d misses, want 4/2", hits, misses)
+	if ss.hits != 4 || ss.misses != 2 {
+		t.Errorf("stats: %d hits %d misses, want 4/2", ss.hits, ss.misses)
 	}
 }
 
 // Refreshing a key replaces its value without growing the store, and
 // unkeyable (empty) entries are ignored.
 func TestPointStoreRefreshAndEmptyKey(t *testing.T) {
-	s := newPointStore(2)
+	s := newPointStore(2, 0, 0)
 	s.put("k", []byte("old"))
 	s.put("k", []byte("new"))
 	if v, _ := s.get("k"); string(v) != "new" {
 		t.Errorf("refresh kept %q", v)
 	}
-	if n, _, _, _ := s.stats(); n != 1 {
+	if n := s.stats().points; n != 1 {
 		t.Errorf("refresh grew the store to %d entries", n)
 	}
 	s.put("", []byte("x"))
 	s.put("e", nil)
-	if n, _, _, _ := s.stats(); n != 1 {
+	if n := s.stats().points; n != 1 {
 		t.Error("empty key or value was stored")
 	}
 	if _, ok := s.get(""); ok {
@@ -62,11 +62,92 @@ func TestPointStoreRefreshAndEmptyKey(t *testing.T) {
 
 // Capacity is bounded under sustained insertion.
 func TestPointStoreBounded(t *testing.T) {
-	s := newPointStore(8)
+	s := newPointStore(8, 0, 0)
 	for i := 0; i < 100; i++ {
 		s.put(fmt.Sprintf("k%d", i), []byte("v"))
 	}
-	if n, _, _, _ := s.stats(); n != 8 {
+	if n := s.stats().points; n != 8 {
 		t.Errorf("store holds %d entries past capacity 8", n)
+	}
+}
+
+// The byte budget: total stored wire bytes stay under the budget via
+// LRU eviction, with exact accounting through refreshes, and the
+// journal hooks observe every accepted put and every eviction.
+func TestPointStoreByteBudgetEvicts(t *testing.T) {
+	var puts, evicts []string
+	s := newPointStore(100, 30, 0) // entry bound slack: bytes are the binding constraint
+	s.onPut = func(key string, val []byte) { puts = append(puts, key) }
+	s.onEvict = func(key string) { evicts = append(evicts, key) }
+
+	s.put("a", make([]byte, 10))
+	s.put("b", make([]byte, 10))
+	s.put("c", make([]byte, 10)) // exactly at budget: nothing evicted
+	if ss := s.stats(); ss.points != 3 || ss.bytes != 30 {
+		t.Fatalf("at budget: %d entries, %d bytes", ss.points, ss.bytes)
+	}
+	s.put("d", make([]byte, 10)) // over budget: oldest (a) evicted
+	ss := s.stats()
+	if ss.points != 3 || ss.bytes != 30 {
+		t.Errorf("past budget: %d entries, %d bytes, want 3 entries / 30 bytes", ss.points, ss.bytes)
+	}
+	if _, ok := s.get("a"); ok {
+		t.Error("oldest entry survived the byte budget")
+	}
+	// Refreshing an entry with a bigger value re-accounts and evicts.
+	s.put("d", make([]byte, 25))
+	ss = s.stats()
+	if ss.bytes > 30 {
+		t.Errorf("refresh overflowed the budget: %d bytes", ss.bytes)
+	}
+	if _, ok := s.get("d"); !ok {
+		t.Error("the refreshed (most recent) entry must never be evicted")
+	}
+	if len(puts) != 5 {
+		t.Errorf("onPut observed %d puts (%v), want 5", len(puts), puts)
+	}
+	if len(evicts) == 0 || evicts[0] != "a" {
+		t.Errorf("onEvict observed %v, want a first", evicts)
+	}
+}
+
+// A single value past the byte budget must not wipe the store to fit:
+// the most recent entry always lands, and everything else evicts only
+// as far as the budget requires.
+func TestPointStoreOversizedPutAlwaysLands(t *testing.T) {
+	s := newPointStore(100, 20, 0)
+	s.put("a", make([]byte, 10))
+	s.put("big", make([]byte, 1000)) // alone over budget: still stored
+	if _, ok := s.get("big"); !ok {
+		t.Fatal("most recent entry was evicted by its own size")
+	}
+	if _, ok := s.get("a"); ok {
+		t.Error("prior entry survived a budget-blowing insert")
+	}
+	if ss := s.stats(); ss.points != 1 {
+		t.Errorf("%d entries resident, want 1", ss.points)
+	}
+}
+
+// The per-entry cap rejects oversized results outright — they are never
+// stored, never evict anything, and the rejection is counted.
+func TestPointStorePerEntryCapRejects(t *testing.T) {
+	var evicts int
+	s := newPointStore(100, 0, 8)
+	s.onEvict = func(string) { evicts++ }
+	s.put("ok", make([]byte, 8))
+	s.put("big", make([]byte, 9))
+	if _, ok := s.get("big"); ok {
+		t.Error("entry past the per-entry cap was stored")
+	}
+	if _, ok := s.get("ok"); !ok {
+		t.Error("rejecting an oversized entry disturbed the store")
+	}
+	ss := s.stats()
+	if ss.rejected != 1 {
+		t.Errorf("rejected = %d, want 1", ss.rejected)
+	}
+	if ss.entryCap != 8 || evicts != 0 {
+		t.Errorf("entryCap=%d evicts=%d, want 8 and 0", ss.entryCap, evicts)
 	}
 }

@@ -35,6 +35,18 @@ type Worker struct {
 	// Poll is the idle-poll interval; the coordinator's register reply
 	// overrides it.
 	Poll time.Duration
+	// BatchWindow coalesces points finishing within this window into one
+	// streamed POST /v1/workers/points body, cutting the per-point HTTP
+	// round trips of fine-grained sweeps. 0 streams each point the
+	// moment it finishes (the single-point degenerate case). Points
+	// coalesced but not yet flushed when a worker dies are simply part
+	// of the unstreamed tail the coordinator re-runs, so batching
+	// trades a slightly longer tail for fewer uploads — never
+	// correctness.
+	BatchWindow time.Duration
+	// BatchMax caps the points per streamed body when BatchWindow is set
+	// (default 16).
+	BatchMax int
 	// Logf, when set, receives worker events. Nil discards.
 	Logf func(format string, args ...any)
 
@@ -229,6 +241,23 @@ func (w *Worker) serveLease(ctx context.Context, lease LeaseReply) {
 
 	tb := w.leaseTestbed(lease.JobID, sw, opts)
 	stream := lease.Hi-lease.Lo > 1 // a 1-point lease's final upload IS its stream
+	batchMax := w.BatchMax
+	if batchMax <= 0 {
+		batchMax = 16
+	}
+	// pending coalesces finished points awaiting a streamed upload; with
+	// BatchWindow unset every point flushes immediately, so the
+	// single-point path is the degenerate one-entry batch.
+	var pending []PointResult
+	var batchStart time.Time
+	flush := func() bool {
+		if len(pending) == 0 {
+			return true
+		}
+		ok := w.streamPoints(ctx, lease, pending)
+		pending = pending[:0]
+		return ok
+	}
 	start := time.Now()
 	for i := lease.Lo; i < lease.Hi; i++ {
 		res, err := sw.EvalPoint(ctx, tb, opts, i)
@@ -245,10 +274,19 @@ func (w *Worker) serveLease(ctx context.Context, lease LeaseReply) {
 			pr.Value = b
 		}
 		up.Points = append(up.Points, pr)
-		if stream && !w.streamPoint(ctx, lease, pr) {
-			w.logf("dist: worker %s: lease %s/%d gone mid-stream; abandoning its tail",
-				w.ID, lease.JobID, lease.Seq)
-			return
+		if stream {
+			if len(pending) == 0 {
+				batchStart = time.Now()
+			}
+			pending = append(pending, pr)
+			if w.BatchWindow <= 0 || len(pending) >= batchMax ||
+				time.Since(batchStart) >= w.BatchWindow || i == lease.Hi-1 {
+				if !flush() {
+					w.logf("dist: worker %s: lease %s/%d gone mid-stream; abandoning its tail",
+						w.ID, lease.JobID, lease.Seq)
+					return
+				}
+			}
 		}
 		if w.DropAfterPoints != nil && w.DropAfterPoints(lease, len(up.Points)) {
 			w.logf("dist: worker %s dying after streaming %d point(s) of lease %s/%d (fault injection)",
@@ -264,18 +302,19 @@ func (w *Worker) serveLease(ctx context.Context, lease LeaseReply) {
 	w.upload(ctx, &up)
 }
 
-// streamPoint uploads one finished point of a held lease. It reports
-// false only when the coordinator says the lease is gone; transient
-// errors are tolerated — the final upload carries every point again.
-func (w *Worker) streamPoint(ctx context.Context, lease LeaseReply, pr PointResult) bool {
+// streamPoints uploads a batch of finished points of a held lease in
+// one body. It reports false only when the coordinator says the lease
+// is gone; transient errors are tolerated — the final upload carries
+// every point again.
+func (w *Worker) streamPoints(ctx context.Context, lease LeaseReply, prs []PointResult) bool {
 	var reply PointsReply
 	_, err := w.postJSON(ctx, "/v1/workers/points", PointsUpload{
 		WorkerID: w.ID, JobID: lease.JobID, Seq: lease.Seq,
-		Points: []PointResult{pr},
+		Points: append([]PointResult(nil), prs...),
 	}, &reply)
 	if err != nil {
-		w.logf("dist: worker %s: streaming point %d of lease %s/%d: %v (final upload will cover it)",
-			w.ID, pr.Index, lease.JobID, lease.Seq, err)
+		w.logf("dist: worker %s: streaming %d point(s) of lease %s/%d: %v (final upload will cover them)",
+			w.ID, len(prs), lease.JobID, lease.Seq, err)
 		return true
 	}
 	return reply.OK

@@ -1,0 +1,68 @@
+package persist
+
+import "sync"
+
+// Mem is the in-memory Store: the coordinator's pre-durability maps
+// refactored behind the Store contract. It is the default for
+// coordinators running without -data-dir, and the recovery-logic test
+// double — hand the same Mem to a second coordinator and it sees
+// exactly the state a disk store would have recovered.
+type Mem struct {
+	mu sync.Mutex
+	m  *mirror
+}
+
+// NewMem builds an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{m: newMirror()}
+}
+
+// Load implements Store.
+func (s *Mem) Load() *State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.state()
+}
+
+// PutPoint implements Store.
+func (s *Mem) PutPoint(key string, val []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m.putPoint(key, val)
+}
+
+// DeletePoint implements Store.
+func (s *Mem) DeletePoint(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m.deletePoint(key)
+}
+
+// PutJob implements Store.
+func (s *Mem) PutJob(rec JobRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m.putJob(rec)
+}
+
+// DeleteJob implements Store.
+func (s *Mem) DeleteJob(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m.deleteJob(id)
+}
+
+// PutWorker implements Store.
+func (s *Mem) PutWorker(rec WorkerRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m.putWorker(rec)
+}
+
+// Snapshot implements Store: the mirror is the state; nothing to
+// compact.
+func (s *Mem) Snapshot() error { return nil }
+
+// Close implements Store. The state stays readable (Load) afterwards,
+// which is what lets a test restart a coordinator on the same Mem.
+func (s *Mem) Close() error { return nil }
