@@ -1,0 +1,102 @@
+// Package analysistest runs analyzers over self-contained fixture
+// modules and checks their diagnostics against `// want` comments,
+// mirroring the golang.org/x/tools harness of the same name on the
+// repository's dependency-free framework.
+//
+// A fixture is a directory with its own go.mod (stdlib imports only,
+// so tests run offline) whose sources annotate every expected
+// diagnostic on the line it is reported:
+//
+//	rand.Intn(6) // want `global math/rand draw`
+//
+// The quoted text is a regular expression matched against the
+// diagnostic message. Every diagnostic must be annotated and every
+// annotation must fire; either direction of drift fails the test.
+package analysistest
+
+import (
+	"regexp"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRe extracts the quoted patterns of a want comment. Both string
+// forms are allowed: `// want "re"` and "// want `re`".
+var wantRe = regexp.MustCompile(`//\s*want\s+(.+)`)
+
+var patRe = regexp.MustCompile("\"([^\"]*)\"|`([^`]*)`")
+
+// expectation is one want pattern at a file:line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// Run loads the fixture module rooted at dir, executes the analyzers,
+// and matches diagnostics against the fixture's want annotations.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	prog, err := analysis.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(prog, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", dir, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					for _, pm := range patRe.FindAllStringSubmatch(m[1], -1) {
+						pat := pm[1]
+						if pat == "" {
+							pat = pm[2] // backtick-quoted alternative
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						wants = append(wants, &expectation{
+							file: pos.Filename, line: pos.Line, re: re, raw: pat,
+						})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic [%s]: %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}

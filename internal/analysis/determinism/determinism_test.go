@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/determinism"
+)
+
+func TestFixtureDiagnostics(t *testing.T) {
+	analysistest.Run(t, "testdata/basic", determinism.New())
+}

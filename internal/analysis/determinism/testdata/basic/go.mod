@@ -1,0 +1,3 @@
+module fix.determinism
+
+go 1.24

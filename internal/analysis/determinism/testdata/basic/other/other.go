@@ -1,0 +1,13 @@
+// Package other is outside the simulation/report domain: trace
+// collectors and CLIs measure wall-clock time on purpose, so nothing
+// here is diagnosed.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Timestamp() time.Time { return time.Now() }
+
+func Jitter() int { return rand.Intn(10) }

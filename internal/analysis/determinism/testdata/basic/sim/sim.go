@@ -1,0 +1,94 @@
+// Package sim exercises the determinism analyzer: its name puts it in
+// the simulation/report domain, so wall clocks, global RNG draws and
+// order-leaking map ranges are all diagnosed.
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+func wallClock() int64 {
+	t := time.Now() // want `time.Now in simulation/report code`
+	return t.UnixNano()
+}
+
+// Engine-side timing that never reaches report bytes is suppressed at
+// the site, with the reason recorded; the directive itself must count
+// as used or the framework reports it.
+func suppressedClock() time.Time {
+	//gtwvet:ignore determinism scheduler telemetry, excluded from report bytes
+	return time.Now()
+}
+
+func globalDraw() int {
+	return rand.Intn(6) // want `global math/rand draw \(rand\.Intn\)`
+}
+
+func seededDraw(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // constructors are not draws
+	return rng.Intn(6)
+}
+
+// The map-ordered-report shape: iteration order flows into the joined
+// report text.
+func orderedReport(hosts map[string]int) string {
+	var rows []string
+	for name, up := range hosts {
+		rows = append(rows, fmt.Sprintf("%s=%d", name, up)) // want `append to "rows" inside a map range`
+	}
+	return strings.Join(rows, "\n")
+}
+
+// Collect-then-sort erases the map order before it can reach output.
+func sortedReport(hosts map[string]int) string {
+	var names []string
+	for name := range hosts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, "\n")
+}
+
+// Writing report bytes directly from inside the range is always
+// order-dependent; no later sort can fix a stream.
+func streamedReport(hosts map[string]int) string {
+	var buf bytes.Buffer
+	for name := range hosts {
+		buf.WriteString(name) // want `buf\.WriteString inside a map range`
+	}
+	return buf.String()
+}
+
+func printedReport(hosts map[string]int) string {
+	var sb strings.Builder
+	for name, up := range hosts {
+		fmt.Fprintf(&sb, "%s=%d\n", name, up) // want `fmt\.Fprintf into "sb" inside a map range`
+	}
+	return sb.String()
+}
+
+// Order-independent folds over a map are fine.
+func total(hosts map[string]int) int {
+	sum := 0
+	for _, up := range hosts {
+		sum += up
+	}
+	return sum
+}
+
+// A slice declared inside the loop dies each iteration; no order
+// escapes.
+func perEntry(hosts map[string]int) int {
+	n := 0
+	for name := range hosts {
+		var parts []string
+		parts = append(parts, name)
+		n += len(parts)
+	}
+	return n
+}

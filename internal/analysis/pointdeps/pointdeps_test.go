@@ -1,0 +1,64 @@
+package pointdeps_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/pointdeps"
+)
+
+func TestFixtureDiagnostics(t *testing.T) {
+	analysistest.Run(t, "testdata/basic",
+		pointdeps.New(pointdeps.Config{CorePath: "fix.pointdeps/core"}))
+}
+
+// The audit must expose declared vs. derived for every registration in
+// the fixture, including the ones that diagnose clean.
+func TestFixtureAudit(t *testing.T) {
+	prog, err := analysis.Load("testdata/basic", "./...")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	entries, err := pointdeps.Audit(prog, pointdeps.Config{CorePath: "fix.pointdeps/core"})
+	if err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+
+	byName := map[string]pointdeps.Entry{}
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	cases := []struct {
+		name     string
+		declared []string
+		derived  []string
+	}{
+		{"clean", []string{"frames", "flows"}, []string{"frames", "flows"}},
+		{"stale", []string{"frames"}, []string{"pes", "frames"}},
+		{"padded", []string{"frames", "flows"}, []string{"frames"}},
+		{"shardtb", []string{}, []string{"wan"}},
+		{"localonly", []string{}, []string{}},
+		{"wrapped", nil, []string{"pes"}},
+	}
+	for _, c := range cases {
+		e, ok := byName[c.name]
+		if !ok {
+			t.Errorf("registration %q missing from audit", c.name)
+			continue
+		}
+		if !reflect.DeepEqual(e.Declared, c.declared) {
+			t.Errorf("%s: declared = %v, want %v", c.name, e.Declared, c.declared)
+		}
+		if !reflect.DeepEqual(e.Derived, c.derived) {
+			t.Errorf("%s: derived = %v, want %v", c.name, e.Derived, c.derived)
+		}
+		if e.Escaped {
+			t.Errorf("%s: unexpectedly escaped", c.name)
+		}
+	}
+	if len(entries) != len(cases) {
+		t.Errorf("audit found %d registrations, want %d", len(entries), len(cases))
+	}
+}

@@ -1,0 +1,76 @@
+// Package core is a miniature of the real internal/core surface the
+// pointdeps analyzer consumes: Options, the OptField tokens, the
+// NewSweep/NewScenario constructors with their builder chains, and a
+// shard-testbed constructor whose Options reads define the
+// testbed-path dependencies.
+package core
+
+import "context"
+
+type Options struct {
+	WAN        int
+	Extensions bool
+	PEs        int
+	Frames     int
+	Flows      int
+
+	Workers int // not a wire field: must never appear in a derived set
+}
+
+type OptField string
+
+const (
+	OptWAN        OptField = "wan"
+	OptExtensions OptField = "ext"
+	OptPEs        OptField = "pes"
+	OptFrames     OptField = "frames"
+	OptFlows      OptField = "flows"
+)
+
+type Testbed struct{ WAN int }
+
+type Point struct{ Idx int }
+
+type PointFunc func(ctx context.Context, tb *Testbed, opts Options, pt Point) (any, error)
+
+type MergeFunc func(rows []any) string
+
+type Sweep struct {
+	name      string
+	run       PointFunc
+	merge     MergeFunc
+	noTestbed bool
+	keyDeps   []OptField
+}
+
+func NewSweep(name, doc string, grid func(Options) []Point, run PointFunc, merge MergeFunc) *Sweep {
+	return &Sweep{name: name, run: run, merge: merge}
+}
+
+func (s *Sweep) NoShardTestbed() *Sweep { s.noTestbed = true; return s }
+
+func (s *Sweep) WirePoint(proto any) *Sweep { return s }
+
+func (s *Sweep) PointDeps(fields ...OptField) *Sweep { s.keyDeps = fields; return s }
+
+// NewShardTestbed is the shard-side testbed constructor; the fields it
+// reads here are derived as the testbed-path dependencies of every
+// sweep that does not opt out with NoShardTestbed.
+func (s *Sweep) NewShardTestbed(opts Options) *Testbed {
+	return &Testbed{WAN: opts.WAN}
+}
+
+type Scenario interface{ Name() string }
+
+type runScenario struct {
+	name string
+	run  func(ctx context.Context, tb *Testbed, opts Options) (string, error)
+}
+
+func (s *runScenario) Name() string { return s.name }
+
+func NewScenario(name, doc string, run func(ctx context.Context, tb *Testbed, opts Options) (string, error)) Scenario {
+	return &runScenario{name: name, run: run}
+}
+
+func MustRegister(s any) {}

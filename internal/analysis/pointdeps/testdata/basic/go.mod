@@ -1,0 +1,3 @@
+module fix.pointdeps
+
+go 1.24

@@ -1,0 +1,88 @@
+// Package scen registers sweeps whose PointDeps declarations range
+// from exactly right to stale in both directions.
+package scen
+
+import (
+	"context"
+	"fmt"
+
+	"fix.pointdeps/core"
+)
+
+func grid(core.Options) []core.Point { return nil }
+
+func merge(rows []any) string { return fmt.Sprint(len(rows)) }
+
+// Correct: the point reads Frames directly and Flows through a helper,
+// runs on no shard testbed, and declares exactly that.
+func init() {
+	core.MustRegister(core.NewSweep("clean", "doc", grid,
+		func(ctx context.Context, tb *core.Testbed, opts core.Options, pt core.Point) (any, error) {
+			return opts.Frames + flowBudget(opts), nil
+		}, merge).
+		NoShardTestbed().
+		WirePoint(0).
+		PointDeps(core.OptFrames, core.OptFlows))
+}
+
+// flowBudget reads Options.Flows on behalf of its callers: the
+// derivation must follow the call.
+func flowBudget(o core.Options) int { return o.Flows * 2 }
+
+// Under-declared: the point reads PEs (interprocedurally, through an
+// alias) but the declaration omits it — the stale-cache bug.
+func init() {
+	core.MustRegister(core.NewSweep("stale", "doc", grid,
+		func(ctx context.Context, tb *core.Testbed, opts core.Options, pt core.Point) (any, error) {
+			o := opts
+			return o.PEs + opts.Frames, nil
+		}, merge).
+		NoShardTestbed().
+		WirePoint(0).
+		PointDeps(core.OptFrames)) // want `sweep "stale": PointDeps omits fields its points read: pes`
+}
+
+// Over-declared: Flows is declared but nothing reads it — lost reuse,
+// not a correctness bug, and diagnosed as such.
+func init() {
+	core.MustRegister(core.NewSweep("padded", "doc", grid,
+		func(ctx context.Context, tb *core.Testbed, opts core.Options, pt core.Point) (any, error) {
+			return opts.Frames, nil
+		}, merge).
+		NoShardTestbed().
+		WirePoint(0).
+		PointDeps(core.OptFrames, core.OptFlows)) // want `sweep "padded": PointDeps declares fields its points never read: flows`
+}
+
+// Shard-testbed path: the point itself reads nothing from opts, but it
+// runs on a testbed the shard constructs from Options — the WAN read
+// inside core.NewShardTestbed is part of its key.
+func init() {
+	core.MustRegister(core.NewSweep("shardtb", "doc", grid,
+		func(ctx context.Context, tb *core.Testbed, opts core.Options, pt core.Point) (any, error) {
+			return tb.WAN * pt.Idx, nil
+		}, merge).
+		WirePoint(0).
+		PointDeps()) // want `sweep "shardtb": PointDeps omits fields its points read: wan`
+}
+
+// Reading a non-wire field (Workers) is not a dependency; declaring
+// nothing is exactly right.
+func init() {
+	core.MustRegister(core.NewSweep("localonly", "doc", grid,
+		func(ctx context.Context, tb *core.Testbed, opts core.Options, pt core.Point) (any, error) {
+			return opts.Workers, nil
+		}, merge).
+		NoShardTestbed().
+		WirePoint(0).
+		PointDeps())
+}
+
+// A wrapped scenario has no declaration to check: it is audited (the
+// report shows its derived reads) but never diagnosed.
+func init() {
+	core.MustRegister(core.NewScenario("wrapped", "doc",
+		func(ctx context.Context, tb *core.Testbed, opts core.Options) (string, error) {
+			return fmt.Sprint(opts.PEs), nil
+		}))
+}

@@ -1,0 +1,3 @@
+module fix.poolrelease
+
+go 1.24

@@ -1,0 +1,29 @@
+// Package d exercises the //gtwvet:ignore machinery against a test
+// analyzer that flags every call to flagme.
+package d
+
+func flagme() {}
+
+func unsuppressed() {
+	flagme() // diagnosed: no directive
+}
+
+func suppressedAbove() {
+	//gtwvet:ignore testcheck reviewed, deliberate in this harness
+	flagme()
+}
+
+func suppressedSameLine() {
+	flagme() //gtwvet:ignore testcheck reviewed, trailing form
+}
+
+func wrongAnalyzer() {
+	//gtwvet:ignore othercheck directive names a different analyzer
+	flagme() // still diagnosed, and the directive is reported unused
+}
+
+//gtwvet:ignore testcheck this directive suppresses nothing and is reported unused
+func nothingHere() {}
+
+//gtwvet:ignore
+func malformed() {}

@@ -1,0 +1,3 @@
+module fix.directives
+
+go 1.24

@@ -324,6 +324,7 @@ feed:
 // scenario's Plan, not here.
 func runOne(ctx context.Context, s Scenario, o Options) (res RunResult) {
 	res.Name = s.Name()
+	//gtwvet:ignore determinism Elapsed is engine wall-clock telemetry; report formatting and hashing exclude it from report bytes
 	start := time.Now()
 	defer func() {
 		res.Elapsed = time.Since(start)

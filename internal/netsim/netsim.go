@@ -12,6 +12,7 @@ package netsim
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 	"unsafe"
 
@@ -181,6 +182,22 @@ type Network struct {
 	K       *sim.Kernel
 	nodes   []*Node
 	pktFree []*Packet
+	seed    int64
+}
+
+// SetSeed sets the network's base random seed. Every stochastic
+// component hanging off the network derives its generator through
+// NewRand, so one seed here reproduces a whole simulation.
+func (n *Network) SetSeed(seed int64) { n.seed = seed }
+
+// NewRand returns a deterministically seeded generator for one
+// stochastic stream (traffic generator, loss process, …). Distinct
+// stream values decorrelate components sharing a network; the same
+// (seed, stream) pair always yields the same sequence. With the
+// default zero seed the stream value alone determines the sequence,
+// which keeps historical traces byte-identical.
+func (n *Network) NewRand(stream int64) *rand.Rand {
+	return rand.New(rand.NewSource(n.seed + stream))
 }
 
 // NewPacket returns a zeroed packet from the network's pool. The

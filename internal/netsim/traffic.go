@@ -66,8 +66,12 @@ func (ct *CrossTraffic) Start(horizon time.Duration) {
 	if ct.rng == nil {
 		// Lazily seeded and kept across restarts, so Stop-then-Start
 		// continues one Poisson process instead of replaying the same
-		// gap sequence each phase.
-		ct.rng = rand.New(rand.NewSource(ct.Seed + 7))
+		// gap sequence each phase. The generator is derived from the
+		// network (stream ct.Seed+7), so Network.SetSeed reseeds every
+		// generator in one place; with the default zero network seed
+		// the sequence is byte-identical to the historical
+		// rand.NewSource(ct.Seed+7) behaviour.
+		ct.rng = ct.Net.NewRand(ct.Seed + 7)
 	}
 	end := ct.Net.K.Now().Add(horizon)
 	meanGap := float64(ct.PktBytes*8) / ct.Bps // seconds
