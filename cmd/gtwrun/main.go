@@ -17,6 +17,7 @@
 //	-flows N         concurrent backbone flows
 //	-workers N       engine worker pool size
 //	-shards N        shards per sweep scenario (0 = GOMAXPROCS)
+//	-kernels N       PDES kernels per testbed network (0/1 = single)
 //	-shared          run every scenario on ONE shared, contended testbed
 //	-contiguous      use PR 3's static contiguous batch dispatch for sweeps
 //	-json            print each report as JSON instead of text
@@ -100,6 +101,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	flows := fs.Int("flows", def.Flows, "concurrent backbone flows")
 	workers := fs.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS)")
 	shards := fs.Int("shards", 0, "shards per sweep scenario (0 = GOMAXPROCS; reports are shard-count independent)")
+	kernels := fs.Int("kernels", 0,
+		"PDES kernels per testbed network (0/1 = single kernel; reports are kernel-count independent)")
 	shared := fs.Bool("shared", false,
 		"run scenarios on one shared testbed (scenarios that drive their own simulation kernel still run privately)")
 	contiguous := fs.Bool("contiguous", false,
@@ -152,6 +155,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		gtw.WithFlows(*flows),
 		gtw.WithWorkers(*workers),
 		gtw.WithShards(*shards),
+		gtw.WithKernels(*kernels),
 	}
 	if *ext {
 		opts = append(opts, gtw.WithExtensions())
@@ -171,7 +175,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opts = append(opts, gtw.WithDispatcher(gtw.NewContiguousDispatcher))
 	}
 	if *shared {
-		opts = append(opts, gtw.WithTestbed(gtw.NewTestbed(gtw.Config{WAN: oc, Extensions: *ext})))
+		opts = append(opts, gtw.WithTestbed(gtw.NewTestbed(gtw.Config{WAN: oc, Extensions: *ext, Kernels: *kernels})))
 	}
 
 	ctx := context.Background()
@@ -183,7 +187,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *connect != "" {
 		// Options that never reach the wire split two ways: -shards,
-		// -workers and -contiguous only change wall-clock time and may
+		// -workers, -kernels and -contiguous only change wall-clock
+		// time and may
 		// be dropped silently, but -shared changes report content (the
 		// testbed is this process's memory) — dropping it would hand
 		// back a different report than the one asked for.

@@ -1,0 +1,38 @@
+// Package pdes is in the simulation domain: the parallel-simulation
+// synchronization layer's whole contract is that reports stay
+// byte-identical at any kernel count, so the order partitions are
+// assembled or drained in must never depend on map iteration or wall
+// clocks.
+package pdes
+
+import (
+	"sort"
+	"time"
+)
+
+// A queue-assembly shape: collecting per-partition inputs by ranging a
+// map leaks iteration order into the drain order, which is the round
+// protocol's determinism contract.
+func drainOrder(inputs map[int]string) []string {
+	var queues []string
+	for _, q := range inputs {
+		queues = append(queues, q) // want `append to "queues" inside a map range`
+	}
+	return queues
+}
+
+// Collect-then-sort erases the map order before the drain order is
+// fixed.
+func sortedDrainOrder(inputs map[int]string) []string {
+	var queues []string
+	for _, q := range inputs {
+		queues = append(queues, q)
+	}
+	sort.Strings(queues)
+	return queues
+}
+
+// Wall-clock reads have no place in a virtual-time scheduler.
+func roundDeadline() int64 {
+	return time.Now().UnixNano() // want `time.Now in simulation/report code`
+}

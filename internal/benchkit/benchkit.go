@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/sim/pdes"
 	"repro/internal/tcpsim"
 )
 
@@ -276,6 +277,112 @@ func SweepWorkStealing(b *testing.B) {
 	}
 }
 
+// buildPDESSites constructs the large-topology PDES benchmark network:
+// `sites` star LANs (one switch, hostsPer hosts on gigabit 10 µs links)
+// joined by 2.4 Gbit/s 500 µs WAN links from site 0's switch to every
+// other site — the repo's gigabit-testbed shape scaled out until one
+// kernel is the bottleneck.
+func buildPDESSites(sites, hostsPer int) (*netsim.Network, [][]netsim.NodeID) {
+	n := netsim.New(sim.NewKernel())
+	hosts := make([][]netsim.NodeID, sites)
+	switches := make([]*netsim.Node, sites)
+	for s := 0; s < sites; s++ {
+		sw := n.AddNode("sw", netsim.WithForwardCost(time.Microsecond, 16e9))
+		switches[s] = sw
+		for h := 0; h < hostsPer; h++ {
+			nd := n.AddNode("host")
+			n.Connect(nd, sw, netsim.LinkConfig{Name: "lan", Bps: 1e9, Delay: 10 * time.Microsecond})
+			hosts[s] = append(hosts[s], nd.ID)
+		}
+	}
+	for s := 1; s < sites; s++ {
+		n.Connect(switches[0], switches[s], netsim.LinkConfig{
+			Name: "wan", Bps: 2.4e9, Delay: 500 * time.Microsecond, QueueBytes: 64 << 20,
+		})
+	}
+	n.ComputeRoutes()
+	return n, hosts
+}
+
+// pdesBounce keeps a cross-site packet chain alive for a fixed hop
+// count carried in Seq. Chains run between every pair of ring-adjacent
+// sites, so with an even hop count every partition pool's gets and puts
+// balance and steady state allocates nothing.
+type pdesBounce struct {
+	n    *netsim.Network
+	hops int64
+}
+
+func (h *pdesBounce) HandleDeliver(p *netsim.Packet) {
+	if p.Seq >= h.hops {
+		return
+	}
+	r := h.n.NewPacketAt(p.Dst)
+	r.Src, r.Dst, r.Bytes, r.Seq = p.Dst, p.Src, p.Bytes, p.Seq+1
+	r.Handler = h
+	h.n.Send(r)
+}
+
+func (h *pdesBounce) HandleDrop(*netsim.Packet) {}
+
+// pdesLargeTopology is the shared body: one synchronized run of 4 sites
+// x 8 hosts with a 64-hop cross-site chain per host pair, on the given
+// kernel count.
+func pdesLargeTopology(b *testing.B, kernels int) {
+	const sites, hostsPer, hops = 4, 8, 64
+	n, hosts := buildPDESSites(sites, hostsPer)
+	if kernels > 1 {
+		n.Partition(kernels, 0)
+	}
+	h := &pdesBounce{n: n, hops: hops}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < sites; s++ {
+			for j, src := range hosts[s] {
+				p := n.NewPacketAt(src)
+				p.Src, p.Dst, p.Bytes = src, hosts[(s+1)%sites][j], 4096
+				p.Handler = h
+				n.Send(p)
+			}
+		}
+		n.Run()
+	}
+}
+
+// PDESLargeTopologySingleKernel is the serial baseline for the
+// conservative-PDES work: the large cross-site load on one kernel.
+func PDESLargeTopologySingleKernel(b *testing.B) { pdesLargeTopology(b, 1) }
+
+// PDESLargeTopology is the same load partitioned at the WAN cut across
+// 4 kernels (one per site, 500 µs lookahead). The tracked number is
+// this row vs PDESLargeTopologySingleKernel in BENCH_kernel.json — on a
+// >= 4-core machine the ratio is the parallel speedup; on one core it
+// bounds the synchronization overhead instead.
+func PDESLargeTopology(b *testing.B) { pdesLargeTopology(b, 4) }
+
+// NullMessageOverhead isolates the cost of the conservative protocol
+// itself: two kernels, all events on one of them spaced exactly one
+// lookahead apart, so every synchronization round fires a single event
+// and the measured time is pure bound-exchange + barrier traffic
+// (ns/op / 512 events ~= cost per null-message round).
+func NullMessageOverhead(b *testing.B) {
+	const la = 100 * time.Microsecond
+	const events = 512
+	k0, k1 := sim.NewKernel(), sim.NewKernel()
+	g := pdes.NewGroup(la, []*pdes.Member{{K: k0}, {K: k1}})
+	noop := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := k0.Now()
+		for j := 1; j <= events; j++ {
+			k0.At(start.Add(time.Duration(j)*la), noop)
+		}
+		g.Run()
+	}
+}
+
 // Spec names one benchmark for the gtwbench harness.
 type Spec struct {
 	Name string
@@ -296,6 +403,9 @@ func Specs() []Spec {
 		{"BenchmarkSweepSharded", SweepSharded},
 		{"BenchmarkSweepContiguousUneven", SweepContiguousUneven},
 		{"BenchmarkSweepWorkStealing", SweepWorkStealing},
+		{"BenchmarkPDESLargeTopologySingleKernel", PDESLargeTopologySingleKernel},
+		{"BenchmarkPDESLargeTopology", PDESLargeTopology},
+		{"BenchmarkNullMessageOverhead", NullMessageOverhead},
 	}
 }
 

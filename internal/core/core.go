@@ -56,6 +56,13 @@ type Config struct {
 	// Extensions adds the section-5 sites (DLR, University of
 	// Cologne, University of Bonn).
 	Extensions bool
+	// Kernels > 1 partitions the simulated network at WAN-link
+	// boundaries and runs it as a conservative parallel simulation on
+	// that many kernels (capped by the number of WAN-separated sites).
+	// It is execution policy, not a model parameter: reports are
+	// byte-identical at any value, so it never enters point keys or the
+	// wire protocol.
+	Kernels int
 }
 
 // Host names of the standard topology.
@@ -236,6 +243,9 @@ func New(cfg Config) *Testbed {
 	}
 
 	n.ComputeRoutes()
+	if cfg.Kernels > 1 {
+		n.Partition(cfg.Kernels, 0)
+	}
 	return tb
 }
 
@@ -362,7 +372,7 @@ func (tb *Testbed) Allocations() map[string]string {
 func (tb *Testbed) BackboneUtilization() float64 {
 	tb.simMu.Lock()
 	defer tb.simMu.Unlock()
-	return tb.backbone.Utilization(tb.K.Now())
+	return tb.backbone.Utilization(tb.Net.Now())
 }
 
 // BackboneWireBytes reports total framed bytes carried on the WAN link.

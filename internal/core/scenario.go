@@ -83,6 +83,12 @@ type Options struct {
 	// through (default NewWorkStealingDispatcher). Dispatch policy
 	// changes only wall-clock time, never report bytes.
 	Dispatcher DispatcherMaker
+	// Kernels > 1 runs each testbed's network as a conservative
+	// parallel simulation on that many kernels (capped by the number of
+	// WAN-separated sites). Like Shards and Dispatcher it is execution
+	// policy: reports stay byte-identical, so it never enters point
+	// keys or the wire protocol.
+	Kernels int
 }
 
 // Option mutates Options (the functional-options pattern).
@@ -143,6 +149,13 @@ func WithDispatcher(maker DispatcherMaker) Option {
 	return func(o *Options) { o.Dispatcher = maker }
 }
 
+// WithKernels partitions every engine-built testbed's network at
+// WAN-link boundaries and runs it as a conservative parallel simulation
+// on up to n kernels (netsim.Partition; capped by the number of
+// WAN-separated sites). Like WithShards it changes only wall-clock
+// time: reports are byte-identical at any kernel count.
+func WithKernels(n int) Option { return func(o *Options) { o.Kernels = n } }
+
 // funcScenario adapts a function to the Scenario interface.
 type funcScenario struct {
 	name, desc string
@@ -165,7 +178,8 @@ func NewScenario(name, description string,
 
 var registry = struct {
 	sync.Mutex
-	m map[string]Scenario
+	m     map[string]Scenario
+	epoch uint64
 }{m: make(map[string]Scenario)}
 
 // Register adds a scenario to the package registry. It rejects empty
@@ -184,7 +198,19 @@ func Register(s Scenario) error {
 		return fmt.Errorf("core: scenario %q already registered", name)
 	}
 	registry.m[name] = s
+	registry.epoch++
 	return nil
+}
+
+// ScenarioEpoch reports a counter that advances on every Register. A
+// cache keyed by (Config, epoch) — the dist worker's cross-job testbed
+// cache — is invalidated when the scenario set changes, since a newly
+// registered scenario may mutate shared testbed state in ways the
+// cached instance has not seen.
+func ScenarioEpoch() uint64 {
+	registry.Lock()
+	defer registry.Unlock()
+	return registry.epoch
 }
 
 // MustRegister is Register for init functions; it panics on error.

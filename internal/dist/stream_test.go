@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/atm"
 	"repro/internal/core"
 )
 
@@ -347,10 +348,10 @@ func TestExpiredStreamedLeaseReLeasesOnlyUnstreamedPoints(t *testing.T) {
 	}
 }
 
-// The worker's per-job testbed cache: leases of one job share a
-// testbed (keyed by Config), a new job gets fresh ones, and
-// NoShardTestbed sweeps get none.
-func TestWorkerTestbedCachePerJob(t *testing.T) {
+// The worker's testbed LRU: leases reuse one testbed per Config across
+// jobs, NoShardTestbed sweeps get none, and a scenario-registry change
+// (epoch bump) invalidates cached instances.
+func TestWorkerTestbedCacheReuse(t *testing.T) {
 	w := &Worker{}
 	needs := core.NewSweep("tbcache-needs", "",
 		[]core.Axis{{Name: "i", Values: []any{1}}},
@@ -360,17 +361,61 @@ func TestWorkerTestbedCachePerJob(t *testing.T) {
 	none := core.NewSweep("tbcache-none", "", nil, nil, nil).NoShardTestbed()
 
 	opts := core.Options{}
-	tb1 := w.leaseTestbed("job-1", needs, opts)
+	tb1 := w.leaseTestbed(needs, opts)
 	if tb1 == nil {
 		t.Fatal("no testbed for a sweep that needs one")
 	}
-	if tb2 := w.leaseTestbed("job-1", needs, opts); tb2 != tb1 {
-		t.Error("second lease of the same job rebuilt the testbed")
+	if tb2 := w.leaseTestbed(needs, opts); tb2 != tb1 {
+		t.Error("back-to-back lease with the same Config rebuilt the testbed")
 	}
-	if tb3 := w.leaseTestbed("job-2", needs, opts); tb3 == tb1 {
-		t.Error("a new job reused the previous job's testbed")
+	if tb3 := w.leaseTestbed(needs, core.Options{WAN: atm.OC12}); tb3 == tb1 {
+		t.Error("a different Config was handed the cached testbed")
 	}
-	if tb := w.leaseTestbed("job-2", none, opts); tb != nil {
+	if tb := w.leaseTestbed(none, opts); tb != nil {
 		t.Error("NoShardTestbed sweep was handed a testbed")
+	}
+
+	// Registering a scenario bumps the epoch: the cached instance may
+	// not have seen the new scenario's shared state, so it is stale.
+	if err := core.Register(core.NewScenario("tbcache-epoch-bump", "",
+		func(ctx context.Context, tb *core.Testbed, opts core.Options) (core.Report, error) {
+			return nil, nil
+		})); err != nil {
+		t.Fatal(err)
+	}
+	if tb4 := w.leaseTestbed(needs, opts); tb4 == tb1 {
+		t.Error("epoch bump did not invalidate the cached testbed")
+	}
+}
+
+// The testbed LRU evicts the least-recently-used Config beyond
+// TestbedCacheSize, and touching an entry refreshes its recency.
+func TestWorkerTestbedCacheEviction(t *testing.T) {
+	w := &Worker{TestbedCacheSize: 2}
+	needs := core.NewSweep("tbcache-evict", "",
+		[]core.Axis{{Name: "i", Values: []any{1}}},
+		func(ctx context.Context, tb *core.Testbed, opts core.Options, pt core.Point) (any, error) {
+			return nil, nil
+		}, nil)
+
+	oc3 := core.Options{WAN: atm.OC3}
+	oc12 := core.Options{WAN: atm.OC12}
+	oc48 := core.Options{WAN: atm.OC48}
+
+	tbOC3 := w.leaseTestbed(needs, oc3)
+	tbOC12 := w.leaseTestbed(needs, oc12)
+	w.leaseTestbed(needs, oc3) // refresh OC3: OC12 is now the LRU entry
+
+	if tb := w.leaseTestbed(needs, oc48); tb == nil { // evicts OC12
+		t.Fatal("no testbed for the third Config")
+	}
+	if got := w.leaseTestbed(needs, oc3); got != tbOC3 {
+		t.Error("recently touched entry was evicted")
+	}
+	if got := w.leaseTestbed(needs, oc12); got == tbOC12 {
+		t.Error("LRU entry survived eviction")
+	}
+	if n := len(w.tbCache); n != 2 {
+		t.Errorf("cache holds %d entries, want 2", n)
 	}
 }

@@ -65,14 +65,32 @@ type Worker struct {
 	// result upload. Test hook (e.g. to double-upload for idempotency
 	// tests).
 	BeforeUpload func(up *ResultUpload)
+	// TestbedCacheSize caps the testbed LRU (default 4 distinct
+	// configurations).
+	TestbedCacheSize int
 
 	ttl time.Duration
 
-	// Per-job testbed cache: leases of the same job reuse one testbed
-	// per Config instead of rebuilding it per lease. The worker loop is
-	// sequential, so no locking.
-	tbJobID string
-	tbCache map[core.Config]*core.Testbed
+	// Testbed LRU: leases reuse one testbed per (Config, scenario
+	// epoch) across jobs, so back-to-back jobs on the same topology —
+	// the common resubmission pattern the coordinator's point store
+	// optimizes for — skip the topology rebuild too. The epoch
+	// invalidates cached instances when the scenario set changes. The
+	// worker loop is sequential, so no locking.
+	tbCache map[tbKey]*tbEntry
+	tbClock uint64
+}
+
+// tbKey identifies one cached testbed.
+type tbKey struct {
+	cfg   core.Config
+	epoch uint64
+}
+
+// tbEntry is a cached testbed with its LRU tick.
+type tbEntry struct {
+	tb       *core.Testbed
+	lastUsed uint64
 }
 
 // NewWorker builds a worker with a random sticky ID.
@@ -186,25 +204,45 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 }
 
 // leaseTestbed resolves the testbed a lease's points run on: nil for
-// NoShardTestbed sweeps, otherwise one testbed per (job, Config) cached
-// across the job's leases — reusing a testbed across leases is exactly
-// reusing it across the points of one in-process shard, which the
-// byte-identity guarantee already requires to be result-invariant.
-func (w *Worker) leaseTestbed(jobID string, sw *core.Sweep, opts core.Options) *core.Testbed {
+// NoShardTestbed sweeps, otherwise one testbed per (Config, scenario
+// epoch) from the worker's LRU — reusing a testbed across leases and
+// jobs is exactly reusing it across the points of one in-process
+// shard, which the byte-identity guarantee already requires to be
+// result-invariant. Least-recently-used configurations are evicted
+// beyond TestbedCacheSize.
+func (w *Worker) leaseTestbed(sw *core.Sweep, opts core.Options) *core.Testbed {
 	if !sw.NeedsShardTestbed() {
 		return nil
 	}
-	if w.tbJobID != jobID {
-		w.tbJobID = jobID
-		w.tbCache = make(map[core.Config]*core.Testbed)
+	key := tbKey{
+		cfg:   core.Config{WAN: opts.WAN, Extensions: opts.Extensions},
+		epoch: core.ScenarioEpoch(),
 	}
-	cfg := core.Config{WAN: opts.WAN, Extensions: opts.Extensions}
-	tb := w.tbCache[cfg]
-	if tb == nil {
-		tb = core.New(cfg)
-		w.tbCache[cfg] = tb
+	if w.tbCache == nil {
+		w.tbCache = make(map[tbKey]*tbEntry)
 	}
-	return tb
+	w.tbClock++
+	if e := w.tbCache[key]; e != nil {
+		e.lastUsed = w.tbClock
+		return e.tb
+	}
+	size := w.TestbedCacheSize
+	if size <= 0 {
+		size = 4
+	}
+	for len(w.tbCache) >= size {
+		var oldest tbKey
+		first := true
+		for k, e := range w.tbCache {
+			if first || e.lastUsed < w.tbCache[oldest].lastUsed {
+				oldest, first = k, false
+			}
+		}
+		delete(w.tbCache, oldest)
+	}
+	e := &tbEntry{tb: core.New(key.cfg), lastUsed: w.tbClock}
+	w.tbCache[key] = e
+	return e.tb
 }
 
 // serveLease evaluates one lease point by point, streaming each result
@@ -239,7 +277,7 @@ func (w *Worker) serveLease(ctx context.Context, lease LeaseReply) {
 		go w.heartbeat(hbCtx, lease)
 	}
 
-	tb := w.leaseTestbed(lease.JobID, sw, opts)
+	tb := w.leaseTestbed(sw, opts)
 	stream := lease.Hi-lease.Lo > 1 // a 1-point lease's final upload IS its stream
 	batchMax := w.BatchMax
 	if batchMax <= 0 {

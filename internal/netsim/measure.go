@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sim"
@@ -32,23 +33,29 @@ func (r FloodResult) ThroughputBps(start sim.Time) float64 {
 func Flood(n *Network, src, dst NodeID, pktBytes, count int) FloodResult {
 	var res FloodResult
 	res.First = -1
+	// Delivery runs on dst's kernel, drops on whichever kernel hosts the
+	// full queue; dstK clocks deliveries, and the injection loop below
+	// runs before Run so the callbacks never race the loop.
+	dstK := n.KernelOf(dst)
+	var dropped int64
 	for i := 0; i < count; i++ {
 		p := &Packet{
 			Src: src, Dst: dst, Bytes: pktBytes,
 			OnDeliver: func(p *Packet) {
 				if res.First < 0 {
-					res.First = n.K.Now()
+					res.First = dstK.Now()
 				}
-				res.Last = n.K.Now()
+				res.Last = dstK.Now()
 				res.Delivered++
 				res.Bytes += int64(p.Bytes)
 			},
-			OnDrop: func(*Packet) { res.Dropped++ },
+			OnDrop: func(*Packet) { atomic.AddInt64(&dropped, 1) },
 		}
 		n.Send(p)
 		res.Sent++
 	}
-	n.K.Run()
+	n.Run()
+	res.Dropped = int(dropped)
 	return res
 }
 
@@ -56,15 +63,16 @@ func Flood(n *Network, src, dst NodeID, pktBytes, count int) FloodResult {
 // reply of repBytes between two hosts, including all queueing-free path
 // costs. It runs the kernel to completion.
 func Ping(n *Network, a, b NodeID, reqBytes, repBytes int) time.Duration {
-	start := n.K.Now()
+	ka := n.KernelOf(a)
+	start := ka.Now()
 	var end sim.Time
 	req := &Packet{Src: a, Dst: b, Bytes: reqBytes}
 	req.OnDeliver = func(*Packet) {
 		rep := &Packet{Src: b, Dst: a, Bytes: repBytes}
-		rep.OnDeliver = func(*Packet) { end = n.K.Now() }
+		rep.OnDeliver = func(*Packet) { end = ka.Now() }
 		n.Send(rep)
 	}
 	n.Send(req)
-	n.K.Run()
+	n.Run()
 	return end.Sub(start)
 }

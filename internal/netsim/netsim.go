@@ -17,6 +17,7 @@ import (
 	"unsafe"
 
 	"repro/internal/sim"
+	"repro/internal/sim/pdes"
 )
 
 // NodeID identifies a node within one Network.
@@ -69,6 +70,14 @@ type Node struct {
 	rxFree  sim.Time
 	fwdFree sim.Time
 	dropped int64
+
+	// k is the kernel this node's events run on: the network's K until
+	// Partition assigns per-partition kernels. pool is the packet pool
+	// of the node's partition — pools are per-partition so the hot
+	// alloc/recycle path needs no locks when partitions run in
+	// parallel.
+	k    *sim.Kernel
+	pool *pktPool
 }
 
 // Iface is one direction-pair attachment of a node to a link.
@@ -86,6 +95,18 @@ type Iface struct {
 	busy     bool
 	capBytes int64
 	drops    int64
+
+	// Per-direction wire accounting. These used to live on the Link,
+	// but both directions of a partitioned link may serialize
+	// concurrently on different kernels; the Link accessors sum the two
+	// directions at quiescent read time.
+	wireBytes int64
+	busyTime  time.Duration
+
+	// xq, when non-nil, is the cross-partition channel this direction
+	// feeds: the peer node lives on another kernel, so arrivals are
+	// pushed here instead of being scheduled on the peer's heap.
+	xq *pdes.Queue
 }
 
 // Link joins two nodes. It is full duplex: each direction has its own
@@ -98,25 +119,21 @@ type Link struct {
 	Framer Framer
 
 	a, b *Iface
-
-	// wireBytes counts bytes serialized onto the link (both
-	// directions, after framing).
-	wireBytes int64
-	// busyTime accumulates serialization time across both directions.
-	busyTime time.Duration
 }
 
-// WireBytes reports total framed bytes carried (both directions).
-func (l *Link) WireBytes() int64 { return l.wireBytes }
+// WireBytes reports total framed bytes carried (both directions). Read
+// only while the simulation is quiescent: the per-direction counters
+// live on kernels that may run in parallel.
+func (l *Link) WireBytes() int64 { return l.a.wireBytes + l.b.wireBytes }
 
 // Utilization reports the fraction of the interval [0, now] during
 // which the link was serializing, summed over both directions (so a
-// saturated duplex link reads 2.0).
+// saturated duplex link reads 2.0). Read only while quiescent.
 func (l *Link) Utilization(now sim.Time) float64 {
 	if now <= 0 {
 		return 0
 	}
-	return l.busyTime.Seconds() / now.Seconds()
+	return (l.a.busyTime + l.b.busyTime).Seconds() / now.Seconds()
 }
 
 // LinkConfig configures Connect.
@@ -176,13 +193,47 @@ type Packet struct {
 	pooled bool
 }
 
+// pktPool is one partition's packet freelist. Pooled packets migrate
+// between partitions with the traffic (a data packet is recycled at its
+// destination's partition, its ACK back at the source's), which
+// balances in steady state for request/response traffic.
+type pktPool struct {
+	free []*Packet
+}
+
+func (pp *pktPool) get() *Packet {
+	if l := len(pp.free); l > 0 {
+		p := pp.free[l-1]
+		pp.free[l-1] = nil
+		pp.free = pp.free[:l-1]
+		return p // zeroed by put
+	}
+	return &Packet{pooled: true}
+}
+
+func (pp *pktPool) put(p *Packet) {
+	*p = Packet{pooled: true}
+	pp.free = append(pp.free, p)
+}
+
 // Network is a collection of nodes and links bound to a simulation
-// kernel.
+// kernel — or, after Partition, to several kernels run as one
+// conservative parallel simulation.
 type Network struct {
-	K       *sim.Kernel
-	nodes   []*Node
-	pktFree []*Packet
-	seed    int64
+	// K is the default kernel: the only one before Partition, the
+	// partition-0 kernel after. Drivers that schedule events directly
+	// on K keep working unpartitioned; partition-aware drivers use
+	// KernelOf.
+	K     *sim.Kernel
+	nodes []*Node
+	seed  int64
+
+	defPool pktPool // partition-0 pool (the only one before Partition)
+
+	// Partition state: nil/empty while single-kernel.
+	group     *pdes.Group
+	parts     []*part
+	lookahead time.Duration
 }
 
 // SetSeed sets the network's base random seed. Every stochastic
@@ -200,28 +251,33 @@ func (n *Network) NewRand(stream int64) *rand.Rand {
 	return rand.New(rand.NewSource(n.seed + stream))
 }
 
-// NewPacket returns a zeroed packet from the network's pool. The
-// network recycles it after its delivery or drop callback runs (data
-// and pure-ACK packets alike), so steady-state traffic allocates
-// nothing; the caller must not retain the packet past that callback.
+// NewPacket returns a zeroed packet from the default (partition-0)
+// pool. The network recycles it after its delivery or drop callback
+// runs (data and pure-ACK packets alike), so steady-state traffic
+// allocates nothing; the caller must not retain the packet past that
+// callback. On a partitioned network, traffic sources must use
+// NewPacketAt instead so the allocation hits the injecting node's
+// partition pool.
 func (n *Network) NewPacket() *Packet {
-	if l := len(n.pktFree); l > 0 {
-		p := n.pktFree[l-1]
-		n.pktFree[l-1] = nil
-		n.pktFree = n.pktFree[:l-1]
-		return p // zeroed by recycle
-	}
-	return &Packet{pooled: true}
+	return n.defPool.get()
 }
 
-// recycle returns a pooled packet to the freelist once the network is
-// done with it, clearing its fields so a parked packet does not pin
-// the finished flow's Handler/closures until the slot is reused.
-// Caller-allocated packets are left to the GC.
-func (n *Network) recycle(p *Packet) {
+// NewPacketAt is NewPacket drawing from the pool of the partition that
+// owns node id — the form every traffic source must use on a
+// partitioned network (it must already be running on that node's
+// kernel to inject there). Unpartitioned, it is identical to
+// NewPacket. The recycle discipline is unchanged.
+func (n *Network) NewPacketAt(id NodeID) *Packet {
+	return n.nodes[id].pool.get()
+}
+
+// recycle returns a pooled packet to nd's partition freelist once the
+// network is done with it, clearing its fields so a parked packet does
+// not pin the finished flow's Handler/closures until the slot is
+// reused. Caller-allocated packets are left to the GC.
+func (n *Network) recycle(nd *Node, p *Packet) {
 	if p.pooled {
-		*p = Packet{pooled: true}
-		n.pktFree = append(n.pktFree, p)
+		nd.pool.put(p)
 	}
 }
 
@@ -233,7 +289,7 @@ func New(k *sim.Kernel) *Network {
 // AddNode creates a node. The variadic options mutate the node before
 // it is returned.
 func (n *Network) AddNode(name string, opts ...func(*Node)) *Node {
-	nd := &Node{ID: NodeID(len(n.nodes)), Name: name, net: n}
+	nd := &Node{ID: NodeID(len(n.nodes)), Name: name, net: n, k: n.K, pool: &n.defPool}
 	for _, o := range opts {
 		o(nd)
 	}
@@ -260,6 +316,9 @@ func (n *Network) Nodes() int { return len(n.nodes) }
 
 // Connect joins two nodes with a duplex link.
 func (n *Network) Connect(a, b *Node, cfg LinkConfig) *Link {
+	if n.group != nil {
+		panic("netsim: Connect after Partition")
+	}
 	if cfg.MTU == 0 {
 		cfg.MTU = 9180
 	}
@@ -438,41 +497,46 @@ func arriveStep(a0, a1 unsafe.Pointer) {
 }
 
 func deliverStep(a0, a1 unsafe.Pointer) {
-	(*Node)(a0).net.deliver((*Packet)(a1))
+	nd := (*Node)(a0)
+	nd.net.deliver(nd, (*Packet)(a1))
 }
 
 // Send injects a packet at p.Src. It must be called in kernel context
-// (from an event callback or a process holding the virtual CPU).
+// — on a partitioned network, in the context of the kernel that owns
+// p.Src (from an event callback or a process running there).
 func (n *Network) Send(p *Packet) {
 	src := n.nodes[p.Src]
+	k := src.k
 	if p.Src == p.Dst {
 		// Loopback: deliver at the current instant.
-		n.K.AtFunc(n.K.Now(), deliverStep, unsafe.Pointer(src), unsafe.Pointer(p))
+		k.AtFunc(k.Now(), deliverStep, unsafe.Pointer(src), unsafe.Pointer(p))
 		return
 	}
 	// Host injection serialization.
 	delay := time.Duration(0)
 	if src.HostBps > 0 {
-		start := n.K.Now()
+		start := k.Now()
 		if src.txFree > start {
 			start = src.txFree
 		}
 		dur := time.Duration(float64(p.Bytes) * 8 / src.HostBps * 1e9)
 		src.txFree = start.Add(dur)
-		delay = src.txFree.Sub(n.K.Now())
+		delay = src.txFree.Sub(k.Now())
 	}
-	n.K.AfterFunc(delay, forwardStep, unsafe.Pointer(src), unsafe.Pointer(p))
+	k.AfterFunc(delay, forwardStep, unsafe.Pointer(src), unsafe.Pointer(p))
 }
 
-// drop invokes the packet's drop callback and recycles it.
-func (n *Network) drop(p *Packet) {
+// drop invokes the packet's drop callback and recycles it into nd's
+// partition pool (nd is the node where the loss happened, so the pool
+// touched is always the executing kernel's own).
+func (n *Network) drop(nd *Node, p *Packet) {
 	if p.OnDrop != nil {
 		p.OnDrop(p)
 	}
 	if p.Handler != nil {
 		p.Handler.HandleDrop(p)
 	}
-	n.recycle(p)
+	n.recycle(nd, p)
 }
 
 // forward routes packet p out of node nd.
@@ -480,13 +544,13 @@ func (n *Network) forward(nd *Node, p *Packet) {
 	idx := nd.routes[p.Dst]
 	if idx < 0 {
 		nd.dropped++
-		n.drop(p)
+		n.drop(nd, p)
 		return
 	}
 	ifc := nd.ifaces[idx]
 	if ifc.queued+int64(p.Bytes) > ifc.capBytes {
 		ifc.drops++
-		n.drop(p)
+		n.drop(nd, p)
 		return
 	}
 	ifc.q.Push(p)
@@ -496,7 +560,9 @@ func (n *Network) forward(nd *Node, p *Packet) {
 	}
 }
 
-// transmitNext serializes the head-of-line packet on ifc.
+// transmitNext serializes the head-of-line packet on ifc. It runs on
+// the kernel of ifc's node; when the peer node lives on another kernel
+// the arrival crosses via the iface's pdes queue instead of the heap.
 func (n *Network) transmitNext(ifc *Iface) {
 	if ifc.q.Len() == 0 {
 		ifc.busy = false
@@ -507,55 +573,126 @@ func (n *Network) transmitNext(ifc *Iface) {
 	ifc.queued -= int64(p.Bytes)
 
 	l := ifc.link
+	k := ifc.node.k
 	wire := l.Framer.WireSize(p.Bytes)
 	txTime := time.Duration(float64(wire) * 8 / l.Bps * 1e9)
-	l.wireBytes += int64(wire)
-	l.busyTime += txTime
+	ifc.wireBytes += int64(wire)
+	ifc.busyTime += txTime
 	// Link free after serialization; next packet may start then.
-	n.K.AfterFunc(txTime, transmitStep, unsafe.Pointer(ifc), nil)
+	k.AfterFunc(txTime, transmitStep, unsafe.Pointer(ifc), nil)
 	// Packet arrives at the peer after serialization + propagation.
-	n.K.AfterFunc(txTime+l.Delay, arriveStep, unsafe.Pointer(ifc.peer.node), unsafe.Pointer(p))
+	if ifc.xq != nil {
+		ifc.xq.Push(unsafe.Pointer(p), k.Now().Add(txTime+l.Delay))
+	} else {
+		k.AfterFunc(txTime+l.Delay, arriveStep, unsafe.Pointer(ifc.peer.node), unsafe.Pointer(p))
+	}
 }
 
 // arrive handles a packet reaching node nd.
 func (n *Network) arrive(nd *Node, p *Packet) {
+	k := nd.k
 	p.hops++
 	if p.hops > 64 {
 		nd.dropped++ // routing loop guard
-		n.drop(p)
+		n.drop(nd, p)
 		return
 	}
 	if nd.ID == p.Dst {
 		// Host delivery drain.
 		delay := time.Duration(0)
 		if nd.HostBps > 0 {
-			start := n.K.Now()
+			start := k.Now()
 			if nd.rxFree > start {
 				start = nd.rxFree
 			}
 			dur := time.Duration(float64(p.Bytes) * 8 / nd.HostBps * 1e9)
 			nd.rxFree = start.Add(dur)
-			delay = nd.rxFree.Sub(n.K.Now())
+			delay = nd.rxFree.Sub(k.Now())
 		}
-		n.K.AfterFunc(delay, deliverStep, unsafe.Pointer(nd), unsafe.Pointer(p))
+		k.AfterFunc(delay, deliverStep, unsafe.Pointer(nd), unsafe.Pointer(p))
 		return
 	}
 	// Relay: the forwarding CPU is a serial resource; packets queue
 	// on it in arrival order.
-	start := n.K.Now()
+	start := k.Now()
 	if nd.fwdFree > start {
 		start = nd.fwdFree
 	}
 	nd.fwdFree = start.Add(nd.relayCost(p.Bytes))
-	n.K.AtFunc(nd.fwdFree, forwardStep, unsafe.Pointer(nd), unsafe.Pointer(p))
+	k.AtFunc(nd.fwdFree, forwardStep, unsafe.Pointer(nd), unsafe.Pointer(p))
 }
 
-func (n *Network) deliver(p *Packet) {
+func (n *Network) deliver(nd *Node, p *Packet) {
 	if p.OnDeliver != nil {
 		p.OnDeliver(p)
 	}
 	if p.Handler != nil {
 		p.Handler.HandleDeliver(p)
 	}
-	n.recycle(p)
+	n.recycle(nd, p)
+}
+
+// Run executes the simulation until no events remain: the single
+// kernel's Run unpartitioned, the pdes group's synchronized rounds
+// after Partition. It returns the latest kernel clock, which every
+// report should use as "now" (kernels on event-free partitions stop
+// early at their last local event).
+func (n *Network) Run() sim.Time {
+	if n.group == nil {
+		n.K.Run()
+		return n.K.Now()
+	}
+	n.group.Run()
+	return n.Now()
+}
+
+// Now reports the simulation clock: the latest kernel clock after
+// Partition (the kernel that executed the globally last event carries
+// the same timestamp a single kernel would), so reports derived from it
+// are identical at any kernel count. Quiescent-only after Partition.
+func (n *Network) Now() sim.Time {
+	if n.group == nil {
+		return n.K.Now()
+	}
+	now := n.K.Now()
+	for _, pt := range n.parts[1:] {
+		if t := pt.k.Now(); t > now {
+			now = t
+		}
+	}
+	return now
+}
+
+// Pending reports pending events across every kernel. Quiescent-only
+// after Partition.
+func (n *Network) Pending() int {
+	if n.group == nil {
+		return n.K.Pending()
+	}
+	return n.group.Pending()
+}
+
+// KernelOf returns the kernel that owns node id — the kernel a driver
+// must schedule on to inject traffic at that node. Before Partition
+// every node reports the network's K.
+func (n *Network) KernelOf(id NodeID) *sim.Kernel {
+	return n.nodes[id].k
+}
+
+// Kernels reports how many kernels execute the network (1 before
+// Partition).
+func (n *Network) Kernels() int {
+	if n.group == nil {
+		return 1
+	}
+	return n.group.Members()
+}
+
+// SyncStats reports the pdes synchronization counters (zero value
+// before Partition).
+func (n *Network) SyncStats() pdes.Stats {
+	if n.group == nil {
+		return pdes.Stats{}
+	}
+	return n.group.Stats()
 }

@@ -1,0 +1,195 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+	"unsafe"
+
+	"repro/internal/sim"
+	"repro/internal/sim/pdes"
+)
+
+// DefaultCut is the link-delay threshold separating "local" from "wide
+// area" when Partition picks the cut: links at or above it become
+// cross-partition channels. 100 µs sits far above testbed LAN hops
+// (~10 µs) and far below the gigabit WAN's propagation delay (~500 µs).
+const DefaultCut = 100 * time.Microsecond
+
+// part is one partition of a partitioned network: its kernel and its
+// packet pool.
+type part struct {
+	k    *sim.Kernel
+	pool *pktPool
+}
+
+// xqDeliver injects one cross-partition arrival into the receiving
+// node's kernel. It is the pdes.Queue deliver hook, running on the
+// receiver's goroutine after the window-closing barrier.
+type xqDeliver struct {
+	k  *sim.Kernel
+	nd *Node
+}
+
+func (d *xqDeliver) deliver(p unsafe.Pointer, at sim.Time) {
+	d.k.AtFunc(at, arriveStep, unsafe.Pointer(d.nd), p)
+}
+
+// Partition splits the network into up to k partitions, cutting every
+// link whose propagation delay is at least cut (DefaultCut if cut <= 0),
+// and binds each partition to its own kernel so Run executes them as a
+// conservative parallel simulation. The lookahead is the minimum delay
+// over the cut links — the guarantee that lets each kernel run a full
+// window ahead without hearing from its neighbours.
+//
+// Partition must run on a quiescent, just-built network: after
+// ComputeRoutes, before any traffic is scheduled (it panics otherwise,
+// and Connect panics after it). The node→partition assignment is a
+// deterministic function of the topology alone, so reports stay
+// byte-identical across runs and kernel counts.
+//
+// It returns the effective kernel count: components connected by
+// sub-cut links cannot be split, so a topology with one WAN link yields
+// at most 2 regardless of k. With k <= 1 or a single component the
+// network is left untouched on its original kernel.
+func (n *Network) Partition(k int, cut time.Duration) int {
+	if k <= 1 {
+		return 1
+	}
+	if n.group != nil {
+		panic("netsim: Partition called twice")
+	}
+	if n.K.Pending() > 0 || n.K.Now() != 0 {
+		panic("netsim: Partition on a network with scheduled or executed events")
+	}
+	if cut <= 0 {
+		cut = DefaultCut
+	}
+
+	// Connected components over the sub-cut links, in node-ID order so
+	// component numbering is deterministic.
+	comp := make([]int, len(n.nodes))
+	for i := range comp {
+		comp[i] = -1
+	}
+	ncomp := 0
+	for _, nd := range n.nodes {
+		if comp[nd.ID] != -1 {
+			continue
+		}
+		frontier := []*Node{nd}
+		comp[nd.ID] = ncomp
+		for len(frontier) > 0 {
+			cur := frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+			for _, ifc := range cur.ifaces {
+				if ifc.link.Delay >= cut {
+					continue
+				}
+				peer := ifc.peer.node
+				if comp[peer.ID] == -1 {
+					comp[peer.ID] = ncomp
+					frontier = append(frontier, peer)
+				}
+			}
+		}
+		ncomp++
+	}
+	if ncomp == 1 {
+		return 1
+	}
+	if k > ncomp {
+		k = ncomp
+	}
+
+	// Assign components to partitions: longest-processing-time — sort
+	// components by size descending (component ID breaks ties, keeping
+	// the assignment deterministic), each to the least-loaded partition.
+	size := make([]int, ncomp)
+	for _, c := range comp {
+		size[c]++
+	}
+	order := make([]int, ncomp)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if size[order[a]] != size[order[b]] {
+			return size[order[a]] > size[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	load := make([]int, k)
+	compPart := make([]int, ncomp)
+	for _, c := range order {
+		best := 0
+		for p := 1; p < k; p++ {
+			if load[p] < load[best] {
+				best = p
+			}
+		}
+		compPart[c] = best
+		load[best] += size[c]
+	}
+
+	// Build the partitions. Partition 0 keeps the network's original
+	// kernel and default pool, so unpartitioned callers of K/NewPacket
+	// observe no change.
+	n.parts = make([]*part, k)
+	n.parts[0] = &part{k: n.K, pool: &n.defPool}
+	for p := 1; p < k; p++ {
+		n.parts[p] = &part{k: sim.NewKernel(), pool: &pktPool{}}
+	}
+	for _, nd := range n.nodes {
+		pt := n.parts[compPart[comp[nd.ID]]]
+		nd.k = pt.k
+		nd.pool = pt.pool
+	}
+
+	// Cross-partition channels: one queue per cut-link direction whose
+	// endpoints landed in different partitions, plus the lookahead (the
+	// minimum delay among those links). Iterating nodes then ifaces in
+	// ID/attachment order keeps every member's drain order — and with
+	// it the injection order of equal-timestamp arrivals — deterministic.
+	members := make([]*pdes.Member, k)
+	for p := range members {
+		members[p] = &pdes.Member{K: n.parts[p].k}
+	}
+	lookahead := time.Duration(1) << 62
+	ncut := 0
+	for _, nd := range n.nodes {
+		for _, ifc := range nd.ifaces {
+			peer := ifc.peer.node
+			sp, rp := compPart[comp[nd.ID]], compPart[comp[peer.ID]]
+			if sp == rp {
+				continue
+			}
+			d := &xqDeliver{k: peer.k, nd: peer}
+			q := pdes.NewQueue(64, d.deliver)
+			ifc.xq = q
+			members[rp].In = append(members[rp].In, q)
+			if ifc.link.Delay < lookahead {
+				lookahead = ifc.link.Delay
+			}
+			ncut++
+		}
+	}
+	if ncut > 0 && lookahead < cut {
+		// Can't happen: every cut link has Delay >= cut by construction.
+		panic(fmt.Sprintf("netsim: cut link delay %v below cut %v", lookahead, cut))
+	}
+
+	n.lookahead = lookahead
+	n.group = pdes.NewGroup(lookahead, members)
+	return k
+}
+
+// Lookahead reports the synchronization window of the partitioned
+// network (zero before Partition): the minimum propagation delay over
+// the cut links.
+func (n *Network) Lookahead() time.Duration {
+	if n.group == nil {
+		return 0
+	}
+	return n.lookahead
+}

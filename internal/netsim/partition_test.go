@@ -1,0 +1,180 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// buildSites constructs a multi-site topology: `sites` star LANs (one
+// switch, hostsPer hosts on 1 Gbit/s 10 µs links) joined by 2.4 Gbit/s
+// 500 µs WAN links from site 0's switch to every other site's switch.
+// It returns the network and the host IDs per site.
+func buildSites(k *sim.Kernel, sites, hostsPer int) (*Network, [][]NodeID) {
+	n := New(k)
+	hosts := make([][]NodeID, sites)
+	switches := make([]*Node, sites)
+	for s := 0; s < sites; s++ {
+		sw := n.AddNode("sw", WithForwardCost(time.Microsecond, 16e9))
+		switches[s] = sw
+		for h := 0; h < hostsPer; h++ {
+			nd := n.AddNode("host")
+			n.Connect(nd, sw, LinkConfig{Name: "lan", Bps: 1e9, Delay: 10 * time.Microsecond})
+			hosts[s] = append(hosts[s], nd.ID)
+		}
+	}
+	for s := 1; s < sites; s++ {
+		n.Connect(switches[0], switches[s], LinkConfig{
+			Name: "wan", Bps: 2.4e9, Delay: 500 * time.Microsecond, QueueBytes: 64 << 20,
+		})
+	}
+	n.ComputeRoutes()
+	return n, hosts
+}
+
+// crossLoad floods packets between every pair of opposite-site hosts
+// and returns the flood results plus final clock — the fingerprint the
+// partitioned runs must reproduce bit for bit.
+func crossLoad(n *Network, hosts [][]NodeID) ([]FloodResult, sim.Time) {
+	var out []FloodResult
+	sites := len(hosts)
+	for s := 0; s < sites; s++ {
+		for h, src := range hosts[s] {
+			dst := hosts[(s+1)%sites][h]
+			out = append(out, Flood(n, src, dst, 4096, 50))
+		}
+	}
+	return out, n.Now()
+}
+
+func TestPartitionByteIdenticalFloods(t *testing.T) {
+	const sites, hostsPer = 4, 3
+	base, hosts := buildSites(sim.NewKernel(), sites, hostsPer)
+	want, wantNow := crossLoad(base, hosts)
+
+	for _, kernels := range []int{2, 4, 8} {
+		n, hosts := buildSites(sim.NewKernel(), sites, hostsPer)
+		eff := n.Partition(kernels, 0)
+		if kernels <= sites && eff != kernels {
+			t.Fatalf("Partition(%d) = %d effective kernels", kernels, eff)
+		}
+		if eff > sites {
+			t.Fatalf("Partition(%d) = %d, more than %d sites", kernels, eff, sites)
+		}
+		got, gotNow := crossLoad(n, hosts)
+		if gotNow != wantNow {
+			t.Fatalf("kernels=%d: final clock %v, want %v", kernels, gotNow, wantNow)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("kernels=%d flood %d: %+v != %+v", kernels, i, got[i], want[i])
+			}
+		}
+		if st := n.SyncStats(); st.Rounds == 0 || st.NullMessages == 0 {
+			t.Fatalf("kernels=%d: no synchronization recorded: %+v", kernels, st)
+		}
+	}
+}
+
+func TestPartitionLookaheadIsMinCutDelay(t *testing.T) {
+	n, _ := buildSites(sim.NewKernel(), 2, 1)
+	if n.Lookahead() != 0 {
+		t.Fatal("lookahead before Partition")
+	}
+	if eff := n.Partition(2, 0); eff != 2 {
+		t.Fatalf("effective kernels = %d", eff)
+	}
+	if la := n.Lookahead(); la != 500*time.Microsecond {
+		t.Fatalf("lookahead = %v, want 500µs", la)
+	}
+}
+
+func TestPartitionSingleComponentStaysSerial(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k)
+	a, b := n.AddNode("a"), n.AddNode("b")
+	n.Connect(a, b, LinkConfig{Bps: 1e9, Delay: 10 * time.Microsecond})
+	n.ComputeRoutes()
+	if eff := n.Partition(4, 0); eff != 1 {
+		t.Fatalf("LAN-only network split into %d", eff)
+	}
+	if n.Kernels() != 1 || n.KernelOf(a.ID) != k {
+		t.Fatal("single-component network was rebound")
+	}
+}
+
+func TestPartitionGuards(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+
+	n, _ := buildSites(sim.NewKernel(), 2, 1)
+	n.Partition(2, 0)
+	expectPanic("double partition", func() { n.Partition(2, 0) })
+	expectPanic("connect after partition", func() {
+		n.Connect(n.Node(0), n.Node(1), LinkConfig{Bps: 1e9})
+	})
+
+	n2, hosts2 := buildSites(sim.NewKernel(), 2, 1)
+	n2.Send(&Packet{Src: hosts2[0][0], Dst: hosts2[1][0], Bytes: 100})
+	expectPanic("partition with scheduled events", func() { n2.Partition(2, 0) })
+}
+
+// pingHandler bounces a pooled packet between two hosts, the hop count
+// riding in Seq. Chains from opposite sites mirror each other, so every
+// partition pool's gets and puts balance exactly each round.
+type pingHandler struct {
+	n    *Network
+	hops int64
+}
+
+func (h *pingHandler) HandleDeliver(p *Packet) {
+	if p.Seq >= h.hops {
+		return
+	}
+	r := h.n.NewPacketAt(p.Dst)
+	r.Src, r.Dst, r.Bytes, r.Seq = p.Dst, p.Src, p.Bytes, p.Seq+1
+	r.Handler = h
+	h.n.Send(r)
+}
+
+func (h *pingHandler) HandleDrop(*Packet) {}
+
+// TestPartitionedRunZeroAlloc pins the hot-path allocation contract
+// across partitions: after one warmup run (event pools, packet pools,
+// queue buffers and worker goroutines all settle), repeated synchronized
+// runs allocate nothing.
+func TestPartitionedRunZeroAlloc(t *testing.T) {
+	n, hosts := buildSites(sim.NewKernel(), 2, 2)
+	if eff := n.Partition(2, 0); eff != 2 {
+		t.Fatalf("effective kernels = %d", eff)
+	}
+	h := &pingHandler{n: n, hops: 100}
+	round := func() {
+		// Mirrored bidirectional chains: every packet a site-0 chain
+		// retires in site 1's pool is matched by a site-1 chain retiring
+		// one in site 0's, so neither partition pool drains.
+		for i := 0; i < 2; i++ {
+			p := n.NewPacketAt(hosts[0][i])
+			p.Src, p.Dst, p.Bytes = hosts[0][i], hosts[1][i], 1024
+			p.Handler = h
+			n.Send(p)
+			q := n.NewPacketAt(hosts[1][i])
+			q.Src, q.Dst, q.Bytes = hosts[1][i], hosts[0][i], 1024
+			q.Handler = h
+			n.Send(q)
+		}
+		n.Run()
+	}
+	round() // warmup
+	if allocs := testing.AllocsPerRun(5, round); allocs > 0 {
+		t.Fatalf("partitioned steady-state run allocated %.1f/op, want 0", allocs)
+	}
+}

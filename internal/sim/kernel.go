@@ -239,6 +239,22 @@ func (k *Kernel) Cancel(ev Event) {
 // Pending reports the number of events waiting to fire.
 func (k *Kernel) Pending() int { return len(k.heap) }
 
+// AdvanceTo moves the clock forward to t without firing anything — the
+// quiescent resynchronization a parallel group does when its kernels
+// run dry at different virtual times (each stops at its own last
+// event; all must agree with the global last before the driver
+// schedules "at now" again). Moving past a pending event would skip it,
+// so that panics; t at or before now is a no-op.
+func (k *Kernel) AdvanceTo(t Time) {
+	if t <= k.now {
+		return
+	}
+	if len(k.heap) > 0 && k.heap[0].at < t {
+		panic(fmt.Sprintf("sim: AdvanceTo(%v) past pending event at %v", t, k.heap[0].at))
+	}
+	k.now = t
+}
+
 // Step fires the single earliest pending event, advancing the clock to
 // its timestamp. It reports whether an event was fired.
 func (k *Kernel) Step() bool {
@@ -289,6 +305,34 @@ func (k *Kernel) RunUntil(t Time) Time {
 		k.now = t
 	}
 	return k.now
+}
+
+// RunBefore fires events with timestamps strictly before horizon h and
+// returns the clock, which stays at the last fired event's time — it is
+// NOT advanced to h. This is the window primitive of conservative
+// parallel simulation (internal/sim/pdes): a partition kernel executes
+// [now, h) where h = global-min + lookahead, and the clock must keep
+// its event-derived value so the next window's cross-kernel arrivals
+// (all stamped >= h-lookahead+cut-delay >= the last fired event) never
+// violate causality. Time is integer nanoseconds, so the half-open
+// bound is expressed to the inline-drive machinery as bound = h-1.
+func (k *Kernel) RunBefore(h Time) Time {
+	k.stopped = false
+	k.running, k.bounded, k.bound = true, true, h-1
+	for !k.stopped && len(k.heap) > 0 && k.heap[0].at < h {
+		k.Step()
+	}
+	k.running, k.bounded = false, false
+	return k.now
+}
+
+// NextEventTime reports the timestamp of the earliest pending event.
+// The second result is false when no events are pending.
+func (k *Kernel) NextEventTime() (Time, bool) {
+	if len(k.heap) == 0 {
+		return 0, false
+	}
+	return k.heap[0].at, true
 }
 
 // Stop makes the innermost Run or RunUntil return after the current

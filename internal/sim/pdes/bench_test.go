@@ -1,0 +1,27 @@
+package pdes_test
+
+import (
+	"testing"
+
+	"repro/internal/benchkit"
+)
+
+// The benchmark bodies live in internal/benchkit so cmd/gtwbench can
+// run the identical code with testing.Benchmark and emit
+// BENCH_kernel.json; these wrappers keep them discoverable under
+// `go test -bench`. They sit in the external test package because
+// benchkit reaches pdes through netsim.
+
+// BenchmarkPDESLargeTopologySingleKernel is the serial baseline: the
+// 4-site cross-traffic load on one kernel.
+func BenchmarkPDESLargeTopologySingleKernel(b *testing.B) {
+	benchkit.PDESLargeTopologySingleKernel(b)
+}
+
+// BenchmarkPDESLargeTopology is the same load partitioned at the WAN
+// cut across 4 kernels.
+func BenchmarkPDESLargeTopology(b *testing.B) { benchkit.PDESLargeTopology(b) }
+
+// BenchmarkNullMessageOverhead isolates the conservative protocol's
+// per-round synchronization cost.
+func BenchmarkNullMessageOverhead(b *testing.B) { benchkit.NullMessageOverhead(b) }

@@ -1,0 +1,285 @@
+// Package pdes runs several sim.Kernels as one conservative parallel
+// discrete-event simulation (Chandy-Misra-Bryant with a global
+// lookahead window). The model partition owning each kernel exchanges
+// timestamped messages with its neighbours over Queues — one bounded
+// FIFO per cut-edge direction — and a Group synchronizes the kernels in
+// barrier-delimited rounds:
+//
+//  1. Every member drains its input queues (in fixed queue order, FIFO
+//     within a queue), injecting each message into its kernel.
+//  2. Barrier; every member publishes its next-event time, and all
+//     members compute the same global minimum T. The per-round bound
+//     announcement is the null message of the classic algorithm — one
+//     broadcast per member per round, counted in Stats.
+//  3. If T is infinite the simulation is over. Otherwise every member
+//     fires its events in [T, T+lookahead) — safe, because any message
+//     generated at time t >= T arrives no earlier than t + the cut's
+//     minimum delay >= T + lookahead.
+//  4. Barrier (making every enqueued message visible), next round.
+//
+// The rounds make the result independent of goroutine scheduling: which
+// host thread runs which member never changes what any kernel observes,
+// only wall-clock time. Queues need no locks for the same reason — a
+// queue is written by exactly one member strictly between two barriers
+// and read by exactly one member strictly after the second.
+//
+// The package is model-agnostic: payloads are raw pointers and
+// injection is a per-queue callback, so internal/netsim can ride its
+// pooled packets across partitions without boxing or per-message
+// allocation.
+package pdes
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+	"unsafe"
+
+	"repro/internal/sim"
+)
+
+// maxTime is the "no pending events" sentinel in the bound exchange.
+const maxTime = sim.Time(math.MaxInt64)
+
+// item is one in-flight cross-partition message.
+type item struct {
+	p  unsafe.Pointer
+	at sim.Time
+}
+
+// Queue is the bounded FIFO carrying timestamped payloads across one
+// cut-edge direction, from exactly one sending member to exactly one
+// receiving member. The barrier protocol is the synchronization: Push
+// happens only inside the sender's execution window, drain only after
+// the window-closing barrier, so no lock is needed and steady-state
+// traffic stays allocation-free once the ring reaches the cut edge's
+// natural bound (capacity x window / packet size); Push beyond the
+// preallocated capacity grows the buffer rather than blocking, which
+// would deadlock the round.
+type Queue struct {
+	deliver func(p unsafe.Pointer, at sim.Time)
+	items   []item
+}
+
+// NewQueue builds a queue preallocating capacity slots; deliver injects
+// one drained message into the receiving member's kernel and runs on
+// the receiver's goroutine.
+func NewQueue(capacity int, deliver func(p unsafe.Pointer, at sim.Time)) *Queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Queue{deliver: deliver, items: make([]item, 0, capacity)}
+}
+
+// Push enqueues a message with its arrival timestamp. Call only from
+// the sending member's kernel context (inside its execution window).
+func (q *Queue) Push(p unsafe.Pointer, at sim.Time) {
+	q.items = append(q.items, item{p, at})
+}
+
+// drain injects every queued message in FIFO order and resets the
+// queue, keeping its buffer.
+func (q *Queue) drain() {
+	for i := range q.items {
+		q.deliver(q.items[i].p, q.items[i].at)
+		q.items[i] = item{}
+	}
+	q.items = q.items[:0]
+}
+
+// Member is one partition: a kernel plus the queues it drains. In
+// (like the members slice itself) is fixed at NewGroup time; the drain
+// order is the slice order, which must be deterministic for reports to
+// be byte-identical across runs.
+type Member struct {
+	K  *sim.Kernel
+	In []*Queue
+}
+
+// Stats reports synchronization-cost counters for one Run.
+type Stats struct {
+	// Rounds is the number of completed synchronization rounds.
+	Rounds int64
+	// NullMessages is the number of bound announcements exchanged:
+	// one per member per round (the CMB null-message traffic, realised
+	// here as the barrier's shared bound slots).
+	NullMessages int64
+}
+
+// Group synchronizes a fixed set of members. Build once with NewGroup,
+// then Run as many times as the driving code needs (each Run picks up
+// whatever events were scheduled while the group was quiescent).
+// Between Runs the kernels are quiescent and the driver may schedule
+// freely; during a Run only member callbacks may touch the kernels.
+type Group struct {
+	members   []*Member
+	lookahead time.Duration
+
+	next  []sim.Time // per-member bound slots, exchanged at the barrier
+	bar   barrier
+	stats Stats
+
+	start   []chan struct{} // per-worker run signal, members 1..n-1
+	started bool
+}
+
+// NewGroup builds a group over the given members. The lookahead is the
+// minimum latency of any cut edge: no member may ever receive a message
+// stamped earlier than the global minimum next-event time plus this
+// bound. It must be positive — a zero-lookahead cut serializes the
+// model and belongs in one kernel.
+func NewGroup(lookahead time.Duration, members []*Member) *Group {
+	if len(members) == 0 {
+		panic("pdes: group with no members")
+	}
+	if lookahead <= 0 && len(members) > 1 {
+		panic(fmt.Sprintf("pdes: non-positive lookahead %v", lookahead))
+	}
+	g := &Group{
+		members:   members,
+		lookahead: lookahead,
+		next:      make([]sim.Time, len(members)),
+		start:     make([]chan struct{}, len(members)),
+	}
+	g.bar.init(len(members))
+	for i := 1; i < len(members); i++ {
+		g.start[i] = make(chan struct{}, 1)
+	}
+	return g
+}
+
+// Members reports the number of partitions.
+func (g *Group) Members() int { return len(g.members) }
+
+// Stats reports cumulative synchronization counters across every Run so
+// far. Read only while the group is quiescent.
+func (g *Group) Stats() Stats { return g.stats }
+
+// Pending reports the total number of pending events across all
+// kernels. Read only while the group is quiescent (after Run, queues
+// are always empty: termination requires every queue drained and every
+// heap dry).
+func (g *Group) Pending() int {
+	total := 0
+	for _, m := range g.members {
+		total += m.K.Pending()
+	}
+	return total
+}
+
+// Run executes rounds until every kernel is dry and every queue empty.
+// Member 0 runs on the calling goroutine; the rest run on persistent
+// worker goroutines started lazily on first use and parked between
+// Runs, so repeated Runs allocate nothing.
+func (g *Group) Run() {
+	if len(g.members) == 1 {
+		g.members[0].K.Run()
+		return
+	}
+	if !g.started {
+		g.started = true
+		for i := 1; i < len(g.members); i++ {
+			go g.worker(i)
+		}
+	}
+	for i := 1; i < len(g.members); i++ {
+		g.start[i] <- struct{}{}
+	}
+	g.runMember(0)
+}
+
+// worker parks between runs and executes its member's rounds during
+// one.
+func (g *Group) worker(i int) {
+	for range g.start[i] {
+		g.runMember(i)
+	}
+}
+
+// runMember is the per-member round loop. All members leave the loop in
+// the same round (they compute the same global minimum from the same
+// post-barrier snapshot), and the final barrier orders every member's
+// last reads before the caller's next-run writes.
+func (g *Group) runMember(i int) {
+	m := g.members[i]
+	for {
+		for _, q := range m.In {
+			q.drain()
+		}
+		if nt, ok := m.K.NextEventTime(); ok {
+			g.next[i] = nt
+		} else {
+			g.next[i] = maxTime
+		}
+		g.bar.await()
+		t := g.next[0]
+		for _, nt := range g.next[1:] {
+			if nt < t {
+				t = nt
+			}
+		}
+		if i == 0 {
+			g.stats.Rounds++
+			g.stats.NullMessages += int64(len(g.members))
+		}
+		if t == maxTime {
+			// Terminate: every heap is dry and (because sends happen
+			// strictly before the window-closing barrier and drains at
+			// round start) every queue is empty. The kernels stopped at
+			// their own last local events; resynchronize all clocks to
+			// the global last so the driver's next "schedule at Now()"
+			// lands at the same virtual time a single kernel would
+			// report. Three barriers: bounds read before the slots are
+			// reused for clocks, clocks published before the max is
+			// read, advances done before the caller resumes.
+			g.bar.await()
+			g.next[i] = m.K.Now()
+			g.bar.await()
+			now := g.next[0]
+			for _, v := range g.next[1:] {
+				if v > now {
+					now = v
+				}
+			}
+			m.K.AdvanceTo(now)
+			g.bar.await()
+			return
+		}
+		m.K.RunBefore(t.Add(g.lookahead))
+		g.bar.await()
+	}
+}
+
+// barrier is a reusable (cyclic) barrier for a fixed party count.
+type barrier struct {
+	mu    sync.Mutex
+	cond  sync.Cond
+	n     int
+	count int
+	gen   uint64
+}
+
+func (b *barrier) init(n int) {
+	b.n = n
+	b.cond.L = &b.mu
+}
+
+// await blocks until all n parties have called it, then releases them
+// together and resets for the next use.
+func (b *barrier) await() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,140 @@
+package pdes
+
+import (
+	"testing"
+	"time"
+	"unsafe"
+
+	"repro/internal/sim"
+)
+
+// TestTwoMemberPingPong bounces a token between two kernels through a
+// pair of queues and checks that every hop lands exactly one lookahead
+// after the previous one — the conservative window never lets a kernel
+// see a message late.
+func TestTwoMemberPingPong(t *testing.T) {
+	ka, kb := sim.NewKernel(), sim.NewKernel()
+	const la = time.Millisecond
+	const hops = 20
+
+	var atA, atB []sim.Time
+	var qAtoB, qBtoA *Queue
+	qAtoB = NewQueue(1, func(_ unsafe.Pointer, at sim.Time) {
+		kb.At(at, func() {
+			atB = append(atB, kb.Now())
+			if len(atA)+len(atB) < hops {
+				qBtoA.Push(nil, kb.Now().Add(la))
+			}
+		})
+	})
+	qBtoA = NewQueue(1, func(_ unsafe.Pointer, at sim.Time) {
+		ka.At(at, func() {
+			atA = append(atA, ka.Now())
+			if len(atA)+len(atB) < hops {
+				qAtoB.Push(nil, ka.Now().Add(la))
+			}
+		})
+	})
+
+	g := NewGroup(la, []*Member{
+		{K: ka, In: []*Queue{qBtoA}},
+		{K: kb, In: []*Queue{qAtoB}},
+	})
+	// Kick off: the first event on A pushes the token toward B.
+	ka.At(0, func() { qAtoB.Push(nil, sim.Time(la)) })
+	g.Run()
+
+	if len(atA)+len(atB) != hops {
+		t.Fatalf("got %d+%d hops, want %d", len(atA), len(atB), hops)
+	}
+	for i, at := range atB {
+		want := sim.Time(la) * sim.Time(2*i+1)
+		if at != want {
+			t.Fatalf("hop %d on B at %v, want %v", i, at, want)
+		}
+	}
+	for i, at := range atA {
+		want := sim.Time(la) * sim.Time(2*i+2)
+		if at != want {
+			t.Fatalf("hop %d on A at %v, want %v", i, at, want)
+		}
+	}
+	st := g.Stats()
+	if st.Rounds == 0 {
+		t.Fatal("no rounds recorded")
+	}
+	if st.NullMessages != 2*st.Rounds {
+		t.Fatalf("NullMessages = %d, want 2 per round over %d rounds", st.NullMessages, st.Rounds)
+	}
+	if g.Pending() != 0 {
+		t.Fatalf("pending events after Run: %d", g.Pending())
+	}
+}
+
+// TestGroupRerun reuses one group for a second batch of events — the
+// quiescent-between-Runs contract drivers like tcpsim.WaitAll rely on.
+func TestGroupRerun(t *testing.T) {
+	ka, kb := sim.NewKernel(), sim.NewKernel()
+	const la = time.Millisecond
+	count := 0
+	qAtoB := NewQueue(1, func(_ unsafe.Pointer, at sim.Time) {
+		kb.At(at, func() { count++ })
+	})
+	g := NewGroup(la, []*Member{
+		{K: ka},
+		{K: kb, In: []*Queue{qAtoB}},
+	})
+	for run := 1; run <= 3; run++ {
+		ka.At(ka.Now().Add(la), func() { qAtoB.Push(nil, ka.Now().Add(la)) })
+		g.Run()
+		if count != run {
+			t.Fatalf("after run %d: count = %d", run, count)
+		}
+	}
+}
+
+// TestSingleMemberRunsInline checks the degenerate one-partition group
+// is just Kernel.Run.
+func TestSingleMemberRunsInline(t *testing.T) {
+	k := sim.NewKernel()
+	fired := false
+	k.At(5, func() { fired = true })
+	g := NewGroup(0, []*Member{{K: k}}) // zero lookahead allowed solo
+	g.Run()
+	if !fired || k.Now() != 5 {
+		t.Fatalf("fired=%v now=%v", fired, k.Now())
+	}
+}
+
+func TestNewGroupValidation(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("empty", func() { NewGroup(time.Millisecond, nil) })
+	expectPanic("zero lookahead", func() {
+		NewGroup(0, []*Member{{K: sim.NewKernel()}, {K: sim.NewKernel()}})
+	})
+}
+
+// TestQueueFIFO pins the drain order: messages leave a queue in push
+// order, which keeps equal-timestamp injections deterministic.
+func TestQueueFIFO(t *testing.T) {
+	var got []sim.Time
+	q := NewQueue(2, func(_ unsafe.Pointer, at sim.Time) { got = append(got, at) })
+	q.Push(nil, 3)
+	q.Push(nil, 1) // later push, earlier stamp: still drains second
+	q.Push(nil, 2)
+	q.drain()
+	if len(got) != 3 || got[0] != 3 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("drain order %v, want [3 1 2]", got)
+	}
+	if len(q.items) != 0 || cap(q.items) < 3 {
+		t.Fatalf("queue not reset keeping buffer: len=%d cap=%d", len(q.items), cap(q.items))
+	}
+}

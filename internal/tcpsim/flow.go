@@ -99,10 +99,11 @@ func Start(n *netsim.Network, src, dst netsim.NodeID, nbytes int64, cfg Config) 
 	}
 	s := getSender()
 	s.n, s.src, s.dst, s.cfg, s.total = n, src, dst, cfg, nbytes
+	s.kSrc = n.KernelOf(src)
 	s.mss = mss
 	s.cwnd = float64(cfg.InitialCwndSegs * mss)
 	s.ssthresh = float64(cfg.WindowBytes)
-	s.start = n.K.Now()
+	s.start = s.kSrc.Now()
 	if cap(s.sendTS) >= ringSize {
 		s.sendTS = s.sendTS[:ringSize]
 	} else {
@@ -116,7 +117,7 @@ func Start(n *netsim.Network, src, dst netsim.NodeID, nbytes int64, cfg Config) 
 		s.finish = s.start
 		return &s.handle, nil
 	}
-	n.K.AtFunc(n.K.Now(), startPump, unsafe.Pointer(s), nil)
+	s.kSrc.AtFunc(s.kSrc.Now(), startPump, unsafe.Pointer(s), nil)
 	return &s.handle, nil
 }
 
@@ -153,7 +154,7 @@ func (f *Flow) Result() (Result, error) {
 // stalls with no pending events).
 func WaitAll(n *netsim.Network, flows ...*Flow) error {
 	for {
-		n.K.Run()
+		n.Run()
 		pending := 0
 		for _, f := range flows {
 			if f.s.err != nil {
@@ -166,7 +167,7 @@ func WaitAll(n *netsim.Network, flows ...*Flow) error {
 		if pending == 0 {
 			return nil
 		}
-		if n.K.Pending() == 0 {
+		if n.Pending() == 0 {
 			return fmt.Errorf("tcpsim: %d flows stalled with no pending events", pending)
 		}
 	}

@@ -8,6 +8,7 @@ package video
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/netsim"
@@ -78,6 +79,11 @@ func Stream(n *netsim.Network, src, dst netsim.NodeID, cfg StreamConfig) (Stream
 	var res StreamResult
 	res.Frames = cfg.Frames
 
+	// Injection runs on src's kernel, delivery (and frames[] updates) on
+	// dst's. Drops can fire on any relay's kernel, so the loss counter is
+	// an atomic summed after the run.
+	srcK, dstK := n.KernelOf(src), n.KernelOf(dst)
+	var lost int64
 	for f := 0; f < cfg.Frames; f++ {
 		f := f
 		for k := 0; k < pktsPerFrame; k++ {
@@ -86,22 +92,23 @@ func Stream(n *netsim.Network, src, dst netsim.NodeID, cfg StreamConfig) (Stream
 				size = FrameBytes - (pktsPerFrame-1)*cfg.MTU
 			}
 			at := sim.Time(f)*sim.Time(FrameInterval) + sim.Time(k)*sim.Time(spacing)
-			n.K.At(at, func() {
+			srcK.At(at, func() {
 				n.Send(&netsim.Packet{
 					Src: src, Dst: dst, Bytes: size,
 					OnDeliver: func(*netsim.Packet) {
 						st := &frames[f]
 						st.received++
 						if st.received == pktsPerFrame {
-							st.complete = n.K.Now()
+							st.complete = dstK.Now()
 						}
 					},
-					OnDrop: func(*netsim.Packet) { res.LostPackets++ },
+					OnDrop: func(*netsim.Packet) { atomic.AddInt64(&lost, 1) },
 				})
 			})
 		}
 	}
-	n.K.Run()
+	n.Run()
+	res.LostPackets = int(lost)
 
 	var sumDelay time.Duration
 	completed := 0
