@@ -30,22 +30,38 @@
 // workers' throughput. Without -data-dir state is in-memory and dies
 // with the process, as before.
 //
+// With -tenants FILE the coordinator is multi-tenant: the JSON file
+// maps bearer tokens to named tenants with a priority class (high /
+// normal / bulk) and an optional in-flight point cap, every endpoint
+// except /healthz requires a configured token, lease grants follow
+// weighted fair share across the tenants' queued work, usage is
+// accounted per tenant (fresh points vs. store hits, so repeat tenants
+// meter as cheap), and every auth rejection and job transition lands
+// in the audit log (journaled under -data-dir when set). Without
+// -tenants everything runs as a single anonymous tenant, as before.
+// Either way, live counters are served at GET /v1/metrics (Prometheus
+// text format) and job/worker/lease transitions stream from GET
+// /v1/events (SSE).
+//
 // Usage:
 //
 //	gtwd [-addr :9191] [-lease-ttl 10s] [-local-shards 1]
 //	     [-cache 4096] [-cache-bytes 0] [-cache-entry-bytes 0]
 //	     [-jobs 4] [-poll 200ms] [-data-dir DIR] [-snapshot 1m]
+//	     [-tenants tenants.json]
 //
 // Then point workers and clients at it:
 //
-//	gtwworker -coordinator http://host:9191
-//	gtwrun -connect http://host:9191 figure1-throughput
+//	gtwworker -coordinator http://host:9191 [-token TOK]
+//	gtwrun -connect http://host:9191 [-token TOK] figure1-throughput
+//	gtwtop -coordinator http://host:9191 [-token TOK]
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os/signal"
@@ -56,6 +72,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/persist"
+	"repro/internal/tenant"
 )
 
 func main() {
@@ -78,7 +95,18 @@ func main() {
 		"journal coordinator state here (WAL + snapshots) and recover it on restart; empty = in-memory only")
 	snapshot := flag.Duration("snapshot", time.Minute,
 		"how often to compact the -data-dir journal into a snapshot (negative: only on shutdown and log growth)")
+	tenantsFile := flag.String("tenants", "",
+		"tenant config file (JSON: token, name, class, max in-flight); enables token auth and fair-share scheduling")
 	flag.Parse()
+
+	var tenants *tenant.Registry
+	if *tenantsFile != "" {
+		var err error
+		tenants, err = tenant.Load(*tenantsFile)
+		if err != nil {
+			log.Fatalf("load -tenants %s: %v", *tenantsFile, err)
+		}
+	}
 
 	var store persist.Store
 	var disk *persist.Disk
@@ -103,6 +131,7 @@ func main() {
 		CacheEntryBytes: *cacheEntryBytes,
 		MaxJobs:         *maxJobs,
 		Store:           store,
+		Tenants:         tenants,
 		Logf:            log.Printf,
 	})
 
@@ -120,8 +149,12 @@ func main() {
 	if disk != nil {
 		durable = "journaling to " + *dataDir
 	}
-	log.Printf("coordinator listening on %s (lease ttl %s, %d local shard(s), point store %d, %s)",
-		*addr, *leaseTTL, *localShards, *cacheSize, durable)
+	auth := "open access"
+	if tenants != nil {
+		auth = fmt.Sprintf("%d tenant(s), token auth", len(tenants.Tenants()))
+	}
+	log.Printf("coordinator listening on %s (lease ttl %s, %d local shard(s), point store %d, %s, %s)",
+		*addr, *leaseTTL, *localShards, *cacheSize, durable, auth)
 	err := srv.ListenAndServe()
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)

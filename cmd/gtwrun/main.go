@@ -24,6 +24,7 @@
 //	-timeout D       cancel the whole run after D (e.g. 30s)
 //	-serve ADDR      run a distributed-run coordinator instead (see gtwd)
 //	-connect URL     run scenarios through a remote coordinator
+//	-token TOK       tenant token for a -tenants coordinator (with -connect)
 //
 // Sweep scenarios (figure1-throughput, backbone-aggregate,
 // mixed-traffic, fmri-pe-sweep) lease their parameter grid to -shards
@@ -35,6 +36,9 @@
 // (gtwd's engine inside gtwrun); -connect URL submits the named
 // scenarios to such a coordinator — with its job queue and result
 // cache — and prints the reports exactly as a local run would.
+// Connected runs follow each job over the coordinator's /v1/events
+// stream (no polling traffic while the job runs) and fall back to
+// plain status polling automatically if the stream dies mid-job.
 package main
 
 import (
@@ -113,6 +117,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"listen address: serve as a distributed-run coordinator instead of running scenarios (see also cmd/gtwd)")
 	connect := fs.String("connect", "",
 		"coordinator URL: run the named scenarios through a remote coordinator instead of in-process")
+	token := fs.String("token", "",
+		"tenant token for a -tenants coordinator (with -connect; sent as Authorization: Bearer)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -196,7 +202,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "gtwrun: -shared cannot be combined with -connect (a shared testbed cannot cross the wire)")
 			return 2
 		}
-		return runConnect(ctx, *connect, names, gtw.NewOptions(opts...), *asJSON, stdout, stderr)
+		return runConnect(ctx, *connect, *token, names, gtw.NewOptions(opts...), *asJSON, stdout, stderr)
 	}
 
 	start := time.Now()
@@ -281,14 +287,14 @@ func runServe(addr string, stderr io.Writer) int {
 // "done" job without a report counts as failed. Every failure path
 // exits non-zero, and with -json emits an error envelope so scripted
 // consumers see the failure on stdout too.
-func runConnect(ctx context.Context, url string, names []string, o gtw.Options,
+func runConnect(ctx context.Context, url, token string, names []string, o gtw.Options,
 	asJSON bool, stdout, stderr io.Writer) int {
 	if len(names) == 0 {
 		for _, s := range gtw.Scenarios() {
 			names = append(names, s.Name())
 		}
 	}
-	cl := &dist.Client{Base: url}
+	cl := &dist.Client{Base: url, Token: token}
 	start := time.Now()
 	failed := 0
 	fail := func(name, msg string) {
@@ -304,7 +310,11 @@ func runConnect(ctx context.Context, url string, names []string, o gtw.Options,
 		if err == nil {
 			jobID = st.ID
 			if st.Status != dist.JobDone && st.Status != dist.JobFailed {
-				st, err = cl.Wait(ctx, st.ID)
+				// Follow the job over the event stream; if the stream dies
+				// mid-job WaitStream degrades to plain polling on its own.
+				st, err = cl.WaitStream(ctx, st.ID, func(cause error) {
+					fmt.Fprintf(stderr, "gtwrun: event stream lost (%v); polling %s\n", cause, jobID)
+				})
 			}
 		}
 		if err != nil {

@@ -16,7 +16,7 @@
 // Usage:
 //
 //	gtwworker -coordinator http://host:9191 [-id worker-a] [-poll 200ms]
-//	          [-stream-window 0] [-stream-batch 16]
+//	          [-stream-window 0] [-stream-batch 16] [-token TOK]
 //
 // By default every finished point streams in its own upload. A
 // -stream-window coalesces points finishing within the window into one
@@ -54,9 +54,12 @@ func main() {
 		"coalesce points finishing within this window into one stream upload (0 = one upload per point)")
 	streamBatch := flag.Int("stream-batch", 16,
 		"most points per coalesced stream upload (with -stream-window)")
+	token := flag.String("token", "",
+		"tenant token for a -tenants coordinator (sent as Authorization: Bearer)")
 	flag.Parse()
 
 	w := dist.NewWorker(*coord)
+	w.Token = *token
 	if *id != "" {
 		w.ID = *id
 	}

@@ -348,6 +348,26 @@ func missingSpans(base int, done []bool) (spans []span, credited int) {
 // Done implements Dispatcher.
 func (q *pointQueue) Done() <-chan struct{} { return q.done }
 
+// Pending reports the number of grid points waiting in the queue (not
+// leased, not completed). The coordinator's fair-share arbiter uses it
+// to skip drained jobs without carving a lease.
+func (q *pointQueue) Pending() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for _, sp := range q.spans {
+		n += sp.hi - sp.lo
+	}
+	return n
+}
+
+// PendingReporter is the optional dispatcher extension exposing how
+// many points are still waiting to be leased; both built-in
+// dispatchers and the filtering wrapper implement it.
+type PendingReporter interface {
+	Pending() int
+}
+
 // Close implements Dispatcher.
 func (q *pointQueue) Close() {
 	q.mu.Lock()
@@ -500,6 +520,17 @@ func (f *filterDispatcher) RequeuePartial(l Lease, finished []bool) {
 
 // Done implements Dispatcher.
 func (f *filterDispatcher) Done() <-chan struct{} { return f.inner.Done() }
+
+// Pending implements PendingReporter by delegation. The filter may
+// still absorb some of these points at grant time, so the count is an
+// upper bound on leasable work — exactly what an arbiter deciding
+// "does this job have anything left to hand out" needs.
+func (f *filterDispatcher) Pending() int {
+	if pr, ok := f.inner.(PendingReporter); ok {
+		return pr.Pending()
+	}
+	return 0
+}
 
 // Close implements Dispatcher.
 func (f *filterDispatcher) Close() { f.inner.Close() }

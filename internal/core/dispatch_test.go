@@ -289,3 +289,31 @@ func TestFilteringDispatcherDelegatesExtensions(t *testing.T) {
 		t.Errorf("re-lease starts at %d, want %d (the first unfinished point)", l3.Lo, l2.Lo+1)
 	}
 }
+
+func TestPendingTracksQueueNotLeases(t *testing.T) {
+	d := NewWorkStealingDispatcher(10, 2)
+	pr, ok := d.(PendingReporter)
+	if !ok {
+		t.Fatal("work-stealing dispatcher does not report pending")
+	}
+	if got := pr.Pending(); got != 10 {
+		t.Fatalf("fresh queue Pending = %d, want 10", got)
+	}
+	l, _ := d.TryNext("w")
+	if got := pr.Pending(); got != 10-l.Points() {
+		t.Fatalf("Pending after lease = %d, want %d (leased points are not pending)", got, 10-l.Points())
+	}
+	d.Requeue(l)
+	if got := pr.Pending(); got != 10 {
+		t.Fatalf("Pending after requeue = %d, want 10", got)
+	}
+
+	fd := NewFilteringDispatcher(NewWorkStealingDispatcher(4, 1), func(Lease) []bool { return nil })
+	fpr, ok := fd.(PendingReporter)
+	if !ok {
+		t.Fatal("filtering dispatcher does not report pending")
+	}
+	if got := fpr.Pending(); got != 4 {
+		t.Fatalf("filtered Pending = %d, want 4", got)
+	}
+}

@@ -55,6 +55,8 @@ func TestPointDepsDerivedSetsArePinned(t *testing.T) {
 		"meg-music":             {"scenario", nil, []string{}},
 		"video-d1":              {"scenario", nil, []string{"frames"}},
 		"fire-rt-session":       {"scenario", nil, []string{"frames"}},
+		"client-fleet-unit":     {"sweep", []string{"frames"}, []string{"frames"}},
+		"client-fleet":          {"scenario", nil, []string{"flows"}},
 	}
 
 	got := map[string]pointdeps.Entry{}

@@ -1,12 +1,14 @@
 package dist
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 )
 
@@ -16,6 +18,10 @@ import (
 type Client struct {
 	// Base is the coordinator URL, e.g. "http://127.0.0.1:9191".
 	Base string
+	// Token authenticates against a multi-tenant coordinator (gtwd
+	// -tenants); sent as "Authorization: Bearer <token>" on every
+	// request. Empty sends no header (fine for tenantless coordinators).
+	Token string
 	// HTTP is the client to use (default: 30s-timeout client).
 	HTTP *http.Client
 	// Poll is the job-poll interval (default 100ms).
@@ -48,6 +54,9 @@ func (cl *Client) do(ctx context.Context, method, path string, in, out any) erro
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if cl.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+cl.Token)
 	}
 	resp, err := cl.http().Do(req)
 	if err != nil {
@@ -103,6 +112,96 @@ func (cl *Client) Wait(ctx context.Context, id string) (*JobStatus, error) {
 			return nil, ctx.Err()
 		}
 	}
+}
+
+// streamHTTP builds the dedicated client for /v1/events: the regular
+// request client enforces a whole-request timeout, which would kill a
+// long-lived stream mid-job, so the stream reuses its transport but
+// drops the deadline (lifetime is governed by ctx instead).
+func (cl *Client) streamHTTP() *http.Client {
+	sc := &http.Client{}
+	if cl.HTTP != nil {
+		sc.Transport = cl.HTTP.Transport
+	}
+	return sc
+}
+
+// WaitStream waits for a job by consuming the coordinator's /v1/events
+// SSE stream, falling back to plain polling (Wait) if the stream
+// cannot be opened or dies mid-job; onFallback, when non-nil, observes
+// the error that triggered the fallback. The subscribe-then-poll race is
+// closed by order of operations: the server writes an opening comment
+// the moment the subscription is live, and WaitStream re-polls the job
+// after reading it — any transition before the subscription was live
+// is caught by that poll, and any transition after it arrives on the
+// stream (or visibly breaks it, triggering the fallback).
+func (cl *Client) WaitStream(ctx context.Context, id string, onFallback func(error)) (*JobStatus, error) {
+	if st, err := cl.Job(ctx, id); err != nil {
+		return nil, err
+	} else if st.Status == JobDone || st.Status == JobFailed {
+		return st, nil
+	}
+	fallback := func(cause error) (*JobStatus, error) {
+		if onFallback != nil {
+			onFallback(cause)
+		}
+		return cl.Wait(ctx, id)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cl.Base+"/v1/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if cl.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+cl.Token)
+	}
+	resp, err := cl.streamHTTP().Do(req)
+	if err != nil {
+		return fallback(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fallback(fmt.Errorf("dist: GET /v1/events: %s: %s", resp.Status, bytes.TrimSpace(msg)))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	// The server's first line is the opening comment — once read, the
+	// subscription is live and the re-poll below closes the race.
+	if !sc.Scan() {
+		return fallback(fmt.Errorf("dist: event stream closed before the opening comment: %w", sc.Err()))
+	}
+	if st, err := cl.Job(ctx, id); err != nil {
+		return nil, err
+	} else if st.Status == JobDone || st.Status == JobFailed {
+		return st, nil
+	}
+	var data strings.Builder
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			var ev Event
+			if data.Len() > 0 && json.Unmarshal([]byte(data.String()), &ev) == nil &&
+				ev.Type == "job" && ev.Job == id &&
+				(ev.Status == JobDone || ev.Status == JobFailed) {
+				// Terminal transition seen: fetch the full status (the
+				// event carries no report bytes).
+				return cl.Job(ctx, id)
+			}
+			data.Reset()
+		case strings.HasPrefix(line, "data:"):
+			data.WriteString(strings.TrimSpace(strings.TrimPrefix(line, "data:")))
+		}
+	}
+	err = sc.Err()
+	if err == nil {
+		err = io.ErrUnexpectedEOF // server dropped the stream mid-job
+	}
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	return fallback(err)
 }
 
 // Run submits a job and waits for it.

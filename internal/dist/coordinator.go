@@ -13,7 +13,9 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/persist"
+	"repro/internal/tenant"
 )
 
 // Config tunes a Coordinator.
@@ -56,6 +58,16 @@ type Config struct {
 	// nothing; hand a persist.Disk (gtwd -data-dir) for crash durability,
 	// or share one Mem across two Coordinators to test recovery.
 	Store persist.Store
+	// Tenants, when set, turns on multi-tenant operation: every endpoint
+	// except /healthz requires a token from this registry, usage is
+	// attributed to the authenticated tenant, and the lease queue is
+	// arbitrated by weighted fair share across tenants. Nil serves every
+	// request as the anonymous default tenant (the pre-tenancy behavior).
+	Tenants *tenant.Registry
+	// Metrics, when set, is the obs registry the coordinator instruments
+	// itself into (and /v1/metrics renders). Nil allocates a private one,
+	// so /v1/metrics works either way.
+	Metrics *obs.Registry
 	// Logf, when set, receives coordinator events (lease expiries,
 	// job transitions). Nil discards.
 	Logf func(format string, args ...any)
@@ -100,6 +112,19 @@ type job struct {
 	start    time.Time
 	elapsed  time.Duration
 	cancel   context.CancelFunc
+
+	// tenant is the submitter (never nil: the anonymous default tenant
+	// when auth is off). admitted marks a queued job that already holds
+	// an execution slot, so the fair-admission scan skips it.
+	tenant   *tenant.Tenant
+	admitted bool
+	// mRun/mHit/mStreamed are this tenant's point counters, resolved
+	// from the metric vecs once at job creation so the per-point hot
+	// paths increment pre-resolved atomics (zero allocations).
+	mRun, mHit, mStreamed *obs.Counter
+	// lastEvent throttles "points" progress events (unix nanos of the
+	// last publish, CAS-guarded).
+	lastEvent atomic.Int64
 
 	// run is non-nil while a distributable plan is executing: the
 	// lease handlers dispatch from run.Dispatcher(). sw is the plan's
@@ -170,7 +195,26 @@ type Coordinator struct {
 	// persist.Mem). Implementations lock internally; safe without c.mu.
 	pstore persist.Store
 
-	sem       chan struct{}  // job-concurrency tokens
+	// tenants is the auth registry (nil: auth off); defTenant serves
+	// unauthenticated coordinators. sched arbitrates the lease queue and
+	// job admission across tenants; inflight tracks each tenant's
+	// currently leased points (entries persist at zero so the gauge sync
+	// sees the drop). All under c.mu except the scheduler, which locks
+	// internally.
+	tenants   *tenant.Registry
+	defTenant *tenant.Tenant
+	sched     *tenant.Scheduler
+	inflight  map[string]int
+
+	met    *metrics
+	events *eventHub
+
+	// Fair admission: running counts jobs holding one of the MaxJobs
+	// execution slots; admitCond (on c.mu) wakes queued jobs when a slot
+	// frees or shutdown starts.
+	running   int
+	admitCond *sync.Cond
+
 	wg        sync.WaitGroup // in-flight execute goroutines
 	stopped   chan struct{}
 	closeOnce sync.Once
@@ -185,18 +229,30 @@ type Coordinator struct {
 // reaper.
 func New(cfg Config) *Coordinator {
 	c := &Coordinator{
-		cfg:     cfg.withDefaults(),
-		jobs:    make(map[string]*job),
-		workers: make(map[string]*workerState),
-		leases:  make(map[leaseKey]*leaseRec),
-		rates:   make(map[string]float64),
-		stopped: make(chan struct{}),
+		cfg:      cfg.withDefaults(),
+		jobs:     make(map[string]*job),
+		workers:  make(map[string]*workerState),
+		leases:   make(map[leaseKey]*leaseRec),
+		rates:    make(map[string]float64),
+		inflight: make(map[string]int),
+		stopped:  make(chan struct{}),
 	}
 	c.pstore = c.cfg.Store
 	if c.pstore == nil {
 		c.pstore = persist.NewMem()
 	}
-	c.sem = make(chan struct{}, c.cfg.MaxJobs)
+	c.admitCond = sync.NewCond(&c.mu)
+	c.tenants = c.cfg.Tenants
+	c.defTenant = tenant.DefaultTenant()
+	c.sched = tenant.NewScheduler()
+	c.sched.SetWeight(c.defTenant.Name, c.defTenant.Weight())
+	if c.tenants != nil {
+		for _, t := range c.tenants.Tenants() {
+			c.sched.SetWeight(t.Name, t.Weight())
+		}
+	}
+	c.met = newMetrics(c.cfg.Metrics)
+	c.events = newEventHub()
 	c.store = newPointStore(c.cfg.CacheSize, c.cfg.CacheBytes, c.cfg.CacheEntryBytes)
 	// Every accepted point and every eviction is journaled, so the
 	// durable image tracks the store's residency exactly.
@@ -204,18 +260,31 @@ func New(cfg Config) *Coordinator {
 	c.store.onEvict = func(key string) { c.pstore.DeletePoint(key) }
 	resume := c.recoverState()
 	c.base, c.baseCxl = context.WithCancel(context.Background())
+	// Shutdown must wake jobs parked in admit, or Close would hang on
+	// c.wg behind waiters nobody will ever signal.
+	context.AfterFunc(c.base, func() {
+		c.mu.Lock()
+		c.admitCond.Broadcast()
+		c.mu.Unlock()
+	})
+	// drop adapts tenant-agnostic handlers to the authed signature.
+	drop := func(h http.HandlerFunc) func(http.ResponseWriter, *http.Request, *tenant.Tenant) {
+		return func(w http.ResponseWriter, r *http.Request, _ *tenant.Tenant) { h(w, r) }
+	}
 	c.mux = http.NewServeMux()
-	c.mux.HandleFunc("POST /v1/jobs", c.handleSubmit)
-	c.mux.HandleFunc("GET /v1/jobs/{id}", c.handleJob)
-	c.mux.HandleFunc("GET /v1/status", c.handleStatus)
+	c.mux.HandleFunc("POST /v1/jobs", c.authed(c.handleSubmit))
+	c.mux.HandleFunc("GET /v1/jobs/{id}", c.authed(drop(c.handleJob)))
+	c.mux.HandleFunc("GET /v1/status", c.authed(drop(c.handleStatus)))
+	c.mux.HandleFunc("GET /v1/metrics", c.authed(drop(c.handleMetrics)))
+	c.mux.HandleFunc("GET /v1/events", c.authed(drop(c.handleEvents)))
 	c.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	c.mux.HandleFunc("POST /v1/workers/register", c.handleRegister)
-	c.mux.HandleFunc("POST /v1/workers/lease", c.handleLease)
-	c.mux.HandleFunc("POST /v1/workers/heartbeat", c.handleHeartbeat)
-	c.mux.HandleFunc("POST /v1/workers/points", c.handlePoints)
-	c.mux.HandleFunc("POST /v1/workers/result", c.handleResult)
+	c.mux.HandleFunc("POST /v1/workers/register", c.authed(c.handleRegister))
+	c.mux.HandleFunc("POST /v1/workers/lease", c.authed(drop(c.handleLease)))
+	c.mux.HandleFunc("POST /v1/workers/heartbeat", c.authed(drop(c.handleHeartbeat)))
+	c.mux.HandleFunc("POST /v1/workers/points", c.authed(drop(c.handlePoints)))
+	c.mux.HandleFunc("POST /v1/workers/result", c.authed(drop(c.handleResult)))
 	go c.reap()
 	for _, j := range resume {
 		c.cfg.Logf("dist: resuming %s (%s) recovered from the store", j.id, j.scenario)
@@ -256,6 +325,16 @@ func (c *Coordinator) recoverState() []*job {
 			report: jr.Report, text: jr.Text, errStr: jr.Error,
 			done: make(chan struct{}),
 		}
+		// Re-resolve the journaled tenant name against the current
+		// registry; a tenant removed from the config (or a journal from a
+		// pre-tenancy build) degrades to the anonymous default.
+		t := c.defTenant
+		if c.tenants != nil && jr.Tenant != "" {
+			if rt := c.tenants.ByName(jr.Tenant); rt != nil {
+				t = rt
+			}
+		}
+		c.bindTenant(j, t)
 		j.pointHits.Store(int64(jr.PointHits))
 		if len(jr.Timings) > 0 {
 			_ = json.Unmarshal(jr.Timings, &j.timings)
@@ -296,6 +375,137 @@ func (c *Coordinator) startJob(j *job) {
 // Handler returns the coordinator's HTTP handler.
 func (c *Coordinator) Handler() http.Handler { return c.mux }
 
+// Metrics returns the obs registry the coordinator instruments itself
+// into (the one /v1/metrics renders).
+func (c *Coordinator) Metrics() *obs.Registry { return c.met.reg }
+
+// bindTenant attributes a job to its tenant and resolves the tenant's
+// point counters once, so every per-point increment afterwards is a
+// pre-resolved atomic add.
+func (c *Coordinator) bindTenant(j *job, t *tenant.Tenant) {
+	j.tenant = t
+	j.mRun = c.met.pointsRun.With(t.Name)
+	j.mHit = c.met.pointsHit.With(t.Name)
+	j.mStreamed = c.met.pointsStreamed.With(t.Name)
+}
+
+// authed gates a handler behind token authentication. With no registry
+// configured every request proceeds as the anonymous default tenant;
+// with one, a missing or unknown token is a 401 (counted and audited,
+// never attributed — there is no tenant to attribute it to).
+func (c *Coordinator) authed(h func(http.ResponseWriter, *http.Request, *tenant.Tenant)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t := c.defTenant
+		if c.tenants != nil {
+			var ok bool
+			t, ok = c.tenants.Authenticate(r.Header.Get("Authorization"))
+			if !ok {
+				c.met.authFailures.Inc()
+				c.audit("", "auth-reject", "", r.Method+" "+r.URL.Path)
+				w.Header().Set("WWW-Authenticate", `Bearer realm="gtwd"`)
+				http.Error(w, "unauthorized", http.StatusUnauthorized)
+				return
+			}
+		}
+		h(w, r, t)
+	}
+}
+
+// audit appends one record to the append-only audit trail.
+func (c *Coordinator) audit(tenantName, action, jobID, detail string) {
+	c.pstore.AppendAudit(persist.AuditRecord{
+		TimeMS: time.Now().UnixMilli(),
+		Tenant: tenantName, Action: action, JobID: jobID, Detail: detail,
+	})
+}
+
+// jobEvent publishes a job lifecycle transition.
+func (c *Coordinator) jobEvent(j *job, status, errStr string) {
+	c.events.publish(Event{
+		Type: "job", Job: j.id, Scenario: j.scenario,
+		Tenant: j.tenant.Name, Status: status, Error: errStr,
+		PointsDone: j.pointsDone, PointsTotal: j.pointsTotal,
+	})
+}
+
+// progressEvery throttles "points" progress events per job.
+const progressEvery = 100 * time.Millisecond
+
+// maybeProgress publishes a coalesced point-progress event. Called from
+// the per-point hot path (run.OnPoint), so it bails on an atomic load
+// when nobody is subscribed and CAS-throttles to one event per
+// progressEvery per job. It deliberately reads progress from the run
+// pointer it is handed — never j.run, which is guarded by c.mu.
+func (c *Coordinator) maybeProgress(j *job, run *core.SweepRun, total int) {
+	if c.events.subscribers() == 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	last := j.lastEvent.Load()
+	if now-last < int64(progressEvery) || !j.lastEvent.CompareAndSwap(last, now) {
+		return
+	}
+	done, _ := run.Progress()
+	c.events.publish(Event{
+		Type: "points", Job: j.id, Scenario: j.scenario, Tenant: j.tenant.Name,
+		Status: JobRunning, PointsDone: done, PointsTotal: total,
+	})
+}
+
+// admit blocks until this job is granted one of the MaxJobs execution
+// slots — or shutdown begins, in which case it returns the cause. Slots
+// go to the queued job of the tenant the fair-share scheduler picks
+// (FIFO within a tenant), not submission order: with MaxJobs saturated
+// by one tenant's backlog, another tenant's first job is the next
+// admission, not the backlog's tail.
+func (c *Coordinator) admit(j *job) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if err := c.base.Err(); err != nil {
+			return err
+		}
+		if c.running < c.cfg.MaxJobs && c.nextAdmitLocked() == j {
+			c.running++
+			j.admitted = true
+			// Other waiters re-evaluate: a second free slot may now go
+			// to the next pick.
+			c.admitCond.Broadcast()
+			return nil
+		}
+		c.admitCond.Wait()
+	}
+}
+
+// nextAdmitLocked returns the queued job the next free slot should go
+// to: the oldest job of the least-virtual-time tenant among those with
+// queued work.
+func (c *Coordinator) nextAdmitLocked() *job {
+	var names []string
+	oldest := make(map[string]*job)
+	for _, j := range c.order {
+		if j.status != JobQueued || j.admitted {
+			continue
+		}
+		if _, seen := oldest[j.tenant.Name]; !seen {
+			oldest[j.tenant.Name] = j
+			names = append(names, j.tenant.Name)
+		}
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	return oldest[c.sched.Pick(names)]
+}
+
+// release returns an execution slot and wakes admission waiters.
+func (c *Coordinator) release() {
+	c.mu.Lock()
+	c.running--
+	c.admitCond.Broadcast()
+	c.mu.Unlock()
+}
+
 // Close cancels running jobs, stops the reaper, and waits for in-flight
 // job goroutines to finish journaling — interrupted jobs are recorded
 // as queued, so a restart on the same store resumes them. The caller
@@ -305,6 +515,7 @@ func (c *Coordinator) Close() {
 	c.closeOnce.Do(func() {
 		c.baseCxl()
 		close(c.stopped)
+		c.events.dropAll(true)
 	})
 	c.wg.Wait()
 }
@@ -334,15 +545,25 @@ func (c *Coordinator) reap() {
 				if now.Before(rec.expires) {
 					continue
 				}
-				delete(c.leases, k)
+				c.retireLeaseLocked(k, rec)
+				requeued := rec.lease.Points() - countTrue(rec.streamed)
+				// Refund what the dead worker never served: the points
+				// are about to be leased — and charged — again, and
+				// without the refund the tenant would pay twice and sink
+				// behind lower-priority tenants (priority inversion).
+				c.sched.Refund(rec.job.tenant.Name, requeued)
+				c.met.leasesExpired.Inc()
 				if rec.job.run != nil {
 					// Points the worker streamed before dying are kept;
 					// only the unfinished tail goes back to the queue.
 					rec.job.run.Abandon(rec.lease, rec.streamed)
 				}
+				c.events.publish(Event{
+					Type: "lease", Job: k.jobID, Tenant: rec.job.tenant.Name,
+					Worker: rec.lease.Worker, Requeued: requeued,
+				})
 				c.cfg.Logf("dist: lease %s/%d (points [%d,%d), worker %s) expired; requeued %d unstreamed point(s)",
-					k.jobID, k.seq, rec.lease.Lo, rec.lease.Hi, rec.lease.Worker,
-					rec.lease.Points()-countTrue(rec.streamed))
+					k.jobID, k.seq, rec.lease.Lo, rec.lease.Hi, rec.lease.Worker, requeued)
 			}
 			c.mu.Unlock()
 		}
@@ -359,40 +580,65 @@ func countTrue(bs []bool) int {
 	return n
 }
 
-// jobKey is the scenario+options identity used to share identical
-// in-flight jobs. Workers/shards/dispatch are deliberately absent: they
-// change only wall-clock time, never report bytes.
-func jobKey(scenario string, w WireOptions) string {
+// retireLeaseLocked removes a lease from the outstanding table and
+// returns its points to the tenant's in-flight budget. The inflight
+// entry stays at zero rather than being deleted, so the scrape-time
+// gauge sync sees the drop instead of a stale last value.
+func (c *Coordinator) retireLeaseLocked(k leaseKey, rec *leaseRec) {
+	delete(c.leases, k)
+	name := rec.job.tenant.Name
+	if c.inflight[name] -= rec.lease.Points(); c.inflight[name] < 0 {
+		c.inflight[name] = 0
+	}
+}
+
+// jobKey is the tenant+scenario+options identity used to share
+// identical in-flight jobs. Workers/shards/dispatch are deliberately
+// absent: they change only wall-clock time, never report bytes. The
+// tenant prefix keeps sharing within a tenant — two tenants submitting
+// the same sweep get separate jobs (honest accounting and fair-share
+// billing) whose points still dedupe through the content-addressed
+// store.
+func jobKey(tenantName, scenario string, w WireOptions) string {
 	b, _ := json.Marshal(w)
-	return scenario + "|" + string(b)
+	return tenantName + "|" + scenario + "|" + string(b)
 }
 
 // Submit queues a scenario run (or shares an identical in-flight job)
-// and returns its job ID. There is no whole-report cache: a repeated
-// submission runs through the point store, where every grid point hits
-// and only the merge is recomputed — the same path that serves partial
-// overlaps.
+// as the anonymous default tenant. There is no whole-report cache: a
+// repeated submission runs through the point store, where every grid
+// point hits and only the merge is recomputed — the same path that
+// serves partial overlaps.
 func (c *Coordinator) Submit(req JobRequest) (*JobStatus, error) {
+	return c.SubmitFor(nil, req)
+}
+
+// SubmitFor queues a scenario run attributed to a tenant (nil: the
+// anonymous default tenant).
+func (c *Coordinator) SubmitFor(t *tenant.Tenant, req JobRequest) (*JobStatus, error) {
+	if t == nil {
+		t = c.defTenant
+	}
 	if _, ok := core.Lookup(req.Scenario); !ok {
 		return nil, fmt.Errorf("dist: unknown scenario %q", req.Scenario)
 	}
-	key := jobKey(req.Scenario, req.Opts)
+	key := jobKey(t.Name, req.Scenario, req.Opts)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	// Identical job already queued or running: share it.
+	// Identical job already queued or running for this tenant: share it.
 	for _, j := range c.order {
-		if j.status != JobDone && j.status != JobFailed && jobKey(j.scenario, j.wopts) == key {
+		if j.status != JobDone && j.status != JobFailed && jobKey(j.tenant.Name, j.scenario, j.wopts) == key {
 			st := c.statusLocked(j)
 			return &st, nil
 		}
 	}
-	j := c.newJobLocked(req)
+	j := c.newJobLocked(t, req)
 	c.startJob(j)
 	st := c.statusLocked(j)
 	return &st, nil
 }
 
-func (c *Coordinator) newJobLocked(req JobRequest) *job {
+func (c *Coordinator) newJobLocked(t *tenant.Tenant, req JobRequest) *job {
 	c.jobSeq++
 	j := &job{
 		id:       "job-" + strconv.Itoa(c.jobSeq),
@@ -403,9 +649,14 @@ func (c *Coordinator) newJobLocked(req JobRequest) *job {
 		start:    time.Now(),
 		done:     make(chan struct{}),
 	}
+	c.bindTenant(j, t)
+	t.Usage.JobsSubmitted.Add(1)
+	c.met.jobsSubmitted.With(t.Name).Inc()
 	c.jobs[j.id] = j
 	c.order = append(c.order, j)
 	c.pstore.PutJob(c.jobRecordLocked(j))
+	c.audit(t.Name, "job-submit", j.id, j.scenario)
+	c.jobEvent(j, JobQueued, "")
 	c.pruneJobsLocked()
 	return j
 }
@@ -424,6 +675,7 @@ func (c *Coordinator) jobRecordLocked(j *job) persist.JobRecord {
 		ElapsedMS:   j.elapsed.Milliseconds(),
 		PointsTotal: j.pointsTotal, PointsDone: j.pointsDone,
 		PointHits: int(j.pointHits.Load()), Cached: j.cached,
+		Tenant: j.tenant.Name,
 	}
 	if len(j.timings) > 0 {
 		if b, err := json.Marshal(j.timings); err == nil {
@@ -470,13 +722,11 @@ func (c *Coordinator) pruneJobsLocked() {
 // lease queue and the point store; only sweeps without a wire codec
 // fall back to a plain in-process run.
 func (c *Coordinator) execute(j *job) {
-	select {
-	case c.sem <- struct{}{}:
-		defer func() { <-c.sem }()
-	case <-c.base.Done():
-		c.finish(j, nil, c.base.Err())
+	if err := c.admit(j); err != nil {
+		c.finish(j, nil, err)
 		return
 	}
+	defer c.release()
 	ctx, cancel := context.WithCancel(c.base)
 	defer cancel()
 
@@ -495,6 +745,7 @@ func (c *Coordinator) execute(j *job) {
 	plan := core.PlanFor(s)
 	c.pstore.PutJob(c.jobRecordLocked(j))
 	c.mu.Unlock()
+	c.jobEvent(j, JobRunning, "")
 
 	var rep core.Report
 	var err error
@@ -588,6 +839,8 @@ func (c *Coordinator) runDistributed(ctx context.Context, j *job, plan *core.Pla
 			return nil
 		}
 		j.pointHits.Add(int64(picked))
+		j.mHit.Add(int64(picked))
+		j.tenant.Usage.PointsHit.Add(int64(picked))
 		c.cfg.Logf("dist: %s (%s) picked up %d stored point(s) at lease grant", j.id, j.scenario, picked)
 		return mask
 	}
@@ -598,7 +851,13 @@ func (c *Coordinator) runDistributed(ctx context.Context, j *job, plan *core.Pla
 	// still being evaluated. Remotely delivered points are already in
 	// the store (their wire bytes were put on upload receipt), which the
 	// contains probe skips.
+	// OnPoint fires outside the run's lock for every freshly recorded
+	// error-free point; remotely delivered points are already in the
+	// store (put on upload receipt, where they were attributed), which
+	// the contains probe skips — so the accounting branch below is
+	// exactly the local-shard fresh computes.
 	run.OnPoint = func(i int, val any) {
+		c.maybeProgress(j, run, n)
 		if keys[i] == "" || c.store.contains(keys[i]) {
 			return
 		}
@@ -606,7 +865,15 @@ func (c *Coordinator) runDistributed(ctx context.Context, j *job, plan *core.Pla
 		if err != nil {
 			return
 		}
-		c.store.put(keys[i], b)
+		accepted, rejected := c.store.put(keys[i], b)
+		if accepted {
+			j.mRun.Inc()
+			j.tenant.Usage.PointsRun.Add(1)
+			j.tenant.Usage.StoreBytes.Add(int64(len(b)))
+		}
+		if rejected {
+			j.tenant.Usage.StoreRejected.Add(1)
+		}
 	}
 	for i := range done {
 		if done[i] {
@@ -621,6 +888,8 @@ func (c *Coordinator) runDistributed(ctx context.Context, j *job, plan *core.Pla
 	j.pointHits.Store(int64(hits))
 	c.mu.Unlock()
 	if hits > 0 {
+		j.mHit.Add(int64(hits))
+		j.tenant.Usage.PointsHit.Add(int64(hits))
 		c.cfg.Logf("dist: %s (%s) reusing %d/%d point(s) from the store", j.id, j.scenario, hits, n)
 	}
 
@@ -656,7 +925,11 @@ func (c *Coordinator) runDistributed(ctx context.Context, j *job, plan *core.Pla
 	j.run = nil
 	for k, rec := range c.leases {
 		if rec.job == j {
-			delete(c.leases, k)
+			c.retireLeaseLocked(k, rec)
+			// A lease outliving its job delivered nothing the run
+			// waited for; refund the unserved part so the tenant is
+			// billed only for work that reached its report.
+			c.sched.Refund(rec.job.tenant.Name, rec.lease.Points()-countTrue(rec.streamed))
 		}
 	}
 	c.mu.Unlock()
@@ -683,14 +956,17 @@ func (c *Coordinator) finish(j *job, rep core.Report, err error) {
 			c.pstore.PutJob(persist.JobRecord{
 				ID: j.id, Scenario: j.scenario, Opts: optsJSON(j.wopts),
 				Status: JobQueued, PointsTotal: j.pointsTotal,
+				Tenant: j.tenant.Name,
 			})
 			c.cfg.Logf("dist: %s (%s) interrupted by shutdown after %d/%d point(s); journaled as queued for the next start",
 				j.id, j.scenario, j.pointsDone, j.pointsTotal)
 		} else {
 			c.pstore.PutJob(c.jobRecordLocked(j))
+			c.audit(j.tenant.Name, "job-failed", j.id, j.errStr)
 			c.cfg.Logf("dist: %s (%s) failed after %s (%d/%d point(s) done): %v",
 				j.id, j.scenario, j.elapsed.Round(time.Millisecond), j.pointsDone, j.pointsTotal, err)
 		}
+		c.finishTelemetryLocked(j)
 		close(j.done)
 		return
 	}
@@ -704,6 +980,8 @@ func (c *Coordinator) finish(j *job, rep core.Report, err error) {
 		j.status = JobFailed
 		j.errStr = "marshal: " + jerr.Error()
 		c.pstore.PutJob(c.jobRecordLocked(j))
+		c.audit(j.tenant.Name, "job-failed", j.id, j.errStr)
+		c.finishTelemetryLocked(j)
 		close(j.done)
 		return
 	}
@@ -711,10 +989,21 @@ func (c *Coordinator) finish(j *job, rep core.Report, err error) {
 		j.timings = sr.ShardTimings()
 	}
 	c.pstore.PutJob(c.jobRecordLocked(j))
+	c.audit(j.tenant.Name, "job-done", j.id, j.scenario)
 	c.cfg.Logf("dist: %s (%s) done in %s across %d participant(s), %d/%d point(s) from the store",
 		j.id, j.scenario, j.elapsed.Round(time.Millisecond), core.CountWorkers(j.timings),
 		j.pointHits.Load(), j.pointsTotal)
+	c.finishTelemetryLocked(j)
 	close(j.done)
+}
+
+// finishTelemetryLocked records a job's terminal state in the metrics
+// and on the event stream. A job journaled-as-queued by shutdown still
+// counts as failed here — this process did not complete it.
+func (c *Coordinator) finishTelemetryLocked(j *job) {
+	c.met.jobsCompleted.With(j.status).Inc()
+	c.met.jobDuration.Observe(j.elapsed.Seconds())
+	c.jobEvent(j, j.status, j.errStr)
 }
 
 // WaitJob blocks until the job finishes or ctx is done, then returns
@@ -745,6 +1034,7 @@ func (c *Coordinator) statusLocked(j *job) JobStatus {
 		ElapsedMS: j.elapsed.Milliseconds(), Cached: j.cached,
 		PointsDone: j.pointsDone, PointsTotal: j.pointsTotal,
 		PointHits: int(j.pointHits.Load()),
+		Tenant:    j.tenant.Name, Class: string(j.tenant.Class),
 	}
 	if j.status == JobRunning {
 		st.ElapsedMS = time.Since(j.start).Milliseconds()
@@ -771,12 +1061,12 @@ func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
-func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request, t *tenant.Tenant) {
 	var req JobRequest
 	if !readJSON(w, r, &req) {
 		return
 	}
-	st, err := c.Submit(req)
+	st, err := c.SubmitFor(t, req)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
@@ -804,6 +1094,11 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 	ss := c.store.stats()
 	st.StorePoints, st.StoreCap, st.StoreHits, st.StoreMisses = ss.points, ss.cap, ss.hits, ss.misses
 	st.StoreBytes, st.StoreBytesCap, st.StoreEntryCap, st.StoreRejected = ss.bytes, ss.capBytes, ss.entryCap, ss.rejected
+	st.StoreEvictions = ss.evictions
+	list := []*tenant.Tenant{c.defTenant}
+	if c.tenants != nil {
+		list = c.tenants.Tenants()
+	}
 	c.mu.Lock()
 	st.Jobs = len(c.jobs)
 	now := time.Now()
@@ -811,6 +1106,18 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 		st.Workers = append(st.Workers, WorkerStatus{
 			ID: ws.id, LastSeenMSAgo: now.Sub(ws.lastSeen).Milliseconds(),
 			Points: ws.points, RatePPS: c.rates[ws.id],
+		})
+	}
+	for _, t := range list {
+		st.Tenants = append(st.Tenants, TenantStatus{
+			Name: t.Name, Class: string(t.Class), Weight: t.Weight(),
+			InFlight: c.inflight[t.Name], MaxInFlight: t.MaxInFlight,
+			JobsSubmitted:  t.Usage.JobsSubmitted.Load(),
+			PointsRun:      t.Usage.PointsRun.Load(),
+			PointsHit:      t.Usage.PointsHit.Load(),
+			PointsStreamed: t.Usage.PointsStreamed.Load(),
+			StoreBytes:     t.Usage.StoreBytes.Load(),
+			StoreRejected:  t.Usage.StoreRejected.Load(),
 		})
 	}
 	c.mu.Unlock()
@@ -829,7 +1136,7 @@ func (c *Coordinator) touchWorkerLocked(id string) *workerState {
 	return ws
 }
 
-func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request, t *tenant.Tenant) {
 	var req RegisterRequest
 	if !readJSON(w, r, &req) {
 		return
@@ -841,6 +1148,8 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 	c.mu.Lock()
 	c.touchWorkerLocked(req.WorkerID)
 	c.mu.Unlock()
+	c.audit(t.Name, "worker-register", "", req.WorkerID)
+	c.events.publish(Event{Type: "worker", Worker: req.WorkerID, Tenant: t.Name})
 	c.cfg.Logf("dist: worker %s registered", req.WorkerID)
 	writeJSON(w, http.StatusOK, RegisterReply{
 		LeaseTTLMS: c.cfg.LeaseTTL.Milliseconds(),
@@ -859,25 +1168,49 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	}
 	c.mu.Lock()
 	c.touchWorkerLocked(req.WorkerID)
-	// FIFO over running distributed jobs: oldest submitted first.
+	// Weighted fair share over tenants with grantable work: group the
+	// running distributed jobs by tenant (submit order within a tenant),
+	// drop tenants at their in-flight cap or with drained queues, then
+	// walk tenants in ascending virtual time — the first TryNext that
+	// yields a lease wins and is charged against its tenant's clock.
+	var names []string
+	byTenant := make(map[string][]*job)
 	for _, j := range c.order {
 		if j.run == nil || j.status != JobRunning {
 			continue
 		}
-		l, ok := j.run.Dispatcher().TryNext(req.WorkerID)
-		if !ok {
+		t := j.tenant
+		if t.MaxInFlight > 0 && c.inflight[t.Name] >= t.MaxInFlight {
 			continue
 		}
-		rec := &leaseRec{job: j, lease: l, expires: time.Now().Add(c.cfg.LeaseTTL)}
-		c.leases[leaseKey{j.id, l.Seq}] = rec
-		reply := LeaseReply{
-			JobID: j.id, Scenario: j.scenario, Seq: l.Seq,
-			Lo: l.Lo, Hi: l.Hi, Opts: j.wopts,
-			TTLMS: c.cfg.LeaseTTL.Milliseconds(),
+		if pr, ok := j.run.Dispatcher().(core.PendingReporter); ok && pr.Pending() == 0 {
+			continue
 		}
-		c.mu.Unlock()
-		writeJSON(w, http.StatusOK, reply)
-		return
+		if _, seen := byTenant[t.Name]; !seen {
+			names = append(names, t.Name)
+		}
+		byTenant[t.Name] = append(byTenant[t.Name], j)
+	}
+	for _, name := range c.sched.Order(names) {
+		for _, j := range byTenant[name] {
+			l, ok := j.run.Dispatcher().TryNext(req.WorkerID)
+			if !ok {
+				continue
+			}
+			rec := &leaseRec{job: j, lease: l, expires: time.Now().Add(c.cfg.LeaseTTL)}
+			c.leases[leaseKey{j.id, l.Seq}] = rec
+			c.inflight[name] += l.Points()
+			c.sched.Charge(name, l.Points())
+			c.met.leasesGranted.Inc()
+			reply := LeaseReply{
+				JobID: j.id, Scenario: j.scenario, Seq: l.Seq,
+				Lo: l.Lo, Hi: l.Hi, Opts: j.wopts,
+				TTLMS: c.cfg.LeaseTTL.Milliseconds(),
+			}
+			c.mu.Unlock()
+			writeJSON(w, http.StatusOK, reply)
+			return
+		}
 	}
 	c.mu.Unlock()
 	w.WriteHeader(http.StatusNoContent)
@@ -918,12 +1251,14 @@ func (c *Coordinator) handlePoints(w http.ResponseWriter, r *http.Request) {
 	var run *core.SweepRun
 	var sw *core.Sweep
 	var keys []string
+	var j *job
 	if ok {
 		rec.expires = time.Now().Add(c.cfg.LeaseTTL)
 		if rec.streamed == nil {
 			rec.streamed = make([]bool, rec.lease.Points())
 		}
-		run, sw, keys = rec.job.run, rec.job.sw, rec.job.keys
+		j = rec.job
+		run, sw, keys = j.run, j.sw, j.keys
 	}
 	c.mu.Unlock()
 	if !ok || run == nil || sw == nil {
@@ -946,8 +1281,22 @@ func (c *Coordinator) handlePoints(w http.ResponseWriter, r *http.Request) {
 			}
 			val = v
 			if p.Index < len(keys) {
-				c.store.put(keys[p.Index], p.Value)
+				// The put precedes DeliverPoint, so run.OnPoint's
+				// contains probe sees the point resident and skips its
+				// local-compute accounting — this site is the sole
+				// attribution point for streamed work.
+				accepted, rejected := c.store.put(keys[p.Index], p.Value)
+				if accepted {
+					j.tenant.Usage.StoreBytes.Add(int64(len(p.Value)))
+				}
+				if rejected {
+					j.tenant.Usage.StoreRejected.Add(1)
+				}
 			}
+			j.mRun.Inc()
+			j.mStreamed.Inc()
+			j.tenant.Usage.PointsRun.Add(1)
+			j.tenant.Usage.PointsStreamed.Add(1)
 		}
 		run.DeliverPoint(rec.lease, p.Index, val, p.Error)
 		c.mu.Lock()
@@ -989,7 +1338,7 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, ResultReply{Accepted: false, Duplicate: true})
 		return
 	}
-	delete(c.leases, key)
+	c.retireLeaseLocked(key, rec)
 	j := rec.job
 	run, sw, keys := j.run, j.sw, j.keys
 	c.mu.Unlock()
@@ -1021,8 +1370,22 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		vals[k] = v
+		fresh := len(rec.streamed) != n || !rec.streamed[k]
 		if p.Index < len(keys) {
-			c.store.put(keys[p.Index], p.Value)
+			accepted, rejected := c.store.put(keys[p.Index], p.Value)
+			// Streamed points were attributed on receipt; only the
+			// unstreamed remainder is new work (the put above merely
+			// refreshes the streamed ones).
+			if fresh && accepted {
+				j.tenant.Usage.StoreBytes.Add(int64(len(p.Value)))
+			}
+			if fresh && rejected {
+				j.tenant.Usage.StoreRejected.Add(1)
+			}
+		}
+		if fresh {
+			j.mRun.Inc()
+			j.tenant.Usage.PointsRun.Add(1)
 		}
 	}
 	for k, ok := range filled {
@@ -1038,10 +1401,12 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 
 // abandon returns a lease's unstreamed points to its job's queue after
 // a bad upload, so they are re-run rather than lost (points the worker
-// streamed earlier are already delivered and stay).
+// streamed earlier are already delivered and stay). The requeued points
+// are refunded: they will be charged again when re-leased.
 func (c *Coordinator) abandon(rec *leaseRec) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.sched.Refund(rec.job.tenant.Name, rec.lease.Points()-countTrue(rec.streamed))
 	if rec.job.run != nil {
 		rec.job.run.Abandon(rec.lease, rec.streamed)
 	}

@@ -26,11 +26,13 @@
 // stored wire bytes instead of re-simulating, and a job that fails
 // still leaves its completed points behind.
 //
-// Protocol (all bodies JSON):
+// Protocol (all bodies JSON unless noted):
 //
 //	POST /v1/jobs                submit a scenario run  -> JobStatus
 //	GET  /v1/jobs/{id}           poll a job             -> JobStatus
 //	GET  /v1/status              coordinator snapshot   -> StatusReply
+//	GET  /v1/metrics             Prometheus text exposition
+//	GET  /v1/events              SSE stream of Event frames
 //	GET  /healthz                liveness               -> "ok"
 //	POST /v1/workers/register    announce a worker      -> RegisterReply
 //	POST /v1/workers/lease       pull a work unit       -> LeaseReply | 204
@@ -43,6 +45,16 @@
 // costs only its unfinished tail. A result upload for a lease that
 // already completed (duplicate, or expired-and-reassigned) is
 // acknowledged but ignored.
+//
+// Multi-tenancy: a coordinator configured with a tenant registry (gtwd
+// -tenants) requires "Authorization: Bearer <token>" on every endpoint
+// except /healthz, attributes usage to the authenticated tenant, and
+// arbitrates the lease queue across tenants by weighted fair share
+// (internal/tenant). Without a registry every request is served as the
+// anonymous default tenant — the pre-tenancy behavior. Tenancy is
+// execution metadata only: it never reaches point keys or report
+// bytes, so the point store dedupes across tenants and reports stay
+// byte-identical regardless of submitter.
 package dist
 
 import (
@@ -126,6 +138,10 @@ type JobStatus struct {
 	// Cached reports a job served entirely from the point store (every
 	// grid point was a hit; only the merge ran).
 	Cached bool `json:"cached,omitempty"`
+	// Tenant and Class attribute the job to its submitter (execution
+	// metadata only — never part of point keys or report bytes).
+	Tenant string `json:"tenant,omitempty"`
+	Class  string `json:"class,omitempty"`
 }
 
 // RegisterRequest announces a worker. Worker IDs are sticky: the same
@@ -229,6 +245,30 @@ type WorkerStatus struct {
 	RatePPS       float64 `json:"rate_pps,omitempty"`
 }
 
+// TenantStatus is one tenant's accounting block in the status
+// snapshot: scheduling identity plus lifetime usage, including the
+// per-tenant store attribution (bytes added, byte-budget rejections).
+type TenantStatus struct {
+	Name   string  `json:"name"`
+	Class  string  `json:"class"`
+	Weight float64 `json:"weight"`
+	// InFlight is the tenant's currently leased points; MaxInFlight its
+	// configured cap (0: unlimited).
+	InFlight    int `json:"in_flight"`
+	MaxInFlight int `json:"max_in_flight,omitempty"`
+	// Usage counters: jobs accepted, points computed fresh, points
+	// served from the store, points streamed mid-lease by workers.
+	JobsSubmitted  int64 `json:"jobs_submitted"`
+	PointsRun      int64 `json:"points_run"`
+	PointsHit      int64 `json:"points_hit"`
+	PointsStreamed int64 `json:"points_streamed,omitempty"`
+	// Store attribution: wire bytes this tenant's fresh points added to
+	// the store, and how many of its points the store refused under the
+	// per-entry byte cap.
+	StoreBytes    int64 `json:"store_bytes,omitempty"`
+	StoreRejected int64 `json:"store_rejected,omitempty"`
+}
+
 // StatusReply is the coordinator snapshot (GET /v1/status).
 type StatusReply struct {
 	Workers []WorkerStatus `json:"workers"`
@@ -242,8 +282,34 @@ type StatusReply struct {
 	// The store's byte accounting: resident wire bytes, the total byte
 	// budget (0: entries-only bound), the per-entry size cap (0: none)
 	// and how many oversized results the cap rejected.
-	StoreBytes    int64 `json:"store_bytes"`
-	StoreBytesCap int64 `json:"store_bytes_cap,omitempty"`
-	StoreEntryCap int   `json:"store_entry_cap,omitempty"`
-	StoreRejected int64 `json:"store_rejected,omitempty"`
+	StoreBytes     int64 `json:"store_bytes"`
+	StoreBytesCap  int64 `json:"store_bytes_cap,omitempty"`
+	StoreEntryCap  int   `json:"store_entry_cap,omitempty"`
+	StoreRejected  int64 `json:"store_rejected,omitempty"`
+	StoreEvictions int64 `json:"store_evictions,omitempty"`
+	// Tenants carries per-tenant accounting — the configured registry,
+	// or the single anonymous tenant when auth is disabled.
+	Tenants []TenantStatus `json:"tenants,omitempty"`
+}
+
+// Event is one frame of the /v1/events SSE stream (the data: payload;
+// the SSE event name repeats Type). Subscribers get job transitions,
+// coalesced point progress, worker registrations and lease expiries —
+// enough to render a live dashboard without polling.
+type Event struct {
+	Type string `json:"type"` // job | points | worker | lease
+	// TimeMS is the coordinator's wall clock at publish, unix ms.
+	TimeMS int64 `json:"t"`
+	// Job fields (type job, points).
+	Job         string `json:"job,omitempty"`
+	Scenario    string `json:"scenario,omitempty"`
+	Tenant      string `json:"tenant,omitempty"`
+	Status      string `json:"status,omitempty"`
+	Error       string `json:"error,omitempty"`
+	PointsDone  int    `json:"points_done,omitempty"`
+	PointsTotal int    `json:"points_total,omitempty"`
+	// Worker fields (type worker, lease).
+	Worker string `json:"worker,omitempty"`
+	// Lease fields (type lease: an expiry — Requeued points went back).
+	Requeued int `json:"requeued,omitempty"`
 }

@@ -37,6 +37,7 @@ type pointStore struct {
 	order                  *list.List // front = most recently used
 	byKey                  map[string]*list.Element
 	hits, misses, rejected int64
+	evictions              int64
 
 	onPut   func(key string, val []byte)
 	onEvict func(key string)
@@ -54,6 +55,7 @@ type storeStats struct {
 	entryCap        int
 	hits, misses    int64
 	rejected        int64
+	evictions       int64
 }
 
 func newPointStore(capacity int, capBytes int64, entryCap int) *pointStore {
@@ -106,13 +108,20 @@ func (s *pointStore) contains(key string) bool {
 // put inserts (or refreshes) a point's wire bytes, evicting least
 // recently used entries past the entry or byte bound. Empty keys, empty
 // values and values past the per-entry cap are ignored (a result too
-// large to budget for must not evict the whole store to fit).
-func (s *pointStore) put(key string, val []byte) {
+// large to budget for must not evict the whole store to fit). The
+// returns surface what happened — accepted (inserted or updated) and
+// rejected (refused under the per-entry cap) — so callers that know
+// which tenant produced the point can attribute store bytes and
+// budget rejections to it.
+func (s *pointStore) put(key string, val []byte) (accepted, rejected bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.insertLocked(key, val) && s.onPut != nil {
+	before := s.rejected
+	accepted = s.insertLocked(key, val)
+	if accepted && s.onPut != nil {
 		s.onPut(key, val)
 	}
+	return accepted, s.rejected > before
 }
 
 // seed is put without the onPut journal hook: the recovery path, where
@@ -160,6 +169,7 @@ func (s *pointStore) evictLocked() {
 		s.order.Remove(last)
 		delete(s.byKey, ent.key)
 		s.bytes -= int64(len(ent.val))
+		s.evictions++
 		if s.onEvict != nil {
 			s.onEvict(ent.key)
 		}
@@ -174,5 +184,6 @@ func (s *pointStore) stats() storeStats {
 		points: s.order.Len(), cap: s.cap,
 		bytes: s.bytes, capBytes: s.capBytes, entryCap: s.entryCap,
 		hits: s.hits, misses: s.misses, rejected: s.rejected,
+		evictions: s.evictions,
 	}
 }

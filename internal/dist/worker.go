@@ -30,6 +30,10 @@ type Worker struct {
 	Coordinator string
 	// ID is the sticky worker identity; NewWorker generates one.
 	ID string
+	// Token authenticates against a multi-tenant coordinator (gtwd
+	// -tenants); sent as "Authorization: Bearer <token>" on every
+	// request. Empty sends no header.
+	Token string
 	// Client is the HTTP client (default: 30s-timeout client).
 	Client *http.Client
 	// Poll is the idle-poll interval; the coordinator's register reply
@@ -128,6 +132,9 @@ func (w *Worker) postJSON(ctx context.Context, path string, in, out any) (int, e
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if w.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+w.Token)
+	}
 	resp, err := w.client().Do(req)
 	if err != nil {
 		return 0, err

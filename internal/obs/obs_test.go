@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogramValues(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters never run backwards
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g", "g")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+	h := r.Histogram("h", "h", []float64{1, 10})
+	for _, v := range []float64{0.5, 2, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("histogram count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 57.5 {
+		t.Fatalf("histogram sum = %v, want 57.5", h.Sum())
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x")
+	b := r.Counter("x_total", "x")
+	if a != b {
+		t.Fatal("re-registering a counter returned a different instrument")
+	}
+	v := r.CounterVec("y_total", "y", "tenant")
+	if v.With("t1") != v.With("t1") {
+		t.Fatal("vec series not cached")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind clash did not panic")
+		}
+	}()
+	r.Gauge("x_total", "x") // counter re-registered as gauge: wiring bug
+}
+
+// TestHotPathZeroAlloc pins the acceptance criterion: metric
+// increments on the point hot path must not allocate.
+func TestHotPathZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alloc_c_total", "c")
+	vc := r.CounterVec("alloc_vc_total", "vc", "tenant").With("t")
+	g := r.Gauge("alloc_g", "g")
+	h := r.Histogram("alloc_h", "h", nil)
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Errorf("Counter.Inc allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { vc.Add(3) }); n != 0 {
+		t.Errorf("resolved vec Counter.Add allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(1.25) }); n != 0 {
+		t.Errorf("Gauge.Set allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Add(0.5) }); n != 0 {
+		t.Errorf("Gauge.Add allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.42) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %v/op, want 0", n)
+	}
+}
+
+func TestWriteTextFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("gtw_leases_granted_total", "Leases granted to workers.").Add(7)
+	pv := r.CounterVec("gtw_points_run_total", "Points computed fresh.", "tenant")
+	pv.With("beta").Add(2)
+	pv.With(`al"pha`).Add(3)
+	r.Gauge("gtw_store_bytes", "Resident point-store bytes.").Set(1024)
+	h := r.Histogram("gtw_job_duration_seconds", "Job wall time.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP gtw_leases_granted_total Leases granted to workers.
+# TYPE gtw_leases_granted_total counter
+gtw_leases_granted_total 7
+# HELP gtw_points_run_total Points computed fresh.
+# TYPE gtw_points_run_total counter
+gtw_points_run_total{tenant="al\"pha"} 3
+gtw_points_run_total{tenant="beta"} 2
+# HELP gtw_store_bytes Resident point-store bytes.
+# TYPE gtw_store_bytes gauge
+gtw_store_bytes 1024
+# HELP gtw_job_duration_seconds Job wall time.
+# TYPE gtw_job_duration_seconds histogram
+gtw_job_duration_seconds_bucket{le="0.1"} 1
+gtw_job_duration_seconds_bucket{le="1"} 2
+gtw_job_duration_seconds_bucket{le="+Inf"} 3
+gtw_job_duration_seconds_sum 5.55
+gtw_job_duration_seconds_count 3
+`
+	if sb.String() != want {
+		t.Errorf("WriteText mismatch:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("race_total", "r")
+	v := r.CounterVec("race_vec_total", "r", "k")
+	h := r.Histogram("race_h", "r", nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				c.Inc()
+				v.With("a").Inc()
+				h.Observe(float64(j))
+				if j%100 == 0 {
+					var sb strings.Builder
+					_ = r.WriteText(&sb)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Value() != 8*500 {
+		t.Fatalf("counter = %d, want %d", c.Value(), 8*500)
+	}
+	if v.With("a").Value() != 8*500 {
+		t.Fatalf("vec counter = %d, want %d", v.With("a").Value(), 8*500)
+	}
+}

@@ -76,11 +76,12 @@ func (o DiskOptions) withDefaults() DiskOptions {
 
 // walRecord is one journaled mutation.
 type walRecord struct {
-	Op     string        `json:"op"` // point | delpoint | job | deljob | worker
+	Op     string        `json:"op"` // point | delpoint | job | deljob | worker | audit
 	Key    string        `json:"key,omitempty"`
 	Val    []byte        `json:"val,omitempty"`
 	Job    *JobRecord    `json:"job,omitempty"`
 	Worker *WorkerRecord `json:"worker,omitempty"`
+	Audit  *AuditRecord  `json:"audit,omitempty"`
 }
 
 // diskSnapshot is the snapshot.json schema.
@@ -229,6 +230,10 @@ func (d *Disk) applyLocked(rec walRecord) {
 		if rec.Worker != nil {
 			d.m.putWorker(*rec.Worker)
 		}
+	case "audit":
+		if rec.Audit != nil {
+			d.m.appendAudit(*rec.Audit)
+		}
 	}
 }
 
@@ -305,6 +310,11 @@ func (d *Disk) DeleteJob(id string) {
 // PutWorker implements Store.
 func (d *Disk) PutWorker(rec WorkerRecord) {
 	d.append(walRecord{Op: "worker", Worker: &rec})
+}
+
+// AppendAudit implements Store.
+func (d *Disk) AppendAudit(rec AuditRecord) {
+	d.append(walRecord{Op: "audit", Audit: &rec})
 }
 
 // Snapshot implements Store: compact the log into a fresh snapshot now.

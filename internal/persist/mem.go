@@ -59,6 +59,13 @@ func (s *Mem) PutWorker(rec WorkerRecord) {
 	s.m.putWorker(rec)
 }
 
+// AppendAudit implements Store.
+func (s *Mem) AppendAudit(rec AuditRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m.appendAudit(rec)
+}
+
 // Snapshot implements Store: the mirror is the state; nothing to
 // compact.
 func (s *Mem) Snapshot() error { return nil }

@@ -34,6 +34,7 @@ import (
 type JobRecord struct {
 	ID       string          `json:"id"`
 	Scenario string          `json:"scenario"`
+	Tenant   string          `json:"tenant,omitempty"`
 	Opts     json.RawMessage `json:"opts,omitempty"`
 	Status   string          `json:"status"`
 	Error    string          `json:"error,omitempty"`
@@ -64,13 +65,31 @@ type PointRecord struct {
 	Val []byte `json:"val"`
 }
 
+// AuditRecord is one entry of the coordinator's append-only audit
+// trail: who did what, when. Timestamps are unix milliseconds set by
+// the coordinator at append time.
+type AuditRecord struct {
+	TimeMS int64  `json:"t"`
+	Tenant string `json:"tenant,omitempty"`
+	Action string `json:"action"` // e.g. job-submit, job-done, job-failed, worker-register, auth-reject
+	JobID  string `json:"job,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// maxAuditRecords bounds the audit trail a store retains: the log is
+// append-only in spirit, but snapshots keep only the newest window so
+// durable state stays proportional to live work, not to history.
+const maxAuditRecords = 4096
+
 // State is a full snapshot of the durable coordinator state. Points are
 // ordered least-recently-stored first, so reloading them in order
-// reconstructs the point store's eviction order.
+// reconstructs the point store's eviction order. Audit entries are
+// oldest-first, capped at maxAuditRecords.
 type State struct {
 	Jobs    []JobRecord    `json:"jobs,omitempty"`
 	Workers []WorkerRecord `json:"workers,omitempty"`
 	Points  []PointRecord  `json:"points,omitempty"`
+	Audit   []AuditRecord  `json:"audit,omitempty"`
 }
 
 // Store is the durable state engine behind a coordinator. Mutation
@@ -93,6 +112,9 @@ type Store interface {
 	DeleteJob(id string)
 	// PutWorker upserts a worker's identity and statistics.
 	PutWorker(rec WorkerRecord)
+	// AppendAudit appends one audit-trail entry. Stores retain only the
+	// newest maxAuditRecords entries across snapshots.
+	AppendAudit(rec AuditRecord)
 	// Snapshot compacts the journal into a full-state snapshot now (Disk
 	// also snapshots on a timer and on Close; Mem has nothing to do).
 	Snapshot() error
@@ -109,6 +131,7 @@ type mirror struct {
 	workers map[string]*WorkerRecord
 	points  *list.List // *PointRecord, back = least recently stored
 	byKey   map[string]*list.Element
+	audit   []AuditRecord // oldest first, bounded by maxAuditRecords
 }
 
 func newMirror() *mirror {
@@ -162,6 +185,13 @@ func (m *mirror) putWorker(rec WorkerRecord) {
 	m.workers[rec.ID] = &cp
 }
 
+func (m *mirror) appendAudit(rec AuditRecord) {
+	m.audit = append(m.audit, rec)
+	if over := len(m.audit) - maxAuditRecords; over > 0 {
+		m.audit = append(m.audit[:0], m.audit[over:]...)
+	}
+}
+
 // load replaces the mirror's contents with a snapshot state.
 func (m *mirror) load(s *State) {
 	*m = *newMirror()
@@ -176,6 +206,9 @@ func (m *mirror) load(s *State) {
 	}
 	for _, p := range s.Points { // oldest first: PushFront keeps order
 		m.putPoint(p.Key, p.Val)
+	}
+	for _, a := range s.Audit {
+		m.appendAudit(a)
 	}
 }
 
@@ -192,6 +225,7 @@ func (m *mirror) state() *State {
 	for el := m.points.Back(); el != nil; el = el.Prev() {
 		s.Points = append(s.Points, *el.Value.(*PointRecord))
 	}
+	s.Audit = append(s.Audit, m.audit...)
 	return s
 }
 

@@ -24,6 +24,8 @@ func fill(s Store) {
 	s.PutPoint("k3", []byte("v3"))
 	s.DeletePoint("k2")
 	s.PutPoint("k1", []byte("v1b")) // upsert refreshes recency
+	s.AppendAudit(AuditRecord{TimeMS: 100, Tenant: "climate", Action: "job-submit", JobID: "job-1"})
+	s.AppendAudit(AuditRecord{TimeMS: 200, Tenant: "climate", Action: "job-done", JobID: "job-1", Detail: "4 points"})
 }
 
 // wantFilled asserts the state fill produces, on any Store.
@@ -44,6 +46,51 @@ func wantFilled(t *testing.T, st *State) {
 	}
 	if !bytes.Equal(st.Points[1].Val, []byte("v1b")) {
 		t.Errorf("k1 = %q, want upserted v1b", st.Points[1].Val)
+	}
+	if len(st.Audit) != 2 || st.Audit[0].Action != "job-submit" || st.Audit[1].Action != "job-done" {
+		t.Fatalf("audit = %+v, want [job-submit job-done] oldest-first", st.Audit)
+	}
+	if st.Audit[1].Tenant != "climate" || st.Audit[1].JobID != "job-1" || st.Audit[1].TimeMS != 200 {
+		t.Errorf("audit fields lost: %+v", st.Audit[1])
+	}
+}
+
+// The audit trail is bounded: only the newest maxAuditRecords entries
+// survive, in both implementations and across snapshot round-trips.
+func TestAuditTrailBounded(t *testing.T) {
+	mem := NewMem()
+	for i := 0; i < maxAuditRecords+10; i++ {
+		mem.AppendAudit(AuditRecord{TimeMS: int64(i), Action: "job-submit"})
+	}
+	st := mem.Load()
+	if len(st.Audit) != maxAuditRecords {
+		t.Fatalf("mem audit len = %d, want %d", len(st.Audit), maxAuditRecords)
+	}
+	if st.Audit[0].TimeMS != 10 || st.Audit[len(st.Audit)-1].TimeMS != int64(maxAuditRecords+9) {
+		t.Fatalf("mem audit window = [%d..%d], want newest window",
+			st.Audit[0].TimeMS, st.Audit[len(st.Audit)-1].TimeMS)
+	}
+
+	dir := t.TempDir()
+	d, err := Open(dir, DiskOptions{SnapshotEvery: -1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < maxAuditRecords+10; i++ {
+		d.AppendAudit(AuditRecord{TimeMS: int64(i), Action: "job-submit"})
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir, DiskOptions{SnapshotEvery: -1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	st = re.Load()
+	if len(st.Audit) != maxAuditRecords || st.Audit[0].TimeMS != 10 {
+		t.Fatalf("disk audit after reopen: len=%d first=%d, want len=%d first=10",
+			len(st.Audit), st.Audit[0].TimeMS, maxAuditRecords)
 	}
 }
 

@@ -1,0 +1,176 @@
+// Package tenant is the coordinator's multi-tenancy layer: token
+// authentication, priority classes, per-tenant accounting, and
+// weighted fair-share scheduling across tenants.
+//
+// The paper's gigabit-WAN testbed was a shared facility — climate,
+// MEG, video and FSI groups all submitted competing workloads to the
+// same infrastructure. This package gives gtwd the same shape of
+// shared operation: every request carries a bearer token resolved to a
+// Tenant, usage is metered per tenant (points computed fresh vs.
+// point-store hits, so repeat tenants are cheap and billed as such),
+// and the lease queue serves tenants in weighted-fair order so a
+// high-priority sweep does not starve behind a bulk one.
+//
+// Tenancy is execution metadata only. It never enters point keys or
+// report bytes, so the content-addressed point store keeps deduping
+// across tenants and reports stay byte-identical regardless of who
+// submitted the job.
+package tenant
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync/atomic"
+)
+
+// Class is a scheduling priority class. Classes map to fair-share
+// weights: at saturation, a high tenant receives 4× the points of a
+// bulk tenant and 2× those of a normal one.
+type Class string
+
+// The recognized priority classes.
+const (
+	High   Class = "high"
+	Normal Class = "normal"
+	Bulk   Class = "bulk"
+)
+
+// Weight returns the fair-share weight of the class (0 for unknown
+// classes — Validate rejects those at load time).
+func (c Class) Weight() float64 {
+	switch c {
+	case High:
+		return 4
+	case Normal, "":
+		return 2
+	case Bulk:
+		return 1
+	}
+	return 0
+}
+
+// Usage is a tenant's accounting block. All fields are atomics: they
+// are bumped on hot paths (per point) without locks or allocations.
+type Usage struct {
+	JobsSubmitted  atomic.Int64 // jobs accepted from this tenant
+	PointsRun      atomic.Int64 // points computed fresh for this tenant
+	PointsHit      atomic.Int64 // points served from the content-addressed store
+	PointsStreamed atomic.Int64 // points uploaded mid-lease by workers
+	StoreBytes     atomic.Int64 // bytes this tenant's fresh points added to the store
+	StoreRejected  atomic.Int64 // points the store refused under its byte budget
+}
+
+// Tenant is one configured principal.
+type Tenant struct {
+	Name  string `json:"name"`
+	Token string `json:"token"`
+	Class Class  `json:"class,omitempty"`
+	// MaxInFlight caps the number of this tenant's points concurrently
+	// leased to workers; 0 means unlimited. It is a soft admission
+	// bound checked at grant time, not a hard mid-lease limit.
+	MaxInFlight int `json:"max_in_flight,omitempty"`
+
+	Usage Usage `json:"-"`
+}
+
+// Weight returns the tenant's fair-share weight.
+func (t *Tenant) Weight() float64 { return t.Class.Weight() }
+
+// DefaultTenant builds the anonymous tenant used when a coordinator
+// runs without a tenants file: auth is disabled and all usage is
+// attributed here.
+func DefaultTenant() *Tenant {
+	return &Tenant{Name: "default", Class: Normal}
+}
+
+// configFile is the -tenants file schema: a JSON object so the format
+// can grow fields without breaking old files.
+type configFile struct {
+	Tenants []*Tenant `json:"tenants"`
+}
+
+// Registry resolves tokens to tenants. It is immutable after Load; the
+// mutable parts (Usage counters) live inside each Tenant.
+type Registry struct {
+	list    []*Tenant
+	byToken map[string]*Tenant
+}
+
+// NewRegistry validates a tenant list and builds the lookup. Names and
+// tokens must be non-empty and unique, classes must be known.
+func NewRegistry(tenants []*Tenant) (*Registry, error) {
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("tenant: no tenants configured")
+	}
+	r := &Registry{byToken: make(map[string]*Tenant, len(tenants))}
+	names := make(map[string]bool, len(tenants))
+	for i, t := range tenants {
+		if t == nil || t.Name == "" {
+			return nil, fmt.Errorf("tenant: entry %d has no name", i)
+		}
+		if t.Token == "" {
+			return nil, fmt.Errorf("tenant: %q has no token", t.Name)
+		}
+		if t.Class == "" {
+			t.Class = Normal
+		}
+		if t.Class.Weight() <= 0 {
+			return nil, fmt.Errorf("tenant: %q has unknown class %q (want high, normal or bulk)", t.Name, t.Class)
+		}
+		if t.MaxInFlight < 0 {
+			return nil, fmt.Errorf("tenant: %q has negative max_in_flight", t.Name)
+		}
+		if names[t.Name] {
+			return nil, fmt.Errorf("tenant: duplicate name %q", t.Name)
+		}
+		if _, dup := r.byToken[t.Token]; dup {
+			return nil, fmt.Errorf("tenant: %q reuses another tenant's token", t.Name)
+		}
+		names[t.Name] = true
+		r.byToken[t.Token] = t
+		r.list = append(r.list, t)
+	}
+	return r, nil
+}
+
+// Load reads a -tenants JSON config file.
+func Load(path string) (*Registry, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tenant: %w", err)
+	}
+	var cfg configFile
+	if err := json.Unmarshal(b, &cfg); err != nil {
+		return nil, fmt.Errorf("tenant: parsing %s: %w", path, err)
+	}
+	return NewRegistry(cfg.Tenants)
+}
+
+// Tenants returns the configured tenants in file order.
+func (r *Registry) Tenants() []*Tenant { return r.list }
+
+// ByName returns the named tenant, or nil.
+func (r *Registry) ByName(name string) *Tenant {
+	for _, t := range r.list {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// Authenticate resolves an Authorization header value ("Bearer
+// <token>", or the bare token for curl convenience) to a tenant.
+func (r *Registry) Authenticate(authorization string) (*Tenant, bool) {
+	tok := strings.TrimSpace(authorization)
+	if rest, ok := strings.CutPrefix(tok, "Bearer "); ok {
+		tok = strings.TrimSpace(rest)
+	}
+	if tok == "" {
+		return nil, false
+	}
+	t, ok := r.byToken[tok]
+	return t, ok
+}
