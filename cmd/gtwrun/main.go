@@ -107,6 +107,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	shards := fs.Int("shards", 0, "shards per sweep scenario (0 = GOMAXPROCS; reports are shard-count independent)")
 	kernels := fs.Int("kernels", 0,
 		"PDES kernels per testbed network (0/1 = single kernel; reports are kernel-count independent)")
+	intra := fs.Bool("intra", false,
+		"let -kernels partitioning cut inside a site at switch boundaries when the WAN cut alone cannot reach the requested count")
 	shared := fs.Bool("shared", false,
 		"run scenarios on one shared testbed (scenarios that drive their own simulation kernel still run privately)")
 	contiguous := fs.Bool("contiguous", false,
@@ -166,6 +168,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *ext {
 		opts = append(opts, gtw.WithExtensions())
 	}
+	if *intra {
+		opts = append(opts, gtw.WithIntra())
+	}
 	var oc gtw.OC
 	switch *wan {
 	case "oc12":
@@ -181,7 +186,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opts = append(opts, gtw.WithDispatcher(gtw.NewContiguousDispatcher))
 	}
 	if *shared {
-		opts = append(opts, gtw.WithTestbed(gtw.NewTestbed(gtw.Config{WAN: oc, Extensions: *ext, Kernels: *kernels})))
+		opts = append(opts, gtw.WithTestbed(gtw.NewTestbed(gtw.Config{WAN: oc, Extensions: *ext, Kernels: *kernels, Intra: *intra})))
 	}
 
 	ctx := context.Background()
@@ -244,11 +249,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if !*asJSON {
 		fmt.Fprintf(stdout, "ran %d scenario(s) in %s, %d failed\n",
 			len(results), time.Since(start).Round(time.Millisecond), failed)
+		if *kernels > 1 {
+			printPDES(stdout)
+		}
 	}
 	if failed > 0 || err != nil {
 		return 1
 	}
 	return 0
+}
+
+// printPDES summarizes the PDES synchronization cost of a -kernels run:
+// rounds, null messages, and how the fired events split across kernels
+// (the load-balance picture). Execution metadata only — never part of a
+// report.
+func printPDES(stdout io.Writer) {
+	pd := gtw.PDESSnapshot()
+	if pd.Rounds == 0 {
+		return
+	}
+	fmt.Fprintf(stdout, "pdes: %d rounds, %d null msgs; events per kernel", pd.Rounds, pd.NullMessages)
+	for i, v := range pd.KernelEvents {
+		fmt.Fprintf(stdout, " %d:%d", i, v)
+	}
+	fmt.Fprintln(stdout)
 }
 
 // printEnvelope writes one -json line.

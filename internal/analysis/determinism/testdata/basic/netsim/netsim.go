@@ -1,0 +1,47 @@
+// Package netsim is in the simulation domain: partition assignment is
+// recomputed between runs, and the whole rebalancing contract is that
+// the cost signal and the resulting assignment are deterministic
+// functions of the model — counters and sorted orders, never wall
+// clocks or map order.
+package netsim
+
+import (
+	"sort"
+	"time"
+)
+
+// Sampling wall clocks as a load estimate makes every rebalance pick a
+// different assignment run to run.
+func costByWallClock(start time.Time) int64 {
+	return time.Now().UnixNano() - start.UnixNano() // want `time.Now in simulation/report code`
+}
+
+// The deterministic signal: per-node event counters accumulated in
+// virtual time.
+func costByCounters(work []int64) int64 {
+	var c int64
+	for _, w := range work {
+		c += w
+	}
+	return c
+}
+
+// Ranging a map of island costs while building the assignment order
+// leaks map iteration order into partition membership.
+func assignOrder(costs map[int]int64) []int {
+	var order []int
+	for id := range costs {
+		order = append(order, id) // want `append to "order" inside a map range`
+	}
+	return order
+}
+
+// Collect-then-sort erases the map order before assignment.
+func assignOrderSorted(costs map[int]int64) []int {
+	var order []int
+	for id := range costs {
+		order = append(order, id)
+	}
+	sort.Ints(order)
+	return order
+}

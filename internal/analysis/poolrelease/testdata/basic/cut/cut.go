@@ -1,0 +1,38 @@
+// Package cut exercises packet ownership at intra-component cut ifaces:
+// when a partition boundary runs through a switch, the sender-side
+// iface clones each crossing packet into the receiving partition's pool
+// and hands the clone to the cut queue. The clone follows the same
+// acquire/hand-off discipline as any pooled packet.
+package cut
+
+import "fix.poolrelease/netsim"
+
+// Queue is the cut-edge FIFO; Push transfers clone ownership to the
+// receiving partition.
+type Queue struct{}
+
+func (q *Queue) Push(p *netsim.Packet) {}
+
+// The supported shape: clone into the far pool, push onto the cut
+// queue.
+func forwardClean(n *netsim.Network, q *Queue, p *netsim.Packet, far netsim.NodeID) {
+	c := n.NewPacketAt(far)
+	c.Src, c.Dst, c.Bytes = p.Src, p.Dst, p.Bytes
+	q.Push(c)
+}
+
+// A clone acquired at the cut but never pushed leaks the far
+// partition's pool slot.
+func forwardAndForget(n *netsim.Network, p *netsim.Packet, far netsim.NodeID) {
+	c := n.NewPacketAt(far) // want `packet "c" acquired from the pool but never sent`
+	c.Bytes = p.Bytes
+}
+
+// Reading the clone after the network consumed it races the far
+// partition's pool.
+func forwardThenPeek(n *netsim.Network, p *netsim.Packet, far netsim.NodeID) int {
+	c := n.NewPacketAt(far)
+	c.Src, c.Dst, c.Bytes = p.Src, p.Dst, p.Bytes
+	n.Send(c)
+	return c.Bytes // want `packet "c" used after Send`
+}

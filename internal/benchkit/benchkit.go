@@ -361,6 +361,109 @@ func PDESLargeTopologySingleKernel(b *testing.B) { pdesLargeTopology(b, 1) }
 // bounds the synchronization overhead instead.
 func PDESLargeTopology(b *testing.B) { pdesLargeTopology(b, 4) }
 
+// buildPDESSitesUneven is buildPDESSites with unequal WAN latencies:
+// the link from site 0 to site s has delay s x 500 µs, so the cut
+// graph mixes a short edge with progressively longer ones. Under the
+// global window every partition synchronizes at the worst (shortest)
+// 500 µs; per-pair horizons give the distant pairs their own, larger
+// bounds.
+func buildPDESSitesUneven(sites, hostsPer int) (*netsim.Network, [][]netsim.NodeID) {
+	n := netsim.New(sim.NewKernel())
+	hosts := make([][]netsim.NodeID, sites)
+	switches := make([]*netsim.Node, sites)
+	for s := 0; s < sites; s++ {
+		sw := n.AddNode("sw", netsim.WithForwardCost(time.Microsecond, 16e9))
+		switches[s] = sw
+		for h := 0; h < hostsPer; h++ {
+			nd := n.AddNode("host")
+			n.Connect(nd, sw, netsim.LinkConfig{Name: "lan", Bps: 1e9, Delay: 10 * time.Microsecond})
+			hosts[s] = append(hosts[s], nd.ID)
+		}
+	}
+	for s := 1; s < sites; s++ {
+		n.Connect(switches[0], switches[s], netsim.LinkConfig{
+			Name: "wan", Bps: 2.4e9, Delay: time.Duration(s) * 500 * time.Microsecond, QueueBytes: 64 << 20,
+		})
+	}
+	n.ComputeRoutes()
+	return n, hosts
+}
+
+// pdesPerPair is the shared body for the unequal-latency benchmark:
+// the 4-site load of pdesLargeTopology on WAN links of 500 µs, 1 ms
+// and 1.5 ms, so the partitioned row exercises per-pair horizons where
+// they differ most from the global window.
+func pdesPerPair(b *testing.B, kernels int) {
+	const sites, hostsPer, hops = 4, 8, 64
+	n, hosts := buildPDESSitesUneven(sites, hostsPer)
+	if kernels > 1 {
+		if eff := n.Partition(kernels, 0); eff != kernels {
+			b.Fatalf("Partition(%d) = %d effective kernels", kernels, eff)
+		}
+	}
+	h := &pdesBounce{n: n, hops: hops}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < sites; s++ {
+			for j, src := range hosts[s] {
+				p := n.NewPacketAt(src)
+				p.Src, p.Dst, p.Bytes = src, hosts[(s+1)%sites][j], 4096
+				p.Handler = h
+				n.Send(p)
+			}
+		}
+		n.Run()
+	}
+}
+
+// PDESPerPairLookaheadSingleKernel is the serial baseline for the
+// unequal-latency topology.
+func PDESPerPairLookaheadSingleKernel(b *testing.B) { pdesPerPair(b, 1) }
+
+// PDESPerPairLookahead partitions the unequal-latency topology across
+// 4 kernels. Every cut queue carries its edge's own latency, so the
+// group runs per-pair horizons: the 500 µs edge no longer throttles
+// the 1.5 ms pairs. Compare against PDESPerPairLookaheadSingleKernel.
+func PDESPerPairLookahead(b *testing.B) { pdesPerPair(b, 4) }
+
+// pdesIntra is the shared body for the giant-LAN benchmark: one star
+// LAN — the shape that stayed serial before within-component
+// partitioning — cut at the switch boundary across the host-switch
+// links (10 µs per-pair lookahead).
+func pdesIntra(b *testing.B, kernels int) {
+	const hostsPer, hops = 32, 64
+	n, hosts := buildPDESSites(1, hostsPer)
+	if kernels > 1 {
+		if eff := n.PartitionOpt(netsim.PartitionOptions{Kernels: kernels, Intra: true}); eff != kernels {
+			b.Fatalf("PartitionOpt(%d, Intra) = %d effective kernels", kernels, eff)
+		}
+	}
+	h := &pdesBounce{n: n, hops: hops}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, src := range hosts[0] {
+			p := n.NewPacketAt(src)
+			p.Src, p.Dst, p.Bytes = src, hosts[0][(j+1)%hostsPer], 4096
+			p.Handler = h
+			n.Send(p)
+		}
+		n.Run()
+	}
+}
+
+// PDESIntraComponentSingleKernel is the serial baseline for the
+// giant-LAN topology.
+func PDESIntraComponentSingleKernel(b *testing.B) { pdesIntra(b, 1) }
+
+// PDESIntraComponent runs the giant LAN across 2 kernels via
+// intra-component cuts — the topology that could not use >1 kernel at
+// all before PR 10. On one core the ratio vs the single-kernel row
+// bounds the 10 µs-lookahead synchronization overhead (two kernels keep
+// the barrier party small; the overhead grows with the member count).
+func PDESIntraComponent(b *testing.B) { pdesIntra(b, 2) }
+
 // NullMessageOverhead isolates the cost of the conservative protocol
 // itself: two kernels, all events on one of them spaced exactly one
 // lookahead apart, so every synchronization round fires a single event
@@ -405,6 +508,10 @@ func Specs() []Spec {
 		{"BenchmarkSweepWorkStealing", SweepWorkStealing},
 		{"BenchmarkPDESLargeTopologySingleKernel", PDESLargeTopologySingleKernel},
 		{"BenchmarkPDESLargeTopology", PDESLargeTopology},
+		{"BenchmarkPDESPerPairLookaheadSingleKernel", PDESPerPairLookaheadSingleKernel},
+		{"BenchmarkPDESPerPairLookahead", PDESPerPairLookahead},
+		{"BenchmarkPDESIntraComponentSingleKernel", PDESIntraComponentSingleKernel},
+		{"BenchmarkPDESIntraComponent", PDESIntraComponent},
 		{"BenchmarkNullMessageOverhead", NullMessageOverhead},
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/sim/pdes"
 	"repro/internal/tcpsim"
 )
 
@@ -63,6 +64,11 @@ type Config struct {
 	// byte-identical at any value, so it never enters point keys or the
 	// wire protocol.
 	Kernels int
+	// Intra additionally lets the partitioner cut inside a site at
+	// switch boundaries when the WAN cut alone cannot reach Kernels
+	// partitions (netsim.PartitionOptions.Intra). Execution policy like
+	// Kernels: byte-identical reports, never in point keys.
+	Intra bool
 }
 
 // Host names of the standard topology.
@@ -123,6 +129,8 @@ type Testbed struct {
 
 	allocMu sync.Mutex // guards alloc
 	simMu   sync.Mutex // serialises kernel access and counter reads
+
+	pdesPrev pdes.Stats // last snapshot flushed into the PDES aggregate
 }
 
 // propDelayWAN is the one-way propagation delay of the ~100 km
@@ -244,7 +252,10 @@ func New(cfg Config) *Testbed {
 
 	n.ComputeRoutes()
 	if cfg.Kernels > 1 {
-		n.Partition(cfg.Kernels, 0)
+		n.PartitionOpt(netsim.PartitionOptions{Kernels: cfg.Kernels, Intra: cfg.Intra})
+		if pdesTelemetry.Load() {
+			n.SetBlockedTelemetry(true)
+		}
 	}
 	return tb
 }

@@ -22,8 +22,8 @@ func TestScenarioKernelsByteIdentity(t *testing.T) {
 				text string
 				json []byte
 			}
-			run := func(kernels int) snapshot {
-				rep, err := Run(context.Background(), name, WithKernels(kernels))
+			run := func(kernels int, opts ...Option) snapshot {
+				rep, err := Run(context.Background(), name, append([]Option{WithKernels(kernels)}, opts...)...)
 				if err != nil {
 					t.Fatalf("kernels=%d: %v", kernels, err)
 				}
@@ -34,15 +34,22 @@ func TestScenarioKernelsByteIdentity(t *testing.T) {
 				return snapshot{text: rep.Text(), json: js}
 			}
 			want := run(1)
-			for _, kernels := range []int{2, 4} {
-				got := run(kernels)
+			check := func(label string, kernels int, got snapshot) {
+				t.Helper()
 				if got.text != want.text {
-					t.Errorf("kernels=%d: text differs:\n--- 1 kernel ---\n%s--- %d kernels ---\n%s",
-						kernels, want.text, kernels, got.text)
+					t.Errorf("%s kernels=%d: text differs:\n--- 1 kernel ---\n%s--- %d kernels ---\n%s",
+						label, kernels, want.text, kernels, got.text)
 				}
 				if !bytes.Equal(got.json, want.json) {
-					t.Errorf("kernels=%d: JSON differs:\n%s\nvs\n%s", kernels, want.json, got.json)
+					t.Errorf("%s kernels=%d: JSON differs:\n%s\nvs\n%s", label, kernels, want.json, got.json)
 				}
+			}
+			for _, kernels := range []int{2, 4} {
+				check("wan-cut", kernels, run(kernels))
+				// Intra mode additionally cuts inside sites at switch
+				// boundaries — per-pair horizons mix LAN and WAN
+				// latencies; the reports must not notice.
+				check("intra", kernels, run(kernels, WithIntra()))
 			}
 		})
 	}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PDESAggregate is the process-wide sum of PDES synchronization
+// counters over every partitioned testbed run so far: how many rounds
+// the kernel groups turned, how many null messages (bound broadcasts)
+// they exchanged, and how the fired events split across kernel indices.
+// It is what an observability host (gtwd's /v1/metrics, gtwrun's
+// -kernels envelope) exports, and it is deliberately outside report
+// bytes — kernel counts and sync costs are execution policy.
+type PDESAggregate struct {
+	// Flushes counts testbed flushes that carried new activity —
+	// roughly "partitioned simulation phases recorded".
+	Flushes int64
+	// Rounds and NullMessages sum pdes.Stats across testbeds.
+	Rounds       int64
+	NullMessages int64
+	// KernelEvents[i] sums events fired by kernel index i across
+	// testbeds (testbeds with fewer kernels contribute to the low
+	// indices). The spread is the load-balance picture.
+	KernelEvents []int64
+	// KernelBlocked[i] sums wall-clock barrier wait of kernel index i.
+	// All zero unless EnablePDESBlockedTelemetry ran before the
+	// testbeds were built.
+	KernelBlocked []time.Duration
+}
+
+var (
+	pdesMu        sync.Mutex
+	pdesAgg       PDESAggregate
+	pdesTelemetry atomic.Bool
+)
+
+// EnablePDESBlockedTelemetry makes every subsequently built partitioned
+// testbed measure per-kernel barrier wait (wall clock) and fold it into
+// PDESSnapshot. Observability hosts call it at startup; it is off by
+// default because the measurement costs two clock reads per kernel per
+// barrier, which benchmarks must not pay.
+func EnablePDESBlockedTelemetry() { pdesTelemetry.Store(true) }
+
+// PDESSnapshot returns a copy of the process-wide PDES aggregate.
+func PDESSnapshot() PDESAggregate {
+	pdesMu.Lock()
+	defer pdesMu.Unlock()
+	out := pdesAgg
+	out.KernelEvents = append([]int64(nil), pdesAgg.KernelEvents...)
+	out.KernelBlocked = append([]time.Duration(nil), pdesAgg.KernelBlocked...)
+	return out
+}
+
+// flushPDES folds the testbed's PDES counter growth since the last
+// flush into the process-wide aggregate. Safe on any testbed (a no-op
+// when unpartitioned); called wherever a simulation phase completes — a
+// grid point, a wrapped scenario run, a driver-built testbed going out
+// of scope. Takes simMu so the network is quiescent while the counters
+// are read.
+func (tb *Testbed) flushPDES() {
+	if tb == nil || tb.Net.Kernels() <= 1 {
+		return
+	}
+	tb.simMu.Lock()
+	s := tb.Net.SyncStats()
+	prev := tb.pdesPrev
+	tb.pdesPrev = s
+	tb.simMu.Unlock()
+
+	dRounds := s.Rounds - prev.Rounds
+	dNull := s.NullMessages - prev.NullMessages
+	changed := dRounds != 0 || dNull != 0
+	dEvents := make([]int64, len(s.Events))
+	for i, v := range s.Events {
+		if i < len(prev.Events) {
+			v -= prev.Events[i]
+		}
+		dEvents[i] = v
+		changed = changed || v != 0
+	}
+	dBlocked := make([]time.Duration, len(s.Blocked))
+	for i, v := range s.Blocked {
+		if i < len(prev.Blocked) {
+			v -= prev.Blocked[i]
+		}
+		dBlocked[i] = v
+	}
+	if !changed {
+		return
+	}
+
+	pdesMu.Lock()
+	defer pdesMu.Unlock()
+	pdesAgg.Flushes++
+	pdesAgg.Rounds += dRounds
+	pdesAgg.NullMessages += dNull
+	for len(pdesAgg.KernelEvents) < len(dEvents) {
+		pdesAgg.KernelEvents = append(pdesAgg.KernelEvents, 0)
+	}
+	for i, v := range dEvents {
+		pdesAgg.KernelEvents[i] += v
+	}
+	for len(pdesAgg.KernelBlocked) < len(dBlocked) {
+		pdesAgg.KernelBlocked = append(pdesAgg.KernelBlocked, 0)
+	}
+	for i, v := range dBlocked {
+		pdesAgg.KernelBlocked[i] += v
+	}
+}

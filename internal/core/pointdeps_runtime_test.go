@@ -1,0 +1,105 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/atm"
+)
+
+// This file is the runtime half of the PointDeps contract. The static
+// half (internal/analysis/pointdeps, pinned by the audit test) derives
+// from source which Options fields a sweep's points read; it cannot see
+// dynamic reads — a field smuggled through an interface, a helper
+// resolved at run time. Go offers no way to trap struct field loads, so
+// the test-only shim here records dependencies behaviorally instead:
+// evaluate sample grid points under every single-field perturbation of
+// the options and record the fields whose perturbation changes the
+// point's wire bytes. A recorded field absent from the declared
+// PointDeps set would mean the content address under-keys the point —
+// the coordinator's store would serve one tenant's result for another's
+// genuinely different computation.
+
+// optPerturbations is one representative mutation per wire field, each
+// chosen to differ from DefaultOptions.
+var optPerturbations = map[OptField]func(*Options){
+	OptWAN:        func(o *Options) { o.WAN = atm.OC12 },
+	OptExtensions: func(o *Options) { o.Extensions = !o.Extensions },
+	OptPEs:        func(o *Options) { o.PEs = 128 },
+	OptFrames:     func(o *Options) { o.Frames++ },
+	OptFlows:      func(o *Options) { o.Flows++ },
+}
+
+// recordPointDeps evaluates the sample points under the base options
+// and under each perturbation, returning the set of fields whose
+// perturbation changed any sampled point's wire bytes.
+func recordPointDeps(t *testing.T, sw *Sweep, sample []Point) map[OptField]bool {
+	t.Helper()
+	eval := func(opts Options) [][]byte {
+		tb := sw.NewShardTestbed(opts)
+		out := make([][]byte, len(sample))
+		for i, pt := range sample {
+			res, err := sw.runOnePoint(context.Background(), tb, opts, pt)
+			if err != nil {
+				t.Fatalf("%s point %d: %v", sw.Name(), pt.Index, err)
+			}
+			b, err := sw.EncodePoint(res)
+			if err != nil {
+				t.Fatalf("%s point %d: encode: %v", sw.Name(), pt.Index, err)
+			}
+			out[i] = b
+		}
+		return out
+	}
+	base := eval(DefaultOptions())
+	recorded := map[OptField]bool{}
+	for _, f := range allOptFields {
+		opts := DefaultOptions()
+		optPerturbations[f](&opts)
+		for i, b := range eval(opts) {
+			if !bytes.Equal(b, base[i]) {
+				recorded[f] = true
+				t.Logf("%s point %d depends on %q:\n  base:      %s\n  perturbed: %s",
+					sw.Name(), sample[i].Index, f, base[i], b)
+				break
+			}
+		}
+	}
+	return recorded
+}
+
+// TestPointDepsRuntime cross-checks every sweep's declared PointDeps
+// against the behaviorally recorded set: no perturbation of an
+// undeclared field may change a point's wire bytes. It complements the
+// static audit (TestPointDepsDerivedSetsArePinned) — that test pins
+// what the source reads, this one catches reads the static pass cannot
+// see.
+func TestPointDepsRuntime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("evaluates sample grid points under every option perturbation")
+	}
+	for _, s := range Scenarios() {
+		sw, ok := s.(*Sweep)
+		if !ok || sw.keyDeps == nil {
+			continue // not a sweep, or conservatively keyed on all fields
+		}
+		t.Run(sw.Name(), func(t *testing.T) {
+			t.Parallel()
+			declared := map[OptField]bool{}
+			for _, f := range sw.keyDeps {
+				declared[f] = true
+			}
+			pts := sw.Points()
+			sample := []Point{pts[0]}
+			if n := len(pts); n > 1 {
+				sample = append(sample, pts[n/2], pts[n-1])
+			}
+			for f := range recordPointDeps(t, sw, sample) {
+				if !declared[f] {
+					t.Errorf("points read Options.%q at run time but PointDeps does not declare it — the content address under-keys this sweep", f)
+				}
+			}
+		})
+	}
+}

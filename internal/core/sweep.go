@@ -232,7 +232,7 @@ func (sw *Sweep) Run(ctx context.Context, tb *Testbed, opts Options) (Report, er
 	// testbed handed in by the caller fixes that configuration for
 	// every shard (the engine builds none for sweeps, so tb is non-nil
 	// only for direct callers and shared runs).
-	shardCfg := Config{WAN: opts.WAN, Extensions: opts.Extensions, Kernels: opts.Kernels}
+	shardCfg := Config{WAN: opts.WAN, Extensions: opts.Extensions, Kernels: opts.Kernels, Intra: opts.Intra}
 	if tb != nil {
 		shardCfg = tb.Cfg
 	}
@@ -274,6 +274,7 @@ func (sw *Sweep) runOnePoint(ctx context.Context, tb *Testbed, opts Options, pt 
 		if r := recover(); r != nil {
 			err = fmt.Errorf("point panicked: %v", r)
 		}
+		tb.flushPDES()
 	}()
 	return sw.runPoint(ctx, tb, opts, pt)
 }
@@ -286,7 +287,7 @@ func (sw *Sweep) NewShardTestbed(opts Options) *Testbed {
 	if sw.noTestbed {
 		return nil
 	}
-	return New(Config{WAN: opts.WAN, Extensions: opts.Extensions, Kernels: opts.Kernels})
+	return New(Config{WAN: opts.WAN, Extensions: opts.Extensions, Kernels: opts.Kernels, Intra: opts.Intra})
 }
 
 // ------------------------------------------------------- executor core --

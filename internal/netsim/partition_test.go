@@ -178,3 +178,168 @@ func TestPartitionedRunZeroAlloc(t *testing.T) {
 		t.Fatalf("partitioned steady-state run allocated %.1f/op, want 0", allocs)
 	}
 }
+
+// TestIntraPartitionByteIdentical pins the within-component cut: a
+// single star LAN has no WAN link to cut, but with Intra every
+// host-switch link (positive delay, relay endpoint) is a candidate, so
+// the one component still splits — and the floods must stay
+// bit-identical to the serial run.
+func TestIntraPartitionByteIdentical(t *testing.T) {
+	const hostsPer = 4
+	load := func(n *Network, hosts [][]NodeID) ([]FloodResult, sim.Time) {
+		var out []FloodResult
+		for i, src := range hosts[0] {
+			dst := hosts[0][(i+1)%len(hosts[0])]
+			out = append(out, Flood(n, src, dst, 4096, 50))
+		}
+		return out, n.Now()
+	}
+
+	base, hosts := buildSites(sim.NewKernel(), 1, hostsPer)
+	want, wantNow := load(base, hosts)
+
+	for _, kernels := range []int{2, 4} {
+		n, hosts := buildSites(sim.NewKernel(), 1, hostsPer)
+		eff := n.PartitionOpt(PartitionOptions{Kernels: kernels, Intra: true})
+		if eff != kernels {
+			t.Fatalf("intra PartitionOpt(%d) = %d effective kernels", kernels, eff)
+		}
+		if la := n.Lookahead(); la != 10*time.Microsecond {
+			t.Fatalf("intra lookahead = %v, want the 10µs LAN delay", la)
+		}
+		got, gotNow := load(n, hosts)
+		if gotNow != wantNow {
+			t.Fatalf("kernels=%d: final clock %v, want %v", kernels, gotNow, wantNow)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("kernels=%d flood %d: %+v != %+v", kernels, i, got[i], want[i])
+			}
+		}
+		if st := n.SyncStats(); !st.PerPair {
+			t.Fatalf("kernels=%d: intra cut should run per-pair horizons: %+v", kernels, st)
+		}
+	}
+}
+
+// TestIntraMixedCutByteIdentical exercises the WAN-first + intra
+// refinement path: two sites give only two WAN islands, so asking for
+// four kernels forces intra cuts inside the components. Per-pair
+// horizons must then mix the 500 µs WAN latency with the 10 µs LAN
+// latencies, and results stay bit-identical.
+func TestIntraMixedCutByteIdentical(t *testing.T) {
+	const sites, hostsPer = 2, 3
+	base, hosts := buildSites(sim.NewKernel(), sites, hostsPer)
+	want, wantNow := crossLoad(base, hosts)
+
+	n, hosts := buildSites(sim.NewKernel(), sites, hostsPer)
+	eff := n.PartitionOpt(PartitionOptions{Kernels: 4, Intra: true})
+	if eff != 4 {
+		t.Fatalf("intra PartitionOpt(4) = %d effective kernels", eff)
+	}
+	if la := n.Lookahead(); la != 10*time.Microsecond {
+		t.Fatalf("mixed-cut lookahead = %v, want the 10µs LAN floor", la)
+	}
+	got, gotNow := crossLoad(n, hosts)
+	if gotNow != wantNow {
+		t.Fatalf("final clock %v, want %v", gotNow, wantNow)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("flood %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRebalance pins the between-runs reassignment: after a skewed
+// first run the per-node work counters are populated, Rebalance rebuilds
+// the assignment from them without changing the kernel count, and the
+// second run still matches a serial network that saw the same two-run
+// history.
+func TestRebalance(t *testing.T) {
+	const sites, hostsPer = 4, 3
+	base, bHosts := buildSites(sim.NewKernel(), sites, hostsPer)
+	want1, _ := crossLoad(base, bHosts)
+	want2, wantNow := crossLoad(base, bHosts)
+
+	n, hosts := buildSites(sim.NewKernel(), sites, hostsPer)
+	if eff := n.Partition(2, 0); eff != 2 {
+		t.Fatalf("effective kernels = %d", eff)
+	}
+	got1, _ := crossLoad(n, hosts)
+	for i := range want1 {
+		if got1[i] != want1[i] {
+			t.Fatalf("pre-rebalance flood %d: %+v != %+v", i, got1[i], want1[i])
+		}
+	}
+	worked := false
+	for _, id := range hosts[0] {
+		if n.Node(id).Work() > 0 {
+			worked = true
+		}
+	}
+	if !worked {
+		t.Fatal("no work recorded on site-0 hosts after a cross-site flood")
+	}
+
+	n.Rebalance()
+	if n.Kernels() != 2 {
+		t.Fatalf("Rebalance changed kernel count to %d", n.Kernels())
+	}
+	got2, gotNow := crossLoad(n, hosts)
+	if gotNow != wantNow {
+		t.Fatalf("post-rebalance clock %v, want %v", gotNow, wantNow)
+	}
+	for i := range want2 {
+		if got2[i] != want2[i] {
+			t.Fatalf("post-rebalance flood %d: %+v != %+v", i, got2[i], want2[i])
+		}
+	}
+}
+
+func TestRebalanceGuards(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	n, _ := buildSites(sim.NewKernel(), 2, 1)
+	expectPanic("rebalance before partition", func() { n.Rebalance() })
+
+	n2, hosts2 := buildSites(sim.NewKernel(), 2, 1)
+	n2.Partition(2, 0)
+	n2.Send(&Packet{Src: hosts2[0][0], Dst: hosts2[1][0], Bytes: 100})
+	expectPanic("rebalance with scheduled events", func() { n2.Rebalance() })
+}
+
+// TestIntraPartitionedRunZeroAlloc extends the hot-path allocation
+// contract to intra-component cuts: per-pair horizons and the extra cut
+// queues must not introduce steady-state allocation.
+func TestIntraPartitionedRunZeroAlloc(t *testing.T) {
+	n, hosts := buildSites(sim.NewKernel(), 1, 2)
+	if eff := n.PartitionOpt(PartitionOptions{Kernels: 2, Intra: true}); eff != 2 {
+		t.Fatalf("effective kernels = %d", eff)
+	}
+	h := &pingHandler{n: n, hops: 100}
+	round := func() {
+		// Mirrored chains between the two hosts keep both partition
+		// pools balanced, as in the WAN-cut variant.
+		p := n.NewPacketAt(hosts[0][0])
+		p.Src, p.Dst, p.Bytes = hosts[0][0], hosts[0][1], 1024
+		p.Handler = h
+		n.Send(p)
+		q := n.NewPacketAt(hosts[0][1])
+		q.Src, q.Dst, q.Bytes = hosts[0][1], hosts[0][0], 1024
+		q.Handler = h
+		n.Send(q)
+		n.Run()
+	}
+	round() // warmup
+	if allocs := testing.AllocsPerRun(5, round); allocs > 0 {
+		t.Fatalf("intra partitioned steady-state run allocated %.1f/op, want 0", allocs)
+	}
+}

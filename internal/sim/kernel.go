@@ -140,6 +140,8 @@ type Kernel struct {
 	running bool
 	bounded bool
 	bound   Time
+
+	fired int64 // events fired since creation
 }
 
 // NewKernel returns a kernel with the clock at zero and no pending
@@ -264,6 +266,7 @@ func (k *Kernel) Step() bool {
 	e := k.heap[0]
 	k.remove(0)
 	k.now = e.at
+	k.fired++
 	// Capture the callback, then recycle the record *before* running
 	// it, so the callback can schedule new events into the warm pool.
 	fn, fn2, a0, a1 := e.fn, e.fn2, e.a0, e.a1
@@ -325,6 +328,12 @@ func (k *Kernel) RunBefore(h Time) Time {
 	k.running, k.bounded = false, false
 	return k.now
 }
+
+// Fired reports the number of events this kernel has fired since its
+// creation. It is a deterministic measure of the work a partition
+// carried — the load signal conservative parallel groups use to
+// rebalance — and is cheap enough to maintain unconditionally.
+func (k *Kernel) Fired() int64 { return k.fired }
 
 // NextEventTime reports the timestamp of the earliest pending event.
 // The second result is false when no events are pending.

@@ -1,21 +1,49 @@
 // Package pdes runs several sim.Kernels as one conservative parallel
-// discrete-event simulation (Chandy-Misra-Bryant with a global
-// lookahead window). The model partition owning each kernel exchanges
-// timestamped messages with its neighbours over Queues — one bounded
-// FIFO per cut-edge direction — and a Group synchronizes the kernels in
-// barrier-delimited rounds:
+// discrete-event simulation (Chandy-Misra-Bryant). The model partition
+// owning each kernel exchanges timestamped messages with its neighbours
+// over Queues — one bounded FIFO per cut-edge direction — and a Group
+// synchronizes the kernels in barrier-delimited rounds:
 //
 //  1. Every member drains its input queues (in fixed queue order, FIFO
 //     within a queue), injecting each message into its kernel.
-//  2. Barrier; every member publishes its next-event time, and all
-//     members compute the same global minimum T. The per-round bound
-//     announcement is the null message of the classic algorithm — one
-//     broadcast per member per round, counted in Stats.
-//  3. If T is infinite the simulation is over. Otherwise every member
-//     fires its events in [T, T+lookahead) — safe, because any message
-//     generated at time t >= T arrives no earlier than t + the cut's
-//     minimum delay >= T + lookahead.
+//  2. Barrier; every member publishes its next-event time. The
+//     per-round bound announcement is the null message of the classic
+//     algorithm — one broadcast per member per round, counted in Stats.
+//  3. Every member computes its safe horizon from the published bounds
+//     and fires its events strictly below it. With a global lookahead
+//     window (unannotated queues) the horizon is the same for everyone:
+//     global-min + lookahead. With per-edge annotations (SetEdge) each
+//     member gets its own horizon from the latency-weighted distances
+//     of the cut graph — see "Per-pair lookahead" below. If every bound
+//     is infinite the simulation is over.
 //  4. Barrier (making every enqueued message visible), next round.
+//
+// # Per-pair lookahead
+//
+// A global window synchronizes every kernel on the worst (smallest) cut
+// latency: one short edge anywhere throttles all partitions. When every
+// queue carries its edge's own latency (SetEdge), the group instead
+// bounds each member pair by the latency-weighted shortest path between
+// them. NewGroup precomputes, over the directed cut graph,
+//
+//	dist[k][j] = shortest latency-weighted distance from k to j
+//	horiz[k][i] = min over incoming edges (j -> i, latency d) of
+//	              dist[k][j] + d
+//
+// and each round member i fires below
+//
+//	H_i = min over all members k of (B_k + horiz[k][i])
+//
+// where B_k is k's published bound. This is safe: a message reaching i
+// during the round was sent by a direct neighbour j firing an event at
+// t >= B_j, so it is stamped >= B_j + d(j,i) >= B_j + horiz[j][i] >=
+// H_i, while i only fired below H_i. Any influence from a distant k
+// must first cross to some neighbour j, which costs at least dist[k][j]
+// in virtual time — exactly what horiz charges. It makes progress: the
+// member holding the global minimum bound has H > B because every
+// horiz entry is positive (horiz[i][i] is i's shortest cycle). And it
+// is never less permissive than the global window, because every
+// horiz[k][i] is at least the minimum cut latency.
 //
 // The rounds make the result independent of goroutine scheduling: which
 // host thread runs which member never changes what any kernel observes,
@@ -39,8 +67,18 @@ import (
 	"repro/internal/sim"
 )
 
-// maxTime is the "no pending events" sentinel in the bound exchange.
+// maxTime is the "no pending events" sentinel in the bound exchange and
+// the "unreachable" sentinel in the distance tables.
 const maxTime = sim.Time(math.MaxInt64)
+
+// satAdd adds a bound and a horizon offset, saturating at maxTime.
+func satAdd(a, b sim.Time) sim.Time {
+	s := a + b
+	if s < a {
+		return maxTime
+	}
+	return s
+}
 
 // item is one in-flight cross-partition message.
 type item struct {
@@ -60,6 +98,14 @@ type item struct {
 type Queue struct {
 	deliver func(p unsafe.Pointer, at sim.Time)
 	items   []item
+
+	// Edge annotation (SetEdge): the sending member's index and the
+	// edge's own minimum latency. A group whose queues are all
+	// annotated synchronizes with per-pair horizons instead of the
+	// global window.
+	from      int
+	lookahead time.Duration
+	hasEdge   bool
 }
 
 // NewQueue builds a queue preallocating capacity slots; deliver injects
@@ -69,7 +115,26 @@ func NewQueue(capacity int, deliver func(p unsafe.Pointer, at sim.Time)) *Queue 
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Queue{deliver: deliver, items: make([]item, 0, capacity)}
+	return &Queue{deliver: deliver, items: make([]item, 0, capacity), from: -1}
+}
+
+// SetEdge annotates the queue with its cut edge: from is the index (in
+// the group's member slice) of the sending member, lookahead the
+// edge's own minimum latency — every Push must be stamped at least
+// lookahead after the sender's clock. When every queue of a group is
+// annotated, NewGroup derives per-pair synchronization bounds from the
+// edge latencies instead of using one global window. Call before
+// NewGroup; lookahead must be positive.
+func (q *Queue) SetEdge(from int, lookahead time.Duration) {
+	if from < 0 {
+		panic(fmt.Sprintf("pdes: SetEdge with negative member index %d", from))
+	}
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("pdes: SetEdge with non-positive lookahead %v", lookahead))
+	}
+	q.from = from
+	q.lookahead = lookahead
+	q.hasEdge = true
 }
 
 // Push enqueues a message with its arrival timestamp. Call only from
@@ -97,7 +162,8 @@ type Member struct {
 	In []*Queue
 }
 
-// Stats reports synchronization-cost counters for one Run.
+// Stats reports synchronization-cost counters for one Group, cumulative
+// across Runs. Read only while the group is quiescent.
 type Stats struct {
 	// Rounds is the number of completed synchronization rounds.
 	Rounds int64
@@ -105,6 +171,18 @@ type Stats struct {
 	// one per member per round (the CMB null-message traffic, realised
 	// here as the barrier's shared bound slots).
 	NullMessages int64
+	// PerPair reports whether the group synchronized with per-pair
+	// horizons (every queue edge-annotated) rather than the global
+	// window.
+	PerPair bool
+	// Events is the number of events each member's kernel has fired,
+	// indexed by member — the deterministic per-partition load signal.
+	Events []int64
+	// Blocked is the wall-clock time each member spent waiting at the
+	// round barriers, indexed by member. It is host-scheduling
+	// telemetry (not virtual time) and is only collected after
+	// SetBlockedTelemetry(true); otherwise the slice is all zero.
+	Blocked []time.Duration
 }
 
 // Group synchronizes a fixed set of members. Build once with NewGroup,
@@ -116,12 +194,22 @@ type Group struct {
 	members   []*Member
 	lookahead time.Duration
 
+	// horiz[k][i] is the per-pair bound offset: member i may fire below
+	// min over k of (bound[k] + horiz[k][i]). nil when any queue lacks
+	// an edge annotation — the group then uses the global window.
+	horiz [][]sim.Time
+
 	next  []sim.Time // per-member bound slots, exchanged at the barrier
 	bar   barrier
 	stats Stats
 
+	blocked   []time.Duration // per-member barrier wait, wall clock
+	telemetry bool
+
 	start   []chan struct{} // per-worker run signal, members 1..n-1
+	done    []chan struct{} // per-worker completion ack, members 1..n-1
 	started bool
+	closed  bool
 }
 
 // NewGroup builds a group over the given members. The lookahead is the
@@ -129,6 +217,11 @@ type Group struct {
 // stamped earlier than the global minimum next-event time plus this
 // bound. It must be positive — a zero-lookahead cut serializes the
 // model and belongs in one kernel.
+//
+// When every queue of every member carries an edge annotation
+// (Queue.SetEdge), the group synchronizes with per-pair horizons
+// derived from the annotated latencies (see the package comment); the
+// global lookahead is then only the floor the horizons must respect.
 func NewGroup(lookahead time.Duration, members []*Member) *Group {
 	if len(members) == 0 {
 		panic("pdes: group with no members")
@@ -141,20 +234,118 @@ func NewGroup(lookahead time.Duration, members []*Member) *Group {
 		lookahead: lookahead,
 		next:      make([]sim.Time, len(members)),
 		start:     make([]chan struct{}, len(members)),
+		done:      make([]chan struct{}, len(members)),
+		blocked:   make([]time.Duration, len(members)),
 	}
 	g.bar.init(len(members))
 	for i := 1; i < len(members); i++ {
 		g.start[i] = make(chan struct{}, 1)
+		g.done[i] = make(chan struct{}, 1)
 	}
+	g.horiz = perPairHorizons(members)
+	g.stats.PerPair = g.horiz != nil
 	return g
+}
+
+// perPairHorizons builds the horizon table from the members' queue
+// annotations, or returns nil when any queue is unannotated (global
+// window mode). Floyd-Warshall over the member count — partitions are
+// few (one per core at most), so the cubic cost is noise next to one
+// simulation round.
+func perPairHorizons(members []*Member) [][]sim.Time {
+	n := len(members)
+	if n < 2 {
+		return nil
+	}
+	type edge struct {
+		from, to int
+		d        sim.Time
+	}
+	var edges []edge
+	for i, m := range members {
+		for _, q := range m.In {
+			if !q.hasEdge {
+				return nil
+			}
+			if q.from >= n {
+				panic(fmt.Sprintf("pdes: queue edge from member %d, group has %d", q.from, n))
+			}
+			edges = append(edges, edge{q.from, i, sim.Time(q.lookahead)})
+		}
+	}
+	if len(edges) == 0 {
+		return nil
+	}
+	dist := make([][]sim.Time, n)
+	for i := range dist {
+		dist[i] = make([]sim.Time, n)
+		for j := range dist[i] {
+			if i != j {
+				dist[i][j] = maxTime
+			}
+		}
+	}
+	for _, e := range edges {
+		if e.d < dist[e.from][e.to] {
+			dist[e.from][e.to] = e.d
+		}
+	}
+	for via := 0; via < n; via++ {
+		for i := 0; i < n; i++ {
+			if dist[i][via] == maxTime {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if d := satAdd(dist[i][via], dist[via][j]); d < dist[i][j] {
+					dist[i][j] = d
+				}
+			}
+		}
+	}
+	horiz := make([][]sim.Time, n)
+	for k := range horiz {
+		horiz[k] = make([]sim.Time, n)
+		for i := range horiz[k] {
+			horiz[k][i] = maxTime
+		}
+	}
+	for _, e := range edges {
+		for k := 0; k < n; k++ {
+			if dist[k][e.from] == maxTime {
+				continue
+			}
+			if h := satAdd(dist[k][e.from], e.d); h < horiz[k][e.to] {
+				horiz[k][e.to] = h
+			}
+		}
+	}
+	return horiz
 }
 
 // Members reports the number of partitions.
 func (g *Group) Members() int { return len(g.members) }
 
+// PerPair reports whether the group synchronizes with per-pair horizons
+// (every queue edge-annotated) rather than one global window.
+func (g *Group) PerPair() bool { return g.horiz != nil }
+
+// SetBlockedTelemetry enables (or disables) wall-clock measurement of
+// per-member barrier wait time, surfaced as Stats.Blocked. It costs two
+// monotonic clock reads per member per barrier, so it is off by default
+// and meant for observability hosts, not benchmarks. Quiescent-only.
+func (g *Group) SetBlockedTelemetry(on bool) { g.telemetry = on }
+
 // Stats reports cumulative synchronization counters across every Run so
 // far. Read only while the group is quiescent.
-func (g *Group) Stats() Stats { return g.stats }
+func (g *Group) Stats() Stats {
+	s := g.stats
+	s.Events = make([]int64, len(g.members))
+	for i, m := range g.members {
+		s.Events[i] = m.K.Fired()
+	}
+	s.Blocked = append([]time.Duration(nil), g.blocked...)
+	return s
+}
 
 // Pending reports the total number of pending events across all
 // kernels. Read only while the group is quiescent (after Run, queues
@@ -173,6 +364,9 @@ func (g *Group) Pending() int {
 // worker goroutines started lazily on first use and parked between
 // Runs, so repeated Runs allocate nothing.
 func (g *Group) Run() {
+	if g.closed {
+		panic("pdes: Run on a closed group")
+	}
 	if len(g.members) == 1 {
 		g.members[0].K.Run()
 		return
@@ -187,6 +381,28 @@ func (g *Group) Run() {
 		g.start[i] <- struct{}{}
 	}
 	g.runMember(0)
+	// The final barrier releases every member at once, but a worker
+	// still has its loop epilogue to run (under telemetry, the blocked
+	// accumulation happens after the barrier wait it measures). Collect
+	// each worker's ack so Run returning really means the group is
+	// quiescent — Stats and rebuilds need no further synchronization.
+	for i := 1; i < len(g.members); i++ {
+		<-g.done[i]
+	}
+}
+
+// Close releases the group's parked worker goroutines. Call when the
+// group is quiescent and will not Run again (e.g. before rebuilding a
+// partitioned model with a new assignment); a closed group panics on
+// Run. Close is idempotent.
+func (g *Group) Close() {
+	if g.closed {
+		return
+	}
+	g.closed = true
+	for i := 1; i < len(g.members); i++ {
+		close(g.start[i])
+	}
 }
 
 // worker parks between runs and executes its member's rounds during
@@ -194,7 +410,23 @@ func (g *Group) Run() {
 func (g *Group) worker(i int) {
 	for range g.start[i] {
 		g.runMember(i)
+		g.done[i] <- struct{}{}
 	}
+}
+
+// await is the member-facing barrier entry: it forwards to the shared
+// barrier, measuring the wall-clock wait when telemetry is on. Blocked
+// is deliberate wall-clock telemetry — host-scheduling skew between
+// members — and is never fed back into the model.
+func (g *Group) await(i int) {
+	if !g.telemetry {
+		g.bar.await()
+		return
+	}
+	//gtwvet:ignore determinism Blocked is opt-in wall-clock telemetry, never fed back into the model
+	t0 := time.Now()
+	g.bar.await()
+	g.blocked[i] += time.Since(t0)
 }
 
 // runMember is the per-member round loop. All members leave the loop in
@@ -212,7 +444,7 @@ func (g *Group) runMember(i int) {
 		} else {
 			g.next[i] = maxTime
 		}
-		g.bar.await()
+		g.await(i)
 		t := g.next[0]
 		for _, nt := range g.next[1:] {
 			if nt < t {
@@ -230,12 +462,17 @@ func (g *Group) runMember(i int) {
 			// their own last local events; resynchronize all clocks to
 			// the global last so the driver's next "schedule at Now()"
 			// lands at the same virtual time a single kernel would
-			// report. Three barriers: bounds read before the slots are
-			// reused for clocks, clocks published before the max is
-			// read, advances done before the caller resumes.
-			g.bar.await()
+			// report. Per-pair groups reach this point with clocks
+			// spread across their unequal horizons — possibly far past
+			// the last global window — but the resync target is the
+			// same: the maximum clock is the globally last event, whose
+			// member never ran past it. Three barriers: bounds read
+			// before the slots are reused for clocks, clocks published
+			// before the max is read, advances done before the caller
+			// resumes.
+			g.await(i)
 			g.next[i] = m.K.Now()
-			g.bar.await()
+			g.await(i)
 			now := g.next[0]
 			for _, v := range g.next[1:] {
 				if v > now {
@@ -243,11 +480,21 @@ func (g *Group) runMember(i int) {
 				}
 			}
 			m.K.AdvanceTo(now)
-			g.bar.await()
+			g.await(i)
 			return
 		}
-		m.K.RunBefore(t.Add(g.lookahead))
-		g.bar.await()
+		if g.horiz != nil {
+			h := maxTime
+			for k, b := range g.next {
+				if hk := satAdd(b, g.horiz[k][i]); hk < h {
+					h = hk
+				}
+			}
+			m.K.RunBefore(h)
+		} else {
+			m.K.RunBefore(t.Add(g.lookahead))
+		}
+		g.await(i)
 	}
 }
 

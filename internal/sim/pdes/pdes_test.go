@@ -138,3 +138,195 @@ func TestQueueFIFO(t *testing.T) {
 		t.Fatalf("queue not reset keeping buffer: len=%d cap=%d", len(q.items), cap(q.items))
 	}
 }
+
+// chain3 builds the unequal-latency 3-member line A - B - C used by the
+// per-pair tests: A and B sync at laAB, B and C at laBC, with queues in
+// both directions per pair. deliver hooks schedule a plain callback at
+// the stamped time.
+func chain3(t *testing.T, laAB, laBC time.Duration, annotate bool) (ks [3]*sim.Kernel, qs map[string]*Queue, members []*Member) {
+	t.Helper()
+	ks = [3]*sim.Kernel{sim.NewKernel(), sim.NewKernel(), sim.NewKernel()}
+	qs = map[string]*Queue{}
+	mk := func(to int) *Queue {
+		k := ks[to]
+		return NewQueue(4, func(_ unsafe.Pointer, at sim.Time) {
+			k.At(at, func() {})
+		})
+	}
+	qs["AB"], qs["BA"] = mk(1), mk(0)
+	qs["BC"], qs["CB"] = mk(2), mk(1)
+	if annotate {
+		qs["AB"].SetEdge(0, laAB)
+		qs["BA"].SetEdge(1, laAB)
+		qs["BC"].SetEdge(1, laBC)
+		qs["CB"].SetEdge(2, laBC)
+	}
+	members = []*Member{
+		{K: ks[0], In: []*Queue{qs["BA"]}},
+		{K: ks[1], In: []*Queue{qs["AB"], qs["CB"]}},
+		{K: ks[2], In: []*Queue{qs["BC"]}},
+	}
+	return ks, qs, members
+}
+
+// TestPerPairFewerRounds pins the point of per-pair lookahead: on a
+// chain whose A-B edge is 100x shorter than its B-C edge, member C is
+// 100 ms of virtual time away from the tight pair, so its horizon is
+// ~100 ms per round instead of the 1 ms global window. With dense
+// local work on C (events every 500 us for 50 ms) the global window
+// needs a round per millisecond of C's progress; per-pair C drains in
+// the first round and only the A<->B ping-pong sets the round count.
+// Clocks and event counts must be identical either way.
+func TestPerPairFewerRounds(t *testing.T) {
+	const laAB = time.Millisecond
+	const laBC = 100 * time.Millisecond
+
+	run := func(annotate bool) (st Stats, clocks [3]sim.Time) {
+		ks, qs, members := chain3(t, laAB, laBC, annotate)
+		hops := 0
+		var qAB, qBA *Queue = qs["AB"], qs["BA"]
+		// Rebuild A<->B deliver hooks to bounce a token 6 times.
+		*qAB = *NewQueue(4, func(_ unsafe.Pointer, at sim.Time) {
+			ks[1].At(at, func() {
+				hops++
+				if hops < 6 {
+					qBA.Push(nil, ks[1].Now().Add(laAB))
+				}
+			})
+		})
+		*qBA = *NewQueue(4, func(_ unsafe.Pointer, at sim.Time) {
+			ks[0].At(at, func() {
+				hops++
+				if hops < 6 {
+					qAB.Push(nil, ks[0].Now().Add(laAB))
+				}
+			})
+		})
+		if annotate {
+			qAB.SetEdge(0, laAB)
+			qBA.SetEdge(1, laAB)
+		}
+		g := NewGroup(laAB, members)
+		ks[0].At(0, func() { qAB.Push(nil, sim.Time(laAB)) })
+		for j := 1; j <= 100; j++ {
+			ks[2].At(sim.Time(j)*sim.Time(500*time.Microsecond), func() {})
+		}
+		g.Run()
+		return g.Stats(), [3]sim.Time{ks[0].Now(), ks[1].Now(), ks[2].Now()}
+	}
+
+	gStats, gClocks := run(false)
+	pStats, pClocks := run(true)
+	if gStats.PerPair || !pStats.PerPair {
+		t.Fatalf("PerPair flags: global=%v annotated=%v", gStats.PerPair, pStats.PerPair)
+	}
+	if gClocks != pClocks {
+		t.Fatalf("clocks diverged: global %v, per-pair %v", gClocks, pClocks)
+	}
+	for i := range gStats.Events {
+		if gStats.Events[i] != pStats.Events[i] {
+			t.Fatalf("event counts diverged: global %v, per-pair %v", gStats.Events, pStats.Events)
+		}
+	}
+	if pStats.Rounds >= gStats.Rounds {
+		t.Fatalf("per-pair rounds %d not below global-window rounds %d", pStats.Rounds, gStats.Rounds)
+	}
+	if pStats.Rounds*5 > gStats.Rounds {
+		t.Fatalf("per-pair rounds %d, want at least 5x below global %d", pStats.Rounds, gStats.Rounds)
+	}
+}
+
+// TestPerPairTerminationResync is the regression for the termination
+// path with unequal cut latencies: all kernels must leave Run at the
+// same virtual time — the globally last event — even when per-pair
+// horizons let the far member run dry many windows ahead of the tight
+// pair. The resync target is the same global maximum either way.
+func TestPerPairTerminationResync(t *testing.T) {
+	const laAB = time.Millisecond
+	const laBC = 100 * time.Millisecond
+	ks, _, members := chain3(t, laAB, laBC, true)
+	last := sim.Time(50 * time.Millisecond)
+	ks[0].At(sim.Time(laAB), func() {})
+	ks[2].At(last, func() {})
+	g := NewGroup(laAB, members)
+	g.Run()
+	for i, k := range ks {
+		if k.Now() != last {
+			t.Fatalf("kernel %d at %v after Run, want resync to global last %v", i, k.Now(), last)
+		}
+	}
+	if st := g.Stats(); st.Rounds > 3 {
+		t.Fatalf("per-pair horizons should finish this in <=3 rounds, took %d", st.Rounds)
+	}
+}
+
+// TestPerPairStats checks the extended Stats surface: per-member event
+// counts come from the kernels' fired counters, and blocked time stays
+// zero until telemetry is enabled.
+func TestPerPairStats(t *testing.T) {
+	ks, qs, members := chain3(t, time.Millisecond, 2*time.Millisecond, true)
+	g := NewGroup(time.Millisecond, members)
+	g.SetBlockedTelemetry(true)
+	ks[0].At(0, func() { qs["AB"].Push(nil, sim.Time(time.Millisecond)) })
+	g.Run()
+	st := g.Stats()
+	if len(st.Events) != 3 || len(st.Blocked) != 3 {
+		t.Fatalf("Events/Blocked lengths %d/%d, want 3/3", len(st.Events), len(st.Blocked))
+	}
+	if st.Events[0] != 1 || st.Events[1] != 1 {
+		t.Fatalf("Events = %v, want one event each on A and B", st.Events)
+	}
+	for i, k := range ks {
+		if st.Events[i] != k.Fired() {
+			t.Fatalf("Events[%d] = %d, kernel fired %d", i, st.Events[i], k.Fired())
+		}
+	}
+}
+
+// TestPartialAnnotationStaysGlobal pins the fallback: one unannotated
+// queue keeps the whole group on the global window.
+func TestPartialAnnotationStaysGlobal(t *testing.T) {
+	ka, kb := sim.NewKernel(), sim.NewKernel()
+	qAB := NewQueue(1, func(_ unsafe.Pointer, at sim.Time) { kb.At(at, func() {}) })
+	qBA := NewQueue(1, func(_ unsafe.Pointer, at sim.Time) { ka.At(at, func() {}) })
+	qAB.SetEdge(0, time.Millisecond)
+	g := NewGroup(time.Millisecond, []*Member{
+		{K: ka, In: []*Queue{qBA}},
+		{K: kb, In: []*Queue{qAB}},
+	})
+	if g.PerPair() {
+		t.Fatal("group with an unannotated queue must use the global window")
+	}
+}
+
+func TestSetEdgeValidation(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	q := NewQueue(1, func(_ unsafe.Pointer, _ sim.Time) {})
+	expectPanic("negative from", func() { q.SetEdge(-1, time.Millisecond) })
+	expectPanic("zero lookahead", func() { q.SetEdge(0, 0) })
+	expectPanic("edge from outside group", func() {
+		bad := NewQueue(1, func(_ unsafe.Pointer, _ sim.Time) {})
+		bad.SetEdge(7, time.Millisecond)
+		ka, kb := sim.NewKernel(), sim.NewKernel()
+		other := NewQueue(1, func(_ unsafe.Pointer, _ sim.Time) {})
+		other.SetEdge(1, time.Millisecond)
+		NewGroup(time.Millisecond, []*Member{
+			{K: ka, In: []*Queue{bad}},
+			{K: kb, In: []*Queue{other}},
+		})
+	})
+	expectPanic("run after close", func() {
+		ka, kb := sim.NewKernel(), sim.NewKernel()
+		g := NewGroup(time.Millisecond, []*Member{{K: ka}, {K: kb}})
+		g.Close()
+		g.Run()
+	})
+}
